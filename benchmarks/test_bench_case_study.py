@@ -1,0 +1,24 @@
+"""E0 — the introduction's case-study table.
+
+Regenerates: LDA's mixed topic assignments on the two-document corpus, the
+four post-hoc mapping techniques' labels, and Source-LDA's in-inference
+labeling.  Paper claim: post-hoc mappers collapse the two topics onto one
+label while Source-LDA separates and labels them correctly.
+"""
+
+from __future__ import annotations
+
+from _shared import record
+
+from repro.experiments import format_case_study, run_case_study
+
+
+def test_bench_case_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_case_study(iterations=200), rounds=1, iterations=1)
+    record("case_study", format_case_study(result))
+    # The demonstration the table exists for:
+    assert result.collapsed_techniques, \
+        "at least one post-hoc technique should collapse the topics"
+    assert result.source_lda_separates
+    assert set(result.source_lda_labels) == {"School Supplies", "Baseball"}

@@ -1,0 +1,27 @@
+"""F2 — Fig. 2: JS divergence of Dirichlet draws vs source distributions.
+
+Regenerates: per-category box plots (min/q1/median/q3/max/mean) of the JS
+divergence between 20 Reuters categories' source distributions and draws
+from ``Dir(X)``.  Paper shape: every category's divergence is small
+(medians well under 0.2) but clearly non-zero — Definition 3 alone allows
+limited variability.
+"""
+
+from __future__ import annotations
+
+from _shared import record
+
+from repro.experiments import LAPTOP, format_boxplots, run_fig2
+
+
+def test_bench_fig2(benchmark):
+    scale = LAPTOP.scaled(divergence_draws=200, article_length=600)
+    summaries = benchmark.pedantic(lambda: run_fig2(scale, seed=0),
+                                   rounds=1, iterations=1)
+    record("fig2_source_divergence",
+           format_boxplots(summaries, title="Fig. 2 - JS divergence of "
+                           "source-parameterized draws", value_label="category"))
+    assert len(summaries) == 20
+    for summary in summaries:
+        assert 0.0 < summary.median < 0.25, summary.label
+        assert summary.q1 <= summary.median <= summary.q3

@@ -1,0 +1,29 @@
+"""F3 — Fig. 3: JS divergence vs raw lambda (no smoothing).
+
+Regenerates: box summaries of JS divergence between a source distribution
+and draws from ``Dir(X^lambda)`` for lambda in {0, 0.1, ..., 1}.  Paper
+shape: divergence decreases monotonically as lambda grows, with non-uniform
+(non-linear) spacing — the motivation for the smoothing function g.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _shared import record
+
+from repro.experiments import LAPTOP, format_boxplots, run_fig3
+
+
+def test_bench_fig3(benchmark):
+    scale = LAPTOP.scaled(divergence_draws=150, article_length=2000)
+    result = benchmark.pedantic(lambda: run_fig3(scale, seed=0),
+                                rounds=1, iterations=1)
+    record("fig3_lambda_divergence",
+           format_boxplots(result.summaries,
+                           title="Fig. 3 - JS divergence vs lambda "
+                                 "(no smoothing)", value_label="lambda")
+           + f"\nmedian linearity R^2: {result.median_linearity_r2:.4f}")
+    medians = np.array([s.median for s in result.summaries])
+    # Monotone decreasing overall, spanning a substantial range.
+    assert medians[0] > medians[-1] * 3
+    assert np.all(np.diff(medians) < 0.02)

@@ -1,0 +1,30 @@
+"""F4 — Fig. 4: JS divergence vs g(lambda) is (more) linear.
+
+Regenerates: the Fig. 3 sweep with lambda mapped through the calibrated
+smoothing function g.  Paper claim: the divergence now changes linearly in
+the input, so a Gaussian prior on lambda acts on an interpretable scale.
+Reproduction criterion: the straight-line fit of the median curve improves
+(R^2 rises) relative to the unsmoothed Fig. 3 sweep.
+"""
+
+from __future__ import annotations
+
+from _shared import record
+
+from repro.experiments import LAPTOP, format_boxplots, run_fig3, run_fig4
+
+SCALE = LAPTOP.scaled(divergence_draws=150, article_length=2000)
+
+
+def test_bench_fig4(benchmark):
+    raw = run_fig3(SCALE, seed=0)
+    smoothed = benchmark.pedantic(lambda: run_fig4(SCALE, seed=0),
+                                  rounds=1, iterations=1)
+    record("fig4_smoothing",
+           format_boxplots(smoothed.summaries,
+                           title="Fig. 4 - JS divergence vs g(lambda)",
+                           value_label="g(lambda)")
+           + f"\nmedian linearity R^2: raw {raw.median_linearity_r2:.4f}"
+             f" -> smoothed {smoothed.median_linearity_r2:.4f}")
+    assert smoothed.median_linearity_r2 >= raw.median_linearity_r2 - 0.005
+    assert smoothed.median_linearity_r2 > 0.97

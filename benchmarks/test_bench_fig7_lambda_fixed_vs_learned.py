@@ -1,0 +1,39 @@
+"""F7 — Fig. 7: fixed lambda vs dynamic (Gaussian-prior) lambda.
+
+Regenerates: classification % and held-out perplexity for fixed lambda in
+{0.1, ..., 1.0} against the dynamic-lambda bijective baseline, on a corpus
+generated with per-topic lambda ~ N(0.5, 1.0) bounded to [0, 1].
+
+Paper claim reproduced here: *perplexity is a misleading model selector* —
+the run with the best perplexity is not the run with the best
+classification accuracy ("classification accuracy is not perfectly
+correlated with perplexity").  See EXPERIMENTS.md for where our measured
+ordering of dynamic-vs-fixed differs from the paper's and why.
+"""
+
+from __future__ import annotations
+
+from _shared import record
+
+from repro.experiments import (LAPTOP, format_lambda_integration,
+                               run_lambda_integration)
+
+
+def test_bench_fig7(benchmark):
+    scale = LAPTOP.scaled(num_documents=150, iterations=40,
+                          generating_topics=25, article_length=2500,
+                          avg_document_length=60)
+    result = benchmark.pedantic(
+        lambda: run_lambda_integration(scale, seed=2),
+        rounds=1, iterations=1)
+    record("fig7_lambda_fixed_vs_learned",
+           format_lambda_integration(result))
+
+    assert result.perplexity_is_misleading()
+    # Accuracy grows with fixed lambda on this corpus family...
+    accuracies = [row.classification_percent for row in result.fixed]
+    assert accuracies[-1] > accuracies[0]
+    # ...and the dynamic baseline is competitive with mid-range fixed
+    # lambdas while achieving (near-)best perplexity.
+    perplexities = [row.perplexity for row in result.all_rows()]
+    assert result.baseline.perplexity <= sorted(perplexities)[1] * 1.05

@@ -1,0 +1,25 @@
+"""F8d — Fig. 8(d): summed sorted-theta JS divergence, mixed condition.
+
+Regenerates: the per-model total JS divergence between each document's
+true topic distribution and the model's fitted theta, after sorting both
+(making the comparison independent of topic identity).  Paper shape:
+Source-LDA's theta is the closest to truth among the labeled models.
+"""
+
+from __future__ import annotations
+
+from _shared import mixed_condition_result, record
+
+from repro.experiments import format_table
+
+
+def test_bench_fig8d(benchmark):
+    result = benchmark.pedantic(mixed_condition_result, rounds=1,
+                                iterations=1)
+    rows = [[s.name, s.theta_js_total] for s in result.scores]
+    record("fig8d_theta_js_mixed",
+           format_table(["model", "sorted-theta JS total"], rows,
+                        title="Fig. 8(d) - theta divergence (mixed)"))
+    src = result.by_name("SRC-Unk").theta_js_total
+    assert src < result.by_name("CTM-Unk").theta_js_total
+    assert src < result.by_name("EDA-Unk").theta_js_total * 1.25

@@ -1,0 +1,24 @@
+"""F8e — Fig. 8(e): summed sorted-theta JS divergence, bijective
+condition.
+
+Paper shape: the Source-LDA model aligns document mixtures with the truth
+at least as well as every baseline when the topic set is known exactly.
+"""
+
+from __future__ import annotations
+
+from _shared import bijective_condition_result, record
+
+from repro.experiments import format_table
+
+
+def test_bench_fig8e(benchmark):
+    result = benchmark.pedantic(bijective_condition_result, rounds=1,
+                                iterations=1)
+    rows = [[s.name, s.theta_js_total] for s in result.scores]
+    record("fig8e_theta_js_exact",
+           format_table(["model", "sorted-theta JS total"], rows,
+                        title="Fig. 8(e) - theta divergence (bijective)"))
+    src = result.by_name("SRC-Exact").theta_js_total
+    assert src < result.by_name("LDA-Exact").theta_js_total
+    assert src <= min(s.theta_js_total for s in result.scores) * 1.1

@@ -1,0 +1,85 @@
+"""Discovering unknown topics alongside known ones (Section III.B/C).
+
+The paper's central design goal: "allow for simultaneous discovery of both
+known and unknown topics."  This example generates a corpus where most
+tokens come from two knowledge-source topics but a third subject — absent
+from the knowledge source — also runs through the documents.  Source-LDA's
+unlabeled topics absorb the unknown subject while the source topics stay
+on-label; the comparison with EDA (which has nowhere to put the new
+subject) shows why the mixture matters.
+
+Run:  python examples/discover_new_topics.py
+"""
+
+import numpy as np
+
+from repro import EDA, Corpus, KnowledgeSource, SourceLDA
+
+KNOWN_ARTICLES = {
+    "Coffee": ("coffee coffee coffee beans beans arabica robusta harvest "
+               "roast roast brew espresso caffeine export growers crop "
+               "bags aroma").split(),
+    "Cycling": ("bicycle bicycle wheel wheel pedal helmet race race rider "
+                "sprint gear chain saddle tour peloton climb road "
+                "frame").split(),
+}
+
+#: Vocabulary of the unknown subject (no article describes it).
+UNKNOWN_WORDS = ("chess knight bishop rook pawn checkmate opening endgame "
+                 "gambit board").split()
+
+
+def build_corpus(seed: int = 5, num_documents: int = 60) -> Corpus:
+    rng = np.random.default_rng(seed)
+    pools = {name: tokens for name, tokens in KNOWN_ARTICLES.items()}
+    pools["(unknown)"] = list(UNKNOWN_WORDS)
+    names = list(pools)
+    texts = []
+    for _ in range(num_documents):
+        subject = names[int(rng.integers(len(names)))]
+        primary = pools[subject]
+        tokens = [primary[int(rng.integers(len(primary)))]
+                  for _ in range(30)]
+        # sprinkle a little cross-subject noise
+        other = pools[names[int(rng.integers(len(names)))]]
+        tokens.extend(other[int(rng.integers(len(other)))]
+                      for _ in range(3))
+        texts.append(" ".join(tokens))
+    return Corpus.from_texts(texts, tokenizer=None)
+
+
+def main() -> None:
+    corpus = build_corpus()
+    source = KnowledgeSource(KNOWN_ARTICLES)
+
+    fitted = SourceLDA(source, num_unlabeled_topics=1, mu=0.7, sigma=0.3,
+                       reduce_topics=False).fit(
+        corpus, iterations=120, seed=5)
+    print("Source-LDA topics:")
+    for topic in range(fitted.num_topics):
+        label = fitted.label_of(topic) or "(unlabeled - discovered)"
+        words = ", ".join(fitted.top_words(topic, 6))
+        print(f"  {label:24s} {words}")
+
+    unknown_topic = fitted.topic_labels.index(None)
+    discovered = set(fitted.top_words(unknown_topic, 6))
+    coverage = len(discovered & set(UNKNOWN_WORDS)) / 6
+    print(f"\nUnlabeled topic's top words that belong to the hidden "
+          f"subject: {coverage:.0%}")
+
+    eda = EDA(source).fit(corpus, iterations=120, seed=5)
+    print("\nEDA (no unknown topics allowed) forces chess tokens into:")
+    chess_ids = [corpus.vocabulary[w] for w in UNKNOWN_WORDS
+                 if w in corpus.vocabulary]
+    flat_words = np.concatenate([doc.word_ids for doc in corpus])
+    flat_topics = eda.flat_assignments()
+    for word_id in chess_ids[:4]:
+        topics = flat_topics[flat_words == word_id]
+        if topics.size == 0:
+            continue
+        label = eda.label_of(int(np.bincount(topics).argmax()))
+        print(f"  {corpus.vocabulary.word(word_id):10s} -> {label}")
+
+
+if __name__ == "__main__":
+    main()

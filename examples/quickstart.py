@@ -1,0 +1,68 @@
+"""Quickstart: label topics during inference with Source-LDA.
+
+Builds a tiny corpus about two everyday subjects, hands Source-LDA a
+knowledge source describing three *candidate* topics (one of which does not
+occur), and shows that the fitted topics come out of inference already
+labeled — including noticing which candidate topic is absent.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Corpus, KnowledgeSource, SourceLDA
+
+DOCUMENTS = [
+    "pencil eraser notebook pencil ruler classroom pencil paper",
+    "ruler notebook pencil crayon paper classroom school eraser",
+    "umpire baseball inning pitcher baseball glove strike bat",
+    "baseball bat ball umpire pitcher inning team game",
+    "pencil paper notebook school baseball game classroom crayon",
+]
+
+ARTICLES = {
+    "School Supplies": (
+        "pencil pencil pencil ruler ruler eraser eraser notebook notebook "
+        "paper paper pen crayon scissors glue backpack school school "
+        "classroom student").split(),
+    "Baseball": (
+        "baseball baseball baseball umpire umpire bat bat ball ball "
+        "pitcher pitcher inning glove base team game game strike "
+        "field").split(),
+    "Astronomy": (
+        "telescope telescope star star planet planet galaxy orbit comet "
+        "nebula astronomer moon moon eclipse").split(),
+}
+
+
+def main() -> None:
+    corpus = Corpus.from_texts(DOCUMENTS, tokenizer=None)
+    source = KnowledgeSource(ARTICLES)
+
+    model = SourceLDA(
+        source,
+        num_unlabeled_topics=1,   # room for content none of the articles cover
+        mu=0.9, sigma=0.15,       # how tightly topics track their articles
+        alpha=0.3,
+        min_documents=2,          # superset reduction threshold
+        min_proportion=0.2,
+    )
+    fitted = model.fit(corpus, iterations=150, seed=7)
+
+    print("Topics (label -> top words):")
+    for topic in range(fitted.num_topics):
+        label = fitted.label_of(topic) or "(unlabeled)"
+        words = ", ".join(fitted.top_words(topic, 5))
+        print(f"  {label:16s} {words}")
+
+    active = fitted.metadata["active_topics"]
+    print("\nTopics surviving superset reduction:",
+          [fitted.label_of(int(t)) or "(unlabeled)" for t in active])
+
+    print("\nPer-document dominant topic:")
+    for index, doc_text in enumerate(DOCUMENTS):
+        dominant = int(fitted.theta[index].argmax())
+        label = fitted.label_of(dominant) or "(unlabeled)"
+        print(f"  doc {index}: {label:16s} | {doc_text[:48]}...")
+
+
+if __name__ == "__main__":
+    main()

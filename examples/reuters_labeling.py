@@ -1,0 +1,42 @@
+"""Newswire labeling: the Section IV.C workflow end to end.
+
+Generates the synthetic Reuters-21578 substitute (80-category knowledge
+superset, 49 categories actually present), fits Source-LDA, post-hoc-labels
+a plain LDA run with the IR (TF-IDF/cosine) approach for contrast, and
+prints Table-I-style top-word columns for the categories both models
+labeled.
+
+Run:  python examples/reuters_labeling.py
+"""
+
+from repro.experiments import LAPTOP, format_reuters, run_reuters_analysis
+
+
+def main() -> None:
+    scale = LAPTOP.scaled(num_documents=120, iterations=40,
+                          avg_document_length=50.0, article_length=250,
+                          generating_topics=6)
+    print("Generating synthetic newswire corpus and fitting models "
+          f"(scale={scale.name}, iterations={scale.iterations})...")
+    result = run_reuters_analysis(scale, seed=11)
+
+    print()
+    print(format_reuters(result))
+
+    print("\nSource-LDA labeled topics that survived superset reduction:")
+    active = result.source_lda.metadata.get("active_topics", [])
+    for topic in active:
+        label = result.source_lda.label_of(int(topic))
+        if label is None:
+            continue
+        words = ", ".join(result.source_lda.top_words(int(topic), 6))
+        print(f"  {label:24s} {words}")
+
+    truth = result.generator.ground_truth()
+    print(f"\n(Ground truth: {len(truth.present_categories)} of "
+          f"{len(result.generator.categories)} categories generated the "
+          "corpus.)")
+
+
+if __name__ == "__main__":
+    main()

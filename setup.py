@@ -1,0 +1,4 @@
+"""Setup shim enabling legacy editable installs (offline env lacks wheel)."""
+from setuptools import setup
+
+setup()

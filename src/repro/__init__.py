@@ -1,0 +1,56 @@
+"""Source-LDA: enhancing probabilistic topic models using prior knowledge
+sources (Wood et al., ICDE 2017) — a full from-scratch reproduction.
+
+Public API highlights
+---------------------
+Models
+    :class:`~repro.core.SourceLDA` (the paper's contribution),
+    :class:`~repro.core.BijectiveSourceLDA`,
+    :class:`~repro.core.MixtureSourceLDA`, and the baselines
+    :class:`~repro.models.LDA`, :class:`~repro.models.EDA`,
+    :class:`~repro.models.CTM`.
+Knowledge sources
+    :class:`~repro.knowledge.KnowledgeSource` plus synthetic Wikipedia /
+    Reuters / MedlinePlus generators.
+Labeling and metrics
+    The four post-hoc labelers in :mod:`repro.labeling`; JS divergence,
+    perplexity, accuracy and PMI coherence in :mod:`repro.metrics`.
+Experiments
+    One driver per paper table/figure in :mod:`repro.experiments`.
+"""
+
+from repro.core import (BijectiveSourceLDA, MixtureSourceLDA,
+                        SmoothingFunction, SourceLDA, SourcePrior,
+                        calibrate_smoothing)
+from repro.knowledge import (KnowledgeSource, SyntheticReuters,
+                             SyntheticWikipedia, medline_knowledge_source,
+                             source_distribution, source_hyperparameters)
+from repro.models import CTM, EDA, LDA, FittedTopicModel, TopicModel
+from repro.text import Corpus, Document, Tokenizer, Vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BijectiveSourceLDA",
+    "CTM",
+    "Corpus",
+    "Document",
+    "EDA",
+    "FittedTopicModel",
+    "KnowledgeSource",
+    "LDA",
+    "MixtureSourceLDA",
+    "SmoothingFunction",
+    "SourceLDA",
+    "SourcePrior",
+    "SyntheticReuters",
+    "SyntheticWikipedia",
+    "Tokenizer",
+    "TopicModel",
+    "Vocabulary",
+    "__version__",
+    "calibrate_smoothing",
+    "medline_knowledge_source",
+    "source_distribution",
+    "source_hyperparameters",
+]

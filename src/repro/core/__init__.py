@@ -1,0 +1,45 @@
+"""The paper's core contribution: the Source-LDA model family."""
+
+from repro.core.bijective import BijectiveSourceLDA
+from repro.core.kernels import SourceTopicsKernel
+from repro.core.lambda_calibration import (SmoothingFunction,
+                                           calibrate_smoothing,
+                                           mean_js_curve)
+from repro.core.mixture import MixtureSourceLDA
+from repro.core.priors import GridDeltaTables, SourcePrior
+from repro.core.source_lda import SourceLDA
+from repro.core.superset import (cluster_topics_js,
+                                 reduce_by_document_frequency,
+                                 select_final_topics,
+                                 topic_document_frequencies)
+
+__all__ = [
+    "BijectiveSourceLDA",
+    "GridDeltaTables",
+    "MixtureSourceLDA",
+    "SmoothingFunction",
+    "SourceLDA",
+    "SourcePrior",
+    "SourceTopicsKernel",
+    "calibrate_smoothing",
+    "cluster_topics_js",
+    "mean_js_curve",
+    "reduce_by_document_frequency",
+    "select_final_topics",
+    "topic_document_frequencies",
+]
+
+from repro.core.priors import informed_word_topic_probs
+from repro.core.superset import (reduce_by_count_frequency,
+                                 topic_document_frequencies_from_counts)
+
+__all__ += [
+    "informed_word_topic_probs",
+    "reduce_by_count_frequency",
+    "topic_document_frequencies_from_counts",
+]
+
+from repro.core.lambda_estimation import (estimate_lambda_posterior,
+                                          lambda_log_likelihoods)
+
+__all__ += ["estimate_lambda_posterior", "lambda_log_likelihoods"]

@@ -1,0 +1,152 @@
+"""The Source-LDA Gibbs kernel (Equations 2, 3 and 4).
+
+One kernel covers the whole model family.  Topics are laid out as ``K``
+unlabeled topics followed by ``S`` source topics:
+
+* unlabeled topics use the symmetric-``beta`` term of Equation 2;
+* source topics use the lambda-integrated term of Equation 3, approximated
+  on a :class:`~repro.sampling.integration.LambdaGrid` — a single-node grid
+  degenerates to the fixed-delta bijective/mixture models of
+  Sections III.A/B.
+
+``phi`` follows Equation 4, and the complete-data log-likelihood marginalizes
+each source topic's lambda over the grid with log-sum-exp (topics draw
+independent lambdas in the generative process, so the marginal factorizes
+over topics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln, logsumexp
+
+from repro.core.priors import GridDeltaTables
+from repro.sampling.gibbs import (TopicWeightKernel,
+                                  symmetric_dirichlet_log_likelihood)
+from repro.sampling.integration import LambdaGrid
+from repro.sampling.state import GibbsState
+
+
+class SourceTopicsKernel(TopicWeightKernel):
+    """Collapsed-Gibbs weights for ``K`` free + ``S`` source topics.
+
+    Parameters
+    ----------
+    state:
+        Gibbs state with ``K + S`` topics.
+    num_free:
+        ``K``, the number of unlabeled topics (may be 0 — the bijective
+        layout).
+    alpha, beta:
+        Document-topic prior and the free topics' symmetric word prior.
+    tables:
+        Powered-delta lookup tables for the source topics (already
+        incorporating the smoothing function ``g``).
+    grid:
+        Quadrature nodes/weights of the lambda prior.
+    """
+
+    def __init__(self, state: GibbsState, num_free: int, alpha: float,
+                 beta: float, tables: GridDeltaTables,
+                 grid: LambdaGrid) -> None:
+        super().__init__(state)
+        if alpha <= 0 or beta <= 0:
+            raise ValueError(
+                f"alpha and beta must be positive, got {alpha}, {beta}")
+        num_source = state.num_topics - num_free
+        if num_free < 0 or num_source < 1:
+            raise ValueError(
+                f"invalid split: {num_free} free of {state.num_topics} "
+                f"total topics")
+        if tables.num_topics != num_source:
+            raise ValueError(
+                f"tables cover {tables.num_topics} source topics, state "
+                f"expects {num_source}")
+        if tables.num_nodes != len(grid):
+            raise ValueError(
+                f"tables were built for {tables.num_nodes} nodes, grid has "
+                f"{len(grid)}")
+        self.alpha = alpha
+        self.beta = beta
+        self.num_free = num_free
+        self.num_source = num_source
+        self.tables = tables
+        self.grid = grid
+        self._beta_sum = beta * state.vocab_size
+        self._omega = grid.weights
+
+    def weights(self, word: int, doc: int) -> np.ndarray:
+        state = self.state
+        k = self.num_free
+        out = np.empty(state.num_topics, dtype=np.float64)
+        if k:
+            out[:k] = ((state.nw[word, :k] + self.beta)
+                       / (state.nt[:k] + self._beta_sum))
+        delta_word = self.tables.delta_for_word(word)          # (S, A)
+        numerator = state.nw[word, k:, np.newaxis] + delta_word
+        denominator = state.nt[k:, np.newaxis] + self.tables.sum_delta
+        out[k:] = (numerator / denominator) @ self._omega
+        out *= state.nd[doc] + self.alpha
+        return out
+
+    def phi(self, chunk_size: int = 512) -> np.ndarray:
+        """Equation 4: symmetric rows for free topics, integrated rows for
+        source topics."""
+        state = self.state
+        k = self.num_free
+        phi = np.empty((state.num_topics, state.vocab_size))
+        if k:
+            phi[:k] = ((state.nw[:, :k] + self.beta)
+                       / (state.nt[:k] + self._beta_sum)).T
+        denominator = state.nt[k:, np.newaxis] + self.tables.sum_delta
+        for start in range(0, state.vocab_size, chunk_size):
+            stop = min(start + chunk_size, state.vocab_size)
+            words = np.arange(start, stop)
+            delta = self.tables.delta_for_words(words)         # (W, S, A)
+            numerator = state.nw[start:stop, k:, np.newaxis] + delta
+            ratios = numerator / denominator[np.newaxis, :, :]
+            phi[k:, start:stop] = (ratios @ self._omega).T
+        return phi
+
+    def log_likelihood(self) -> float:
+        state = self.state
+        k = self.num_free
+        total = 0.0
+        if k:
+            total += symmetric_dirichlet_log_likelihood(
+                state.nw[:, :k], state.nt[:k], self.beta)
+        total += self._source_log_likelihood()
+        return float(total)
+
+    def _source_log_likelihood(self) -> float:
+        """Per source topic: ``logsumexp_a [log w_a + log P(w | z, d_ta)]``.
+
+        ``log P(w | z, delta)`` is the Dirichlet-multinomial closed form.
+        Evaluated lazily (only when likelihood tracking is requested)
+        because it costs ``O(S * A * V)`` gammaln calls.
+        """
+        state = self.state
+        k = self.num_free
+        tables = self.tables
+        counts = state.nw[:, k:].T                              # (S, V)
+        log_node = np.empty((self.num_source, tables.num_nodes))
+        for node in range(tables.num_nodes):
+            # Reconstruct delta for this node from the power table by
+            # gathering all words once (chunked to bound memory).
+            per_topic = np.zeros(self.num_source)
+            sum_gamma_delta = np.zeros(self.num_source)
+            chunk = 2048
+            for start in range(0, state.vocab_size, chunk):
+                stop = min(start + chunk, state.vocab_size)
+                words = np.arange(start, stop)
+                delta_chunk = tables.delta_for_words(words)[:, :, node]
+                per_topic += gammaln(
+                    counts[:, start:stop].T + delta_chunk).sum(axis=0)
+                sum_gamma_delta += gammaln(delta_chunk).sum(axis=0)
+            sums = tables.sum_delta[:, node]
+            log_node[:, node] = (gammaln(sums) - sum_gamma_delta
+                                 + per_topic
+                                 - gammaln(state.nt[k:] + sums))
+        log_weights = np.log(self.grid.weights)
+        return float(logsumexp(log_node + log_weights[np.newaxis, :],
+                               axis=1).sum())

@@ -1,0 +1,104 @@
+"""Estimating per-topic lambda from data (the paper's open question).
+
+Section III.C.5a leaves "whether or not the parameters can be learned a
+priori from the data" as an open research area.  This module provides the
+natural estimator the model structure suggests: with lambda discretized on
+the quadrature grid, each source topic's posterior over grid nodes is
+
+    P(lambda_a | w, z)  ∝  omega_a · P(w_t | z, delta_t^{g(lambda_a)})
+
+where the likelihood term is the Dirichlet-multinomial closed form over
+the topic's word counts.  The posterior mean gives a per-topic lambda
+estimate — i.e. *how far each topic actually drifted from its source* —
+useful diagnostically (which knowledge-source articles are stale for this
+corpus?) and for setting ``mu``/``sigma`` on re-runs.
+
+The core models record the final word-topic counts under
+``metadata["source_word_counts"]``, which is all this estimator needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln, logsumexp
+
+from repro.core.priors import SourcePrior
+from repro.models.base import FittedTopicModel
+from repro.sampling.integration import LambdaGrid
+
+
+def lambda_log_likelihoods(counts: np.ndarray, prior: SourcePrior,
+                           exponents: np.ndarray) -> np.ndarray:
+    """Log ``P(counts_t | delta_t^{e_a})`` for every topic/node, ``(S, A)``.
+
+    ``counts`` is the ``(S, V)`` word-count matrix of the source topics;
+    ``exponents`` are the (already ``g``-mapped) grid exponents, ``(A,)``.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    exponents = np.asarray(exponents, dtype=np.float64)
+    if counts.shape != (prior.num_topics, prior.vocab_size):
+        raise ValueError(
+            f"counts must have shape ({prior.num_topics}, "
+            f"{prior.vocab_size}), got {counts.shape}")
+    totals = counts.sum(axis=1)
+    out = np.empty((prior.num_topics, exponents.shape[0]))
+    for node, exponent in enumerate(exponents):
+        delta = prior.delta(float(exponent))
+        sums = delta.sum(axis=1)
+        out[:, node] = (gammaln(sums)
+                        - gammaln(delta).sum(axis=1)
+                        + gammaln(counts + delta).sum(axis=1)
+                        - gammaln(totals + sums))
+    return out
+
+
+def estimate_lambda_posterior(model: FittedTopicModel,
+                              prior: SourcePrior,
+                              grid: LambdaGrid,
+                              exponents: np.ndarray | None = None,
+                              ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-source-topic posterior over lambda grid nodes.
+
+    Parameters
+    ----------
+    model:
+        A fitted :mod:`repro.core` model (its last ``S`` topics are the
+        source topics and ``metadata['source_word_counts']`` holds the
+        final word-topic counts).
+    prior:
+        The source prior used during fitting.
+    grid:
+        The lambda quadrature (prior weights ``omega_a``).
+    exponents:
+        The ``g``-mapped exponents actually used; defaults to the raw
+        grid nodes.
+
+    Returns
+    -------
+    (posterior, mean):
+        ``posterior`` is ``(S, A)`` with rows summing to 1; ``mean`` is
+        the ``(S,)`` posterior-mean lambda per source topic.
+    """
+    exponents = grid.nodes if exponents is None else \
+        np.asarray(exponents, dtype=np.float64)
+    if exponents.shape != grid.nodes.shape:
+        raise ValueError(
+            f"exponents must match the grid ({grid.nodes.shape}), got "
+            f"{exponents.shape}")
+    all_counts = model.metadata.get("source_word_counts")
+    if all_counts is None:
+        raise ValueError(
+            "model.metadata['source_word_counts'] is missing; fit with a "
+            "repro.core model or store the (T, V) word-topic count matrix")
+    all_counts = np.asarray(all_counts, dtype=np.float64)
+    num_source = prior.num_topics
+    if all_counts.shape[0] < num_source:
+        raise ValueError(
+            f"counts cover {all_counts.shape[0]} topics but the prior has "
+            f"{num_source} source topics")
+    counts = all_counts[all_counts.shape[0] - num_source:]
+    log_like = lambda_log_likelihoods(counts, prior, exponents)
+    log_posterior = log_like + np.log(grid.weights)[np.newaxis, :]
+    log_posterior -= logsumexp(log_posterior, axis=1, keepdims=True)
+    posterior = np.exp(log_posterior)
+    return posterior, posterior @ grid.nodes

@@ -1,0 +1,160 @@
+"""Superset topic reduction (Section III.C.3).
+
+Source-LDA accepts a *superset* of candidate source topics so the user
+never has to hand-pick which ones a corpus actually contains.  After
+sampling, two reduction mechanisms select the surviving topics:
+
+* a document-frequency threshold — "topics not appearing in a frequent
+  enough of documents were eliminated";
+* optional clustering of the remaining topic-word distributions (the paper
+  suggests k-means under JS divergence) down to a target count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.divergence import js_divergence_matrix
+from repro.sampling.rng import ensure_rng
+
+
+def topic_document_frequencies(theta: np.ndarray,
+                               min_proportion: float = 0.05) -> np.ndarray:
+    """How many documents give each topic at least ``min_proportion`` mass.
+
+    ``theta`` is ``(D, T)``; returns an integer ``(T,)`` vector.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    if theta.ndim != 2:
+        raise ValueError(f"theta must be 2-d, got shape {theta.shape}")
+    if not 0.0 <= min_proportion <= 1.0:
+        raise ValueError(
+            f"min_proportion must be in [0, 1], got {min_proportion}")
+    return (theta >= min_proportion).sum(axis=0).astype(np.int64)
+
+
+def topic_document_frequencies_from_counts(nd: np.ndarray,
+                                           doc_lengths: np.ndarray,
+                                           min_proportion: float = 0.05
+                                           ) -> np.ndarray:
+    """Document frequencies from raw assignment counts.
+
+    A topic "appears in" a document when it holds at least
+    ``max(1, min_proportion * doc_length)`` of the document's tokens.
+    Counts, unlike the smoothed ``theta``, are exactly zero for topics no
+    token was assigned to — this is the paper's "eliminate topics which
+    are not assigned to any documents" criterion.
+    """
+    nd = np.asarray(nd, dtype=np.float64)
+    doc_lengths = np.asarray(doc_lengths, dtype=np.float64)
+    if nd.ndim != 2:
+        raise ValueError(f"nd must be 2-d, got shape {nd.shape}")
+    if doc_lengths.shape != (nd.shape[0],):
+        raise ValueError(
+            f"doc_lengths must have shape ({nd.shape[0]},), got "
+            f"{doc_lengths.shape}")
+    if not 0.0 <= min_proportion <= 1.0:
+        raise ValueError(
+            f"min_proportion must be in [0, 1], got {min_proportion}")
+    thresholds = np.maximum(1.0, min_proportion * doc_lengths)
+    return (nd >= thresholds[:, np.newaxis]).sum(axis=0).astype(np.int64)
+
+
+def reduce_by_count_frequency(nd: np.ndarray, doc_lengths: np.ndarray,
+                              min_documents: int = 1,
+                              min_proportion: float = 0.05) -> np.ndarray:
+    """Count-based variant of :func:`reduce_by_document_frequency`."""
+    if min_documents < 0:
+        raise ValueError(f"min_documents must be >= 0, got {min_documents}")
+    frequencies = topic_document_frequencies_from_counts(
+        nd, doc_lengths, min_proportion)
+    return np.flatnonzero(frequencies >= min_documents)
+
+
+def reduce_by_document_frequency(theta: np.ndarray,
+                                 min_documents: int = 1,
+                                 min_proportion: float = 0.05
+                                 ) -> np.ndarray:
+    """Indices of topics that clear the document-frequency threshold."""
+    if min_documents < 0:
+        raise ValueError(
+            f"min_documents must be >= 0, got {min_documents}")
+    frequencies = topic_document_frequencies(theta, min_proportion)
+    return np.flatnonzero(frequencies >= min_documents)
+
+
+def cluster_topics_js(phi: np.ndarray, num_clusters: int,
+                      iterations: int = 20,
+                      seed: int | np.random.Generator | None = None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """K-means over topic-word distributions with JS-divergence distance.
+
+    Returns ``(labels, centroids)`` where ``labels[t]`` is the cluster of
+    topic ``t`` and ``centroids`` is ``(num_clusters, V)`` (cluster means,
+    renormalized).  Used to compress surviving superset topics to the
+    requested ``K`` final topics.
+    """
+    phi = np.asarray(phi, dtype=np.float64)
+    if phi.ndim != 2:
+        raise ValueError(f"phi must be 2-d, got shape {phi.shape}")
+    num_topics = phi.shape[0]
+    if not 1 <= num_clusters <= num_topics:
+        raise ValueError(
+            f"num_clusters must be in [1, {num_topics}], got {num_clusters}")
+    rng = ensure_rng(seed)
+    chosen = rng.choice(num_topics, size=num_clusters, replace=False)
+    centroids = phi[chosen].copy()
+    labels = np.full(num_topics, -1, dtype=np.int64)
+    for _ in range(iterations):
+        distances = js_divergence_matrix(phi, centroids)
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for cluster in range(num_clusters):
+            members = phi[labels == cluster]
+            if members.shape[0] == 0:
+                # Re-seed an empty cluster on the farthest topic.
+                farthest = distances.min(axis=1).argmax()
+                centroids[cluster] = phi[farthest]
+            else:
+                mean = members.mean(axis=0)
+                centroids[cluster] = mean / mean.sum()
+    return labels, centroids
+
+
+def select_final_topics(theta: np.ndarray, phi: np.ndarray,
+                        target_count: int,
+                        min_documents: int = 1,
+                        min_proportion: float = 0.05,
+                        seed: int | np.random.Generator | None = None
+                        ) -> np.ndarray:
+    """The complete reduction pipeline: threshold, then cluster if needed.
+
+    Returns the indices of at most ``target_count`` surviving topics.  When
+    thresholding already leaves ``target_count`` or fewer topics, those are
+    returned directly; otherwise the survivors are clustered under JS
+    divergence and the most-used topic of each cluster is kept.
+    """
+    if target_count < 1:
+        raise ValueError(f"target_count must be >= 1, got {target_count}")
+    survivors = reduce_by_document_frequency(theta, min_documents,
+                                             min_proportion)
+    if survivors.size == 0:
+        # Nothing cleared the bar; keep the most document-frequent topics.
+        frequencies = topic_document_frequencies(theta, min_proportion)
+        order = np.argsort(-frequencies, kind="stable")
+        return np.sort(order[:target_count])
+    if survivors.size <= target_count:
+        return survivors
+    labels, _ = cluster_topics_js(phi[survivors],
+                                  num_clusters=target_count, seed=seed)
+    usage = theta.sum(axis=0)[survivors]
+    kept = []
+    for cluster in range(target_count):
+        members = np.flatnonzero(labels == cluster)
+        if members.size == 0:
+            continue
+        best = members[np.argmax(usage[members])]
+        kept.append(int(survivors[best]))
+    return np.sort(np.asarray(kept, dtype=np.int64))

@@ -1,0 +1,24 @@
+"""Dataset builders: the graphical example and generative corpora."""
+
+from repro.datasets.graphical import (GraphicalCorpus, augment_topics,
+                                      generate_graphical_corpus,
+                                      graphical_knowledge_source,
+                                      original_topics, pixel_vocabulary,
+                                      render_topic_ascii, topic_image)
+from repro.datasets.synthetic import (SyntheticCorpus,
+                                      generate_source_lda_corpus,
+                                      restrict_source_to_truth)
+
+__all__ = [
+    "GraphicalCorpus",
+    "SyntheticCorpus",
+    "augment_topics",
+    "generate_graphical_corpus",
+    "generate_source_lda_corpus",
+    "graphical_knowledge_source",
+    "original_topics",
+    "pixel_vocabulary",
+    "render_topic_ascii",
+    "restrict_source_to_truth",
+    "topic_image",
+]

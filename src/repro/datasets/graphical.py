@@ -1,0 +1,190 @@
+"""The graphical 5x5 example (Section IV.A, Figs. 5 and 6).
+
+Ten topics over the vocabulary of pixel positions in a 5x5 image: topics
+0-4 put uniform mass on the five cells of one row, topics 5-9 on one
+column.  The paper's twist on the classic Griffiths-Steyvers visualization:
+the topics are *augmented* — each topic swaps one of its pixels with a
+random other topic — a corpus is generated from the augmented topics, and
+only the original topics are given to the models as the knowledge source.
+A model reproduces the experiment when it recovers the augmented
+distributions *and* matches them back to their unaugmented sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.knowledge.source import KnowledgeSource
+from repro.sampling.rng import ensure_rng
+from repro.text.corpus import Corpus, Document
+from repro.text.vocabulary import Vocabulary
+
+GRID_SIZE = 5
+NUM_TOPICS = 2 * GRID_SIZE
+
+
+def pixel_vocabulary() -> Vocabulary:
+    """The 25 pixel-position words ``"xy"`` with x, y in 0..4."""
+    return Vocabulary(f"{x}{y}"
+                      for x in range(GRID_SIZE)
+                      for y in range(GRID_SIZE)).freeze()
+
+
+def _pixel_id(x: int, y: int) -> int:
+    return x * GRID_SIZE + y
+
+
+def original_topics() -> np.ndarray:
+    """The ten row/column topics of Fig. 5(a), shape ``(10, 25)``.
+
+    Topic ``i < 5`` is uniform over row ``i``; topic ``i >= 5`` is uniform
+    over column ``i - 5`` (the paper's ``T_i`` definition).
+    """
+    topics = np.zeros((NUM_TOPICS, GRID_SIZE * GRID_SIZE))
+    for i in range(GRID_SIZE):
+        for x in range(GRID_SIZE):
+            topics[i, _pixel_id(x, i)] = 1.0          # row topic: y = i
+            topics[GRID_SIZE + i, _pixel_id(i, x)] = 1.0   # column topic
+    return topics / topics.sum(axis=1, keepdims=True)
+
+
+def augment_topics(topics: np.ndarray,
+                   rng: int | np.random.Generator | None = None,
+                   ) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Fig. 5(b)'s augmentation: pairwise pixel swaps between topics.
+
+    Each topic is paired with a random different topic and one assigned
+    word (pixel) of each is swapped, "given that the swapped words do not
+    belong to their original assignments" — i.e. topic A receives a pixel
+    it did not already have, and vice versa.  With 5 pixels per topic one
+    swap is the paper's 20% augmentation rate.
+
+    Returns the augmented distributions and the list of ``(i, j)`` pairs.
+    """
+    rng = ensure_rng(rng)
+    topics = np.asarray(topics, dtype=np.float64).copy()
+    num_topics = topics.shape[0]
+    unpaired = list(range(num_topics))
+    pairs: list[tuple[int, int]] = []
+    while len(unpaired) >= 2:
+        first = unpaired.pop(int(rng.integers(len(unpaired))))
+        second = unpaired.pop(int(rng.integers(len(unpaired))))
+        pairs.append((first, second))
+    for first, second in pairs:
+        support_first = np.flatnonzero(topics[first] > 0)
+        support_second = np.flatnonzero(topics[second] > 0)
+        # Candidate pixels: assigned to one topic and absent from the other.
+        give = [p for p in support_first if topics[second, p] == 0]
+        take = [p for p in support_second if topics[first, p] == 0]
+        if not give or not take:
+            continue
+        pixel_out = int(give[rng.integers(len(give))])
+        pixel_in = int(take[rng.integers(len(take))])
+        mass_out = topics[first, pixel_out]
+        mass_in = topics[second, pixel_in]
+        topics[first, pixel_out] = 0.0
+        topics[first, pixel_in] = mass_out
+        topics[second, pixel_in] = 0.0
+        topics[second, pixel_out] = mass_in
+    return (topics / topics.sum(axis=1, keepdims=True)), pairs
+
+
+def topic_image(distribution: np.ndarray) -> np.ndarray:
+    """Fig. 5's intensity rendering: ``I = max(5 * P(w|t), 1)`` scaled to
+    a 5x5 array (values in [0.2, 1] after normalizing by 5)."""
+    distribution = np.asarray(distribution, dtype=np.float64)
+    if distribution.shape != (GRID_SIZE * GRID_SIZE,):
+        raise ValueError(
+            f"expected shape ({GRID_SIZE * GRID_SIZE},), got "
+            f"{distribution.shape}")
+    intensity = np.maximum(GRID_SIZE * distribution, 1.0 / GRID_SIZE)
+    return intensity.reshape(GRID_SIZE, GRID_SIZE)
+
+
+def render_topic_ascii(distribution: np.ndarray) -> str:
+    """Text rendering of one topic for console reports."""
+    shades = " .:*#@"
+    image = topic_image(distribution)
+    scaled = np.clip((image / image.max()) * (len(shades) - 1), 0,
+                     len(shades) - 1).astype(int)
+    return "\n".join("".join(shades[v] for v in row) for row in scaled)
+
+
+@dataclass(frozen=True)
+class GraphicalCorpus:
+    """The generated corpus with its evaluation-only answer key."""
+
+    corpus: Corpus
+    token_topics: np.ndarray
+    document_theta: np.ndarray
+    augmented_topics: np.ndarray
+    original: np.ndarray
+    pairs: list[tuple[int, int]]
+
+
+def generate_graphical_corpus(num_documents: int = 2000,
+                              words_per_document: int = 25,
+                              alpha: float = 1.0,
+                              seed: int | np.random.Generator | None = 0,
+                              ) -> GraphicalCorpus:
+    """Generate the Section IV.A corpus from augmented topics.
+
+    2,000 documents of 25 words each (the paper's sizes), topics drawn from
+    ``Dir(alpha=1)`` document mixtures over the augmented topics.
+    """
+    if num_documents < 1 or words_per_document < 1:
+        raise ValueError("num_documents and words_per_document must be >= 1")
+    rng = ensure_rng(seed)
+    vocabulary = pixel_vocabulary()
+    original = original_topics()
+    augmented, pairs = augment_topics(original, rng)
+    theta = rng.dirichlet(np.full(NUM_TOPICS, alpha), size=num_documents)
+    documents = []
+    token_topics = np.empty(num_documents * words_per_document,
+                            dtype=np.int64)
+    cursor = 0
+    cumulative = np.cumsum(augmented, axis=1)
+    for doc_index in range(num_documents):
+        topics = rng.choice(NUM_TOPICS, size=words_per_document,
+                            p=theta[doc_index])
+        uniforms = rng.random(words_per_document)
+        words = np.empty(words_per_document, dtype=np.int64)
+        for position in range(words_per_document):
+            words[position] = np.searchsorted(
+                cumulative[topics[position]], uniforms[position],
+                side="right")
+        documents.append(Document(word_ids=words, doc_id=doc_index))
+        token_topics[cursor:cursor + words_per_document] = topics
+        cursor += words_per_document
+    corpus = Corpus(documents, vocabulary)
+    return GraphicalCorpus(corpus=corpus, token_topics=token_topics,
+                           document_theta=theta,
+                           augmented_topics=augmented, original=original,
+                           pairs=pairs)
+
+
+def graphical_knowledge_source(tokens_per_article: int = 100
+                               ) -> KnowledgeSource:
+    """The *original* (non-augmented) topics as a knowledge source.
+
+    Each topic becomes an "article" repeating its assigned pixels in
+    proportion to their probability — the exact count vector Definition 2
+    would extract from a real article about the topic.
+    """
+    if tokens_per_article < NUM_TOPICS:
+        raise ValueError(
+            f"tokens_per_article must be >= {NUM_TOPICS}")
+    vocabulary = pixel_vocabulary()
+    topics = original_topics()
+    articles: dict[str, list[str]] = {}
+    for index in range(NUM_TOPICS):
+        kind = "row" if index < GRID_SIZE else "column"
+        label = f"{kind}-{index % GRID_SIZE}"
+        tokens: list[str] = []
+        for word_id in np.flatnonzero(topics[index] > 0):
+            count = int(round(topics[index, word_id] * tokens_per_article))
+            tokens.extend([vocabulary.word(int(word_id))] * max(count, 1))
+        articles[label] = tokens
+    return KnowledgeSource(articles)

@@ -1,0 +1,72 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation."""
+
+from repro.experiments.case_study import (CaseStudyResult,
+                                          case_study_corpus,
+                                          case_study_source,
+                                          format_case_study,
+                                          run_case_study)
+from repro.experiments.config import LAPTOP, PAPER, SMOKE, ExperimentScale
+from repro.experiments.figures import (LambdaDivergenceResult, run_fig2,
+                                       run_fig3, run_fig4)
+from repro.experiments.graphical_example import (GraphicalExampleResult,
+                                                 format_graphical_example,
+                                                 run_graphical_example)
+from repro.experiments.lambda_integration import (LambdaIntegrationResult,
+                                                  format_lambda_integration,
+                                                  run_lambda_integration)
+from repro.experiments.performance import (ScalingResult, format_scaling,
+                                           random_topic_source, run_scaling)
+from repro.experiments.reporting import (BoxplotSummary, format_boxplots,
+                                         format_series, format_table)
+from repro.experiments.reuters_analysis import (ReutersResult,
+                                                format_reuters,
+                                                run_reuters_analysis)
+from repro.experiments.wikipedia_corpus import (PmiSweepResult,
+                                                WikipediaCorpusResult,
+                                                format_condition,
+                                                generate_experiment_corpus,
+                                                make_medline_style_source,
+                                                run_bijective_condition,
+                                                run_mixed_condition,
+                                                run_pmi_sweep)
+
+__all__ = [
+    "BoxplotSummary",
+    "CaseStudyResult",
+    "ExperimentScale",
+    "GraphicalExampleResult",
+    "LAPTOP",
+    "LambdaDivergenceResult",
+    "LambdaIntegrationResult",
+    "PAPER",
+    "PmiSweepResult",
+    "ReutersResult",
+    "SMOKE",
+    "ScalingResult",
+    "WikipediaCorpusResult",
+    "case_study_corpus",
+    "case_study_source",
+    "format_boxplots",
+    "format_case_study",
+    "format_condition",
+    "format_graphical_example",
+    "format_lambda_integration",
+    "format_reuters",
+    "format_scaling",
+    "format_series",
+    "format_table",
+    "generate_experiment_corpus",
+    "make_medline_style_source",
+    "random_topic_source",
+    "run_bijective_condition",
+    "run_case_study",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_graphical_example",
+    "run_lambda_integration",
+    "run_mixed_condition",
+    "run_pmi_sweep",
+    "run_reuters_analysis",
+    "run_scaling",
+]

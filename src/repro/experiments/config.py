@@ -1,0 +1,59 @@
+"""Experiment scales.
+
+Every driver takes an :class:`ExperimentScale` controlling corpus sizes and
+iteration counts.  ``PAPER`` matches the publication's parameters;
+``LAPTOP`` (the default everywhere) shrinks sizes so the full suite runs on
+one machine in minutes while preserving every qualitative result;
+``SMOKE`` is for tests.  EXPERIMENTS.md records which scale produced each
+measured number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by the experiment drivers."""
+
+    name: str
+    #: Gibbs sweeps per model fit.
+    iterations: int
+    #: Documents in generated corpora.
+    num_documents: int
+    #: Mean tokens per generated document.
+    avg_document_length: float
+    #: Dirichlet draws per estimate in the divergence figures.
+    divergence_draws: int
+    #: Knowledge-source article length (tokens).
+    article_length: int
+    #: Candidate superset size (B) for the Wikipedia-corpus experiments.
+    superset_size: int
+    #: Topics actually generating the corpus (K) in those experiments.
+    generating_topics: int
+    #: Held-out theta samples for importance-sampling perplexity.
+    perplexity_samples: int
+
+    def scaled(self, **overrides: object) -> "ExperimentScale":
+        """A copy with selected fields overridden."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+#: The publication's parameters (hours of compute in pure Python).
+PAPER = ExperimentScale(
+    name="paper", iterations=1000, num_documents=2000,
+    avg_document_length=500.0, divergence_draws=1000, article_length=3000,
+    superset_size=578, generating_topics=100, perplexity_samples=64)
+
+#: Laptop-scale defaults preserving the paper's qualitative shapes.
+LAPTOP = ExperimentScale(
+    name="laptop", iterations=60, num_documents=150,
+    avg_document_length=60.0, divergence_draws=120, article_length=300,
+    superset_size=40, generating_topics=12, perplexity_samples=24)
+
+#: Minimal settings for the test suite.
+SMOKE = ExperimentScale(
+    name="smoke", iterations=8, num_documents=24,
+    avg_document_length=20.0, divergence_draws=12, article_length=80,
+    superset_size=8, generating_topics=4, perplexity_samples=6)

@@ -1,0 +1,138 @@
+"""Figures 2, 3 and 4: divergence behaviour of source-parameterized draws.
+
+* **Fig. 2** — for each of 20 Reuters categories, the JS divergence between
+  the source distribution and 1000 Dirichlet draws parameterized by the raw
+  source hyperparameters (how much slack Definition 3 alone gives).
+* **Fig. 3** — the same divergence as the hyperparameters are raised to
+  ``lambda`` in {0, 0.1, ..., 1}: non-linear, saturating near ``ln 2`` at 0.
+* **Fig. 4** — ``lambda`` first mapped through the calibrated ``g``:
+  the divergence now falls linearly, which is what lets the Gaussian prior
+  over lambda act on an interpretable scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lambda_calibration import (SmoothingFunction,
+                                           calibrate_smoothing)
+from repro.experiments.config import LAPTOP, ExperimentScale
+from repro.experiments.reporting import BoxplotSummary
+from repro.knowledge.distributions import (sample_topic_distribution,
+                                           source_distribution,
+                                           source_hyperparameters)
+from repro.knowledge.reuters import FIGURE2_CATEGORIES
+from repro.knowledge.wikipedia import SyntheticWikipedia
+from repro.sampling.rng import ensure_rng
+
+DEFAULT_LAMBDAS = np.round(np.arange(0.0, 1.01, 0.1), 2)
+
+
+def _divergence_samples(hyper: np.ndarray, reference: np.ndarray,
+                        draws: int, rng: np.random.Generator) -> np.ndarray:
+    from repro.metrics.divergence import js_divergence
+    values = np.empty(draws)
+    for i in range(draws):
+        sample = sample_topic_distribution(hyper, rng)
+        values[i] = js_divergence(sample, reference)
+    return values
+
+
+def run_fig2(scale: ExperimentScale = LAPTOP,
+             categories: tuple[str, ...] = FIGURE2_CATEGORIES,
+             seed: int = 0) -> list[BoxplotSummary]:
+    """Fig. 2: per-category JS divergence box plots of source draws."""
+    rng = ensure_rng(seed)
+    wikipedia = SyntheticWikipedia(list(categories),
+                                   article_length=scale.article_length,
+                                   seed=seed)
+    source = wikipedia.knowledge_source()
+    vocabulary = source.vocabulary()
+    counts = source.count_matrix(vocabulary)
+    hyper = source_hyperparameters(counts)
+    references = source_distribution(counts)
+    summaries = []
+    for index, label in enumerate(categories):
+        values = _divergence_samples(hyper[index], references[index],
+                                     scale.divergence_draws, rng)
+        summaries.append(BoxplotSummary.of(label, values))
+    return summaries
+
+
+@dataclass(frozen=True)
+class LambdaDivergenceResult:
+    """Per-lambda box summaries plus a linearity score of the medians."""
+
+    lambdas: np.ndarray
+    summaries: list[BoxplotSummary]
+    median_linearity_r2: float
+    smoothing: SmoothingFunction | None = None
+
+
+def _lambda_sweep(hyper: np.ndarray, reference: np.ndarray,
+                  exponents: np.ndarray, labels: list[str], draws: int,
+                  rng: np.random.Generator) -> list[BoxplotSummary]:
+    summaries = []
+    for exponent, label in zip(exponents, labels):
+        values = _divergence_samples(np.power(hyper, exponent), reference,
+                                     draws, rng)
+        summaries.append(BoxplotSummary.of(label, values))
+    return summaries
+
+
+def _linearity_r2(xs: np.ndarray, medians: np.ndarray) -> float:
+    """R^2 of the best straight-line fit to the median curve."""
+    slope, intercept = np.polyfit(xs, medians, 1)
+    predicted = slope * xs + intercept
+    residual = float(((medians - predicted) ** 2).sum())
+    total = float(((medians - medians.mean()) ** 2).sum())
+    if total == 0.0:
+        return 1.0
+    return 1.0 - residual / total
+
+
+def _figure2_topic(scale: ExperimentScale,
+                   seed: int) -> tuple[np.ndarray, np.ndarray]:
+    wikipedia = SyntheticWikipedia(["Interest Rates"],
+                                   article_length=scale.article_length,
+                                   seed=seed)
+    source = wikipedia.knowledge_source()
+    vocabulary = source.vocabulary()
+    counts = source.count_matrix(vocabulary)[0]
+    return (source_hyperparameters(counts), source_distribution(counts))
+
+
+def run_fig3(scale: ExperimentScale = LAPTOP,
+             lambdas: np.ndarray = DEFAULT_LAMBDAS,
+             seed: int = 0) -> LambdaDivergenceResult:
+    """Fig. 3: JS divergence vs raw lambda (no smoothing)."""
+    rng = ensure_rng(seed)
+    hyper, reference = _figure2_topic(scale, seed)
+    labels = [f"{lam:g}" for lam in lambdas]
+    summaries = _lambda_sweep(hyper, reference, lambdas, labels,
+                              scale.divergence_draws, rng)
+    medians = np.array([s.median for s in summaries])
+    return LambdaDivergenceResult(
+        lambdas=np.asarray(lambdas), summaries=summaries,
+        median_linearity_r2=_linearity_r2(np.asarray(lambdas), medians))
+
+
+def run_fig4(scale: ExperimentScale = LAPTOP,
+             lambdas: np.ndarray = DEFAULT_LAMBDAS,
+             seed: int = 0) -> LambdaDivergenceResult:
+    """Fig. 4: JS divergence vs ``g(lambda)`` — medians become linear."""
+    rng = ensure_rng(seed)
+    hyper, reference = _figure2_topic(scale, seed)
+    smoothing = calibrate_smoothing(
+        hyper, draws=max(4, scale.divergence_draws // 10), rng=rng)
+    exponents = np.asarray(smoothing(np.asarray(lambdas)))
+    labels = [f"g({lam:g})" for lam in lambdas]
+    summaries = _lambda_sweep(hyper, reference, exponents, labels,
+                              scale.divergence_draws, rng)
+    medians = np.array([s.median for s in summaries])
+    return LambdaDivergenceResult(
+        lambdas=np.asarray(lambdas), summaries=summaries,
+        median_linearity_r2=_linearity_r2(np.asarray(lambdas), medians),
+        smoothing=smoothing)

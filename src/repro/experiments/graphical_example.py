@@ -1,0 +1,126 @@
+"""The graphical example experiment (Section IV.A, Fig. 6).
+
+A corpus is generated from *augmented* pixel topics; the models only see
+the original topics as their knowledge source.  Source-LDA should recover
+the augmented distributions (allowing variance from the source) while still
+matching each to its original label; EDA cannot move off the originals at
+all, and CTM cannot assign the swapped-in pixel (it is outside the concept
+bag).  The paper reports average JS divergences of 0.012 / 0.138 / 0.43
+for Source-LDA / EDA / CTM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.source_lda import SourceLDA
+from repro.datasets.graphical import (GraphicalCorpus, NUM_TOPICS,
+                                      generate_graphical_corpus,
+                                      graphical_knowledge_source,
+                                      render_topic_ascii)
+from repro.experiments.config import LAPTOP, ExperimentScale
+from repro.metrics.divergence import js_divergence
+from repro.models.base import FittedTopicModel
+from repro.models.ctm import CTM
+from repro.models.eda import EDA
+
+
+@dataclass
+class GraphicalExampleResult:
+    """Fig. 6's content: likelihood traces, snapshots, divergences."""
+
+    data: GraphicalCorpus
+    log_likelihood_runs: list[list[float]]
+    snapshot_iterations: tuple[int, ...]
+    snapshots: dict[int, np.ndarray]
+    source_lda_model: FittedTopicModel
+    avg_js_source_lda: float
+    avg_js_eda: float
+    avg_js_ctm: float
+
+
+def _average_js_to_truth(model: FittedTopicModel,
+                         truth: np.ndarray) -> float:
+    """Mean JS divergence between recovered and generating topics.
+
+    The knowledge-source order equals the generating-topic order in this
+    experiment (augmentation preserves indices), so topics align by index.
+    """
+    values = [js_divergence(model.phi[t], truth[t])
+              for t in range(truth.shape[0])]
+    return float(np.mean(values))
+
+
+def run_graphical_example(scale: ExperimentScale = LAPTOP,
+                          num_runs: int = 4,
+                          seed: int = 0) -> GraphicalExampleResult:
+    """Run Source-LDA (x ``num_runs``), EDA and CTM on the pixel corpus."""
+    data = generate_graphical_corpus(
+        num_documents=scale.num_documents,
+        words_per_document=25, alpha=1.0, seed=seed)
+    # Article length controls prior strength (a real Wikipedia article has
+    # thousands of tokens); 2000 reproduces Fig. 6's recovery with the
+    # paper's random initialization.
+    source = graphical_knowledge_source(tokens_per_article=2000)
+    iterations = scale.iterations
+    snapshot_points = tuple(sorted({0, 1,
+                                    iterations // 4, iterations // 2,
+                                    max(iterations - 1, 0)}))
+
+    log_runs: list[list[float]] = []
+    snapshots: dict[int, np.ndarray] = {}
+    first_model: FittedTopicModel | None = None
+    for run in range(num_runs):
+        model = SourceLDA(source, num_unlabeled_topics=0, mu=0.7,
+                          sigma=0.3, alpha=1.0, reduce_topics=False,
+                          calibration_draws=4, init="random").fit(
+            data.corpus, iterations=iterations, seed=seed + run,
+            track_log_likelihood=True,
+            snapshot_iterations=snapshot_points if run == 0 else ())
+        log_runs.append(model.log_likelihoods)
+        if run == 0:
+            first_model = model
+            snapshots = model.metadata["snapshots"]
+    assert first_model is not None
+
+    eda_model = EDA(source, alpha=1.0).fit(
+        data.corpus, iterations=iterations, seed=seed)
+    ctm_model = CTM(source, num_free_topics=0, top_n_words=25, alpha=1.0,
+                    beta=0.1).fit(
+        data.corpus, iterations=iterations, seed=seed)
+    return GraphicalExampleResult(
+        data=data,
+        log_likelihood_runs=log_runs,
+        snapshot_iterations=snapshot_points,
+        snapshots=snapshots,
+        source_lda_model=first_model,
+        avg_js_source_lda=_average_js_to_truth(first_model,
+                                               data.augmented_topics),
+        avg_js_eda=_average_js_to_truth(eda_model, data.augmented_topics),
+        avg_js_ctm=_average_js_to_truth(ctm_model, data.augmented_topics))
+
+
+def format_graphical_example(result: GraphicalExampleResult) -> str:
+    """Console rendering of Fig. 6: traces, a topic gallery, divergences."""
+    lines = ["Log-likelihood traces (one row per run, first/mid/last):"]
+    for run, trace in enumerate(result.log_likelihood_runs):
+        picks = [trace[0], trace[len(trace) // 2], trace[-1]]
+        lines.append(f"  run {run}: " + " -> ".join(f"{v:.1f}"
+                                                    for v in picks))
+    lines.append("")
+    lines.append("Recovered vs generating topics (topic 0):")
+    recovered = render_topic_ascii(
+        result.source_lda_model.phi[0]).splitlines()
+    truth = render_topic_ascii(
+        result.data.augmented_topics[0]).splitlines()
+    lines.extend(f"  {r}    {t}" for r, t in zip(recovered, truth))
+    lines.append("")
+    lines.append(
+        f"Average JS divergence to augmented truth over {NUM_TOPICS} "
+        f"topics (paper: 0.012 / 0.138 / 0.43):")
+    lines.append(f"  Source-LDA: {result.avg_js_source_lda:.4f}")
+    lines.append(f"  EDA:        {result.avg_js_eda:.4f}")
+    lines.append(f"  CTM:        {result.avg_js_ctm:.4f}")
+    return "\n".join(lines)

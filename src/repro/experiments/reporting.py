@@ -1,0 +1,97 @@
+"""Console reporting: ASCII tables, box-plot summaries, series.
+
+The paper presents results as figures; a library reproduction prints the
+same data as text.  These helpers render aligned tables and five-number
+summaries (the information content of a box plot) so every bench target can
+emit the rows/series its figure reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}")
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [max(len(str(headers[c])),
+                  max((len(row[c]) for row in cells), default=0))
+              for c in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(widths[c])
+                             for c, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(row[c].ljust(widths[c])
+                                for c in range(columns)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary plus mean — the content of one box plot."""
+
+    label: str
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def of(cls, label: str, values: np.ndarray) -> "BoxplotSummary":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError(f"no values for box plot {label!r}")
+        q1, median, q3 = np.percentile(values, [25, 50, 75])
+        return cls(label=label, minimum=float(values.min()), q1=float(q1),
+                   median=float(median), q3=float(q3),
+                   maximum=float(values.max()), mean=float(values.mean()))
+
+    def row(self) -> list[object]:
+        return [self.label, self.minimum, self.q1, self.median, self.q3,
+                self.maximum, self.mean]
+
+
+def format_boxplots(summaries: Sequence[BoxplotSummary],
+                    title: str | None = None,
+                    value_label: str = "value") -> str:
+    """Render a set of box-plot summaries as a table."""
+    headers = [value_label, "min", "q1", "median", "q3", "max", "mean"]
+    return format_table(headers, [s.row() for s in summaries], title=title)
+
+
+def format_series(x_label: str, xs: Sequence[object],
+                  series: dict[str, Sequence[float]],
+                  title: str | None = None) -> str:
+    """Render one-or-more y-series against a shared x axis (figure lines)."""
+    lengths = {name: len(ys) for name, ys in series.items()}
+    for name, length in lengths.items():
+        if length != len(xs):
+            raise ValueError(
+                f"series {name!r} has {length} points, x axis has "
+                f"{len(xs)}")
+    headers = [x_label] + list(series)
+    rows = [[xs[i]] + [series[name][i] for name in series]
+            for i in range(len(xs))]
+    return format_table(headers, rows, title=title)

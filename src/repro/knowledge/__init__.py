@@ -1,0 +1,35 @@
+"""Knowledge substrate: labeled prior-knowledge sources and their priors."""
+
+from repro.knowledge.distributions import (DEFAULT_EPSILON,
+                                           powered_hyperparameters,
+                                           sample_topic_distribution,
+                                           source_distribution,
+                                           source_hyperparameters)
+from repro.knowledge.medline import (MEDLINE_TOPIC_COUNT,
+                                     medline_knowledge_source,
+                                     medlineplus_topics)
+from repro.knowledge.reuters import (CURATED_CATEGORY_WORDS,
+                                     FIGURE2_CATEGORIES, REUTERS_CATEGORIES,
+                                     SyntheticReuters)
+from repro.knowledge.source import KnowledgeSource
+from repro.knowledge.wikipedia import (SyntheticWikipedia, make_lexicon,
+                                       zipf_probabilities)
+
+__all__ = [
+    "CURATED_CATEGORY_WORDS",
+    "DEFAULT_EPSILON",
+    "FIGURE2_CATEGORIES",
+    "KnowledgeSource",
+    "MEDLINE_TOPIC_COUNT",
+    "REUTERS_CATEGORIES",
+    "SyntheticReuters",
+    "SyntheticWikipedia",
+    "make_lexicon",
+    "medline_knowledge_source",
+    "medlineplus_topics",
+    "powered_hyperparameters",
+    "sample_topic_distribution",
+    "source_distribution",
+    "source_hyperparameters",
+    "zipf_probabilities",
+]

@@ -1,0 +1,113 @@
+"""Synthetic MedlinePlus topic collection.
+
+Section IV.D evaluates Source-LDA on corpora generated from the Wikipedia
+articles of 578 MedlinePlus health-topic labels.  MedlinePlus itself is just
+a *label inventory* in the paper's pipeline — the articles come from
+Wikipedia.  We reproduce that inventory deterministically: a curated base of
+real MedlinePlus-style health topics, extended with qualifier combinations
+until the requested count (578 by default) is reached, then paired with
+synthetic Wikipedia articles.
+"""
+
+from __future__ import annotations
+
+from repro.knowledge.source import KnowledgeSource
+from repro.knowledge.wikipedia import SyntheticWikipedia
+
+#: Number of MedlinePlus topics used in the paper's Section IV.D.
+MEDLINE_TOPIC_COUNT = 578
+
+_BASE_TOPICS: tuple[str, ...] = (
+    "Asthma", "Diabetes", "Hypertension", "Anemia", "Arthritis", "Migraine",
+    "Pneumonia", "Influenza", "Bronchitis", "Epilepsy", "Stroke",
+    "Heart Failure", "Coronary Artery Disease", "Atrial Fibrillation",
+    "Osteoporosis", "Obesity", "Depression", "Anxiety Disorders",
+    "Bipolar Disorder", "Schizophrenia", "Autism Spectrum Disorder",
+    "Alzheimer Disease", "Parkinson Disease", "Multiple Sclerosis",
+    "Lupus", "Psoriasis", "Eczema", "Acne", "Melanoma", "Breast Cancer",
+    "Lung Cancer", "Prostate Cancer", "Colorectal Cancer", "Leukemia",
+    "Lymphoma", "Cervical Cancer", "Ovarian Cancer", "Pancreatic Cancer",
+    "Kidney Stones", "Kidney Failure", "Urinary Tract Infections",
+    "Hepatitis", "Cirrhosis", "Gallstones", "Pancreatitis", "Appendicitis",
+    "Celiac Disease", "Crohn Disease", "Ulcerative Colitis",
+    "Irritable Bowel Syndrome", "Gastroesophageal Reflux", "Peptic Ulcer",
+    "Food Poisoning", "Malnutrition", "Vitamin D Deficiency",
+    "Iron Deficiency", "Thyroid Diseases", "Hypothyroidism",
+    "Hyperthyroidism", "Cushing Syndrome", "Addison Disease", "Gout",
+    "Fibromyalgia", "Chronic Fatigue Syndrome", "Sleep Apnea", "Insomnia",
+    "Glaucoma", "Cataract", "Macular Degeneration", "Conjunctivitis",
+    "Hearing Loss", "Tinnitus", "Vertigo", "Sinusitis", "Tonsillitis",
+    "Laryngitis", "Allergy", "Hay Fever", "Anaphylaxis", "Sepsis",
+    "Meningitis", "Encephalitis", "Tuberculosis", "Malaria", "Measles",
+    "Mumps", "Rubella", "Chickenpox", "Shingles", "Tetanus", "Rabies",
+    "Lyme Disease", "Dengue", "Cholera", "Typhoid Fever", "HIV",
+    "Herpes Simplex", "Human Papillomavirus", "Syphilis", "Gonorrhea",
+    "Chlamydia", "Endometriosis", "Polycystic Ovary Syndrome",
+    "Menopause", "Infertility", "Preeclampsia", "Gestational Diabetes",
+    "Miscarriage", "Premature Birth", "Birth Defects", "Cerebral Palsy",
+    "Down Syndrome", "Cystic Fibrosis", "Sickle Cell Disease", "Hemophilia",
+    "Muscular Dystrophy", "Scoliosis", "Osteoarthritis",
+    "Rheumatoid Arthritis", "Carpal Tunnel Syndrome", "Tendinitis",
+    "Sciatica", "Herniated Disk", "Whiplash", "Concussion",
+    "Traumatic Brain Injury", "Spinal Cord Injury", "Burns", "Frostbite",
+    "Heat Stroke", "Dehydration", "Smoking", "Alcoholism", "Drug Abuse",
+    "Opioid Misuse", "Lead Poisoning", "Carbon Monoxide Poisoning",
+    "Asbestosis", "Silicosis", "Occupational Health", "Air Pollution",
+    "Water Pollution", "Radiation Exposure", "Sunburn", "Skin Infections",
+    "Wound Care", "First Aid", "Vaccination", "Antibiotic Resistance",
+    "Organ Transplantation", "Blood Transfusion", "Dialysis", "Anesthesia",
+    "Palliative Care", "Nutrition", "Exercise", "Child Development",
+    "Aging", "Men Health", "Women Health", "Dental Health", "Oral Cancer",
+    "Gum Disease", "Tooth Decay",
+)
+
+_QUALIFIERS: tuple[str, ...] = (
+    "Pediatric", "Chronic", "Acute", "Genetic", "Screening for",
+    "Prevention of", "Management of", "Rehabilitation after",
+    "Living with", "Medicines for", "Surgery for", "Diagnosis of",
+)
+
+
+def medlineplus_topics(count: int = MEDLINE_TOPIC_COUNT) -> tuple[str, ...]:
+    """The first ``count`` MedlinePlus-style topic labels.
+
+    Deterministic: the curated base topics come first, followed by
+    qualifier-extended variants in a fixed order.  Raises ``ValueError`` if
+    more labels are requested than the inventory can produce.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    labels: list[str] = list(_BASE_TOPICS)
+    for qualifier in _QUALIFIERS:
+        if len(labels) >= count:
+            break
+        for base in _BASE_TOPICS:
+            labels.append(f"{qualifier} {base}")
+            if len(labels) >= count + 0 and len(labels) >= count:
+                break
+    if len(labels) < count:
+        raise ValueError(
+            f"topic inventory exhausted at {len(labels)} labels; "
+            f"{count} requested")
+    return tuple(labels[:count])
+
+
+def medline_knowledge_source(num_topics: int = MEDLINE_TOPIC_COUNT,
+                             article_length: int = 200,
+                             core_vocab_size: int = 30,
+                             background_vocab_size: int = 300,
+                             seed: int = 0) -> KnowledgeSource:
+    """Synthetic Wikipedia articles for the MedlinePlus topic labels.
+
+    This is the knowledge source of the Section IV.D experiments: one
+    article per health topic, counted against whatever corpus vocabulary
+    the caller is modeling.
+    """
+    labels = medlineplus_topics(num_topics)
+    wikipedia = SyntheticWikipedia(
+        list(labels),
+        article_length=article_length,
+        core_vocab_size=core_vocab_size,
+        background_vocab_size=background_vocab_size,
+        seed=seed)
+    return wikipedia.knowledge_source()

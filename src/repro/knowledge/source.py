@@ -1,0 +1,120 @@
+"""Knowledge sources (Definition 1 of the paper).
+
+A *knowledge source* is a collection of labeled documents, each describing
+one concept — in the paper, Wikipedia articles describing Reuters categories
+or MedlinePlus topics.  Models never see the articles directly; they consume
+per-label word-count vectors over the *corpus* vocabulary, from which source
+distributions (Definition 2) and source hyperparameters (Definition 3) are
+derived in :mod:`repro.knowledge.distributions`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+
+class KnowledgeSource:
+    """A labeled collection of concept-describing token streams.
+
+    Parameters
+    ----------
+    articles:
+        Mapping from topic label to the token list of the document that
+        describes the topic.  Insertion order defines the topic index order,
+        so a knowledge source built the same way is always identical.
+
+    Examples
+    --------
+    >>> source = KnowledgeSource({"Baseball": ["bat", "ball", "ball"]})
+    >>> source.labels
+    ('Baseball',)
+    >>> source.tokens("Baseball")
+    ['bat', 'ball', 'ball']
+    """
+
+    def __init__(self, articles: Mapping[str, Sequence[str]]) -> None:
+        if not articles:
+            raise ValueError("a knowledge source needs at least one article")
+        self._articles: dict[str, list[str]] = {}
+        for label, tokens in articles.items():
+            token_list = [str(t) for t in tokens]
+            if not token_list:
+                raise ValueError(f"article for label {label!r} is empty")
+            self._articles[str(label)] = token_list
+
+    @classmethod
+    def from_texts(cls, texts: Mapping[str, str],
+                   tokenizer: Tokenizer | None = None) -> "KnowledgeSource":
+        """Build a source from raw article texts, tokenizing each."""
+        tok = tokenizer or Tokenizer()
+        return cls({label: tok.tokenize(text)
+                    for label, text in texts.items()})
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Topic labels in index order."""
+        return tuple(self._articles)
+
+    def tokens(self, label: str) -> list[str]:
+        """The token stream of the article describing ``label``."""
+        return list(self._articles[label])
+
+    def __len__(self) -> int:
+        return len(self._articles)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._articles
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._articles)
+
+    def __repr__(self) -> str:
+        return f"KnowledgeSource(topics={len(self)})"
+
+    # ------------------------------------------------------------------
+    # Derived count structures
+    # ------------------------------------------------------------------
+    def vocabulary(self) -> Vocabulary:
+        """A vocabulary containing every word used by any article."""
+        return Vocabulary.from_documents(self._articles.values())
+
+    def count_matrix(self, vocabulary: Vocabulary) -> np.ndarray:
+        """Per-label word counts restricted to ``vocabulary``.
+
+        Returns an ``(S, V)`` float matrix where row ``s`` counts how often
+        each corpus-vocabulary word appears in article ``s``.  Words of the
+        article outside the corpus vocabulary are ignored, exactly as in
+        Definition 3 where the hyperparameter vector is indexed by the
+        corpus vocabulary.
+        """
+        matrix = np.zeros((len(self), len(vocabulary)), dtype=np.float64)
+        for row, tokens in enumerate(self._articles.values()):
+            matrix[row] = vocabulary.count_vector(tokens)
+        return matrix
+
+    def subset(self, labels: Iterable[str]) -> "KnowledgeSource":
+        """A new source restricted to ``labels`` (kept in the given order)."""
+        labels = list(labels)
+        missing = [label for label in labels if label not in self._articles]
+        if missing:
+            raise KeyError(f"labels not in knowledge source: {missing}")
+        return KnowledgeSource(
+            {label: self._articles[label] for label in labels})
+
+    def merged_with(self, other: "KnowledgeSource") -> "KnowledgeSource":
+        """Union of two sources; duplicate labels must not occur."""
+        overlap = set(self.labels) & set(other.labels)
+        if overlap:
+            raise ValueError(f"duplicate labels in merge: {sorted(overlap)}")
+        combined = {label: self.tokens(label) for label in self.labels}
+        combined.update({label: other.tokens(label)
+                         for label in other.labels})
+        return KnowledgeSource(combined)

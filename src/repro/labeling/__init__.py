@@ -1,0 +1,16 @@
+"""Post-hoc topic labeling techniques (the case-study baselines)."""
+
+from repro.labeling.counting import CountingLabeler
+from repro.labeling.ir_lda import TfidfCosineLabeler
+from repro.labeling.js_mapping import JsDivergenceLabeler
+from repro.labeling.mapping import TopicLabeler, TopicLabeling
+from repro.labeling.pmi_mapping import PmiLabeler
+
+__all__ = [
+    "CountingLabeler",
+    "JsDivergenceLabeler",
+    "PmiLabeler",
+    "TfidfCosineLabeler",
+    "TopicLabeler",
+    "TopicLabeling",
+]

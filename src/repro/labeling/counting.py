@@ -1,0 +1,34 @@
+"""Topic labeling by counting.
+
+The case study's third technique: a topic is assigned the label whose
+article contains the topic's top words most often.  The score is the total
+count, in the label's article, of the topic's top-``n`` words — the crudest
+possible use of the knowledge source, kept as a baseline because it is what
+many ad-hoc labeling scripts do in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.knowledge.source import KnowledgeSource
+from repro.labeling.mapping import TopicLabeler
+from repro.models.base import FittedTopicModel
+
+
+class CountingLabeler(TopicLabeler):
+    """Score = summed article counts of the topic's top words."""
+
+    def __init__(self, top_n_words: int = 10) -> None:
+        if top_n_words < 1:
+            raise ValueError(f"top_n_words must be >= 1, got {top_n_words}")
+        self.top_n_words = top_n_words
+
+    def score_topics(self, model: FittedTopicModel,
+                     source: KnowledgeSource) -> np.ndarray:
+        counts = source.count_matrix(model.vocabulary)      # (S, V)
+        scores = np.zeros((model.num_topics, len(source)))
+        for topic in range(model.num_topics):
+            ids = model.top_word_ids(topic, self.top_n_words)
+            scores[topic] = counts[:, ids].sum(axis=1)
+        return scores

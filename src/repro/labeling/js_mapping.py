@@ -1,0 +1,32 @@
+"""Topic labeling by Jensen-Shannon divergence.
+
+The first technique of the intro case study: each fitted topic is assigned
+the knowledge-source label whose source distribution is JS-closest to the
+topic's word distribution.  Also the mapping the paper applies to plain LDA
+before scoring it in Section IV.D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.knowledge.distributions import source_hyperparameters
+from repro.knowledge.source import KnowledgeSource
+from repro.labeling.mapping import TopicLabeler
+from repro.metrics.divergence import js_divergence_matrix
+from repro.models.base import FittedTopicModel
+
+
+class JsDivergenceLabeler(TopicLabeler):
+    """Score = negative JS divergence to the label's source distribution."""
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        self.epsilon = epsilon
+
+    def score_topics(self, model: FittedTopicModel,
+                     source: KnowledgeSource) -> np.ndarray:
+        counts = source.count_matrix(model.vocabulary)
+        smoothed = source_hyperparameters(counts, self.epsilon)
+        distributions = smoothed / smoothed.sum(axis=1, keepdims=True)
+        divergences = js_divergence_matrix(model.phi, distributions)
+        return -divergences

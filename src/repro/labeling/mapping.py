@@ -1,0 +1,81 @@
+"""Post-hoc topic-to-label mapping: the shared machinery.
+
+The intro case study compares four techniques for attaching knowledge-
+source labels to already-fitted topics: JS divergence, TF-IDF/cosine
+similarity, counting, and PMI.  Each technique is a :class:`TopicLabeler`
+producing a score matrix (higher = better match) over (topic, label) pairs;
+:class:`TopicLabeling` wraps the argmax decisions.
+
+These labelers are exactly what Source-LDA makes unnecessary — its topics
+are born labeled — and the case-study bench shows how they collapse
+distinct topics onto one label.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.knowledge.source import KnowledgeSource
+from repro.models.base import FittedTopicModel
+
+
+@dataclass(frozen=True)
+class TopicLabeling:
+    """The outcome of labeling every topic of a fitted model.
+
+    Attributes
+    ----------
+    labels:
+        Chosen label per topic.
+    score_matrix:
+        ``(T, S)`` match scores, higher = better.
+    candidate_labels:
+        Column order of ``score_matrix``.
+    """
+
+    labels: tuple[str, ...]
+    score_matrix: np.ndarray
+    candidate_labels: tuple[str, ...]
+
+    @property
+    def num_topics(self) -> int:
+        return len(self.labels)
+
+    def score_of(self, topic: int) -> float:
+        """The winning score for ``topic``."""
+        return float(self.score_matrix[topic].max())
+
+    def label_of(self, topic: int) -> str:
+        return self.labels[topic]
+
+    def distinct_labels(self) -> set[str]:
+        """The set of labels actually used — post-hoc mappers often
+        collapse several topics onto one label (the case-study failure)."""
+        return set(self.labels)
+
+
+class TopicLabeler(ABC):
+    """A post-hoc technique scoring how well each label fits each topic."""
+
+    @abstractmethod
+    def score_topics(self, model: FittedTopicModel,
+                     source: KnowledgeSource) -> np.ndarray:
+        """Return a ``(T, S)`` score matrix; higher = better match."""
+
+    def label_topics(self, model: FittedTopicModel,
+                     source: KnowledgeSource) -> TopicLabeling:
+        """Assign every topic its best-scoring label."""
+        scores = np.asarray(self.score_topics(model, source),
+                            dtype=np.float64)
+        expected = (model.num_topics, len(source))
+        if scores.shape != expected:
+            raise ValueError(
+                f"{type(self).__name__} returned score matrix "
+                f"{scores.shape}, expected {expected}")
+        winners = scores.argmax(axis=1)
+        labels = tuple(source.labels[int(w)] for w in winners)
+        return TopicLabeling(labels=labels, score_matrix=scores,
+                             candidate_labels=source.labels)

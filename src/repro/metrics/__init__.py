@@ -1,0 +1,37 @@
+"""Evaluation metrics used across the paper's experiments."""
+
+from repro.metrics.accuracy import (align_topics_by_js,
+                                    align_topics_hungarian,
+                                    correct_assignments, labeled_accuracy,
+                                    map_assignments, token_accuracy)
+from repro.metrics.coherence import (CooccurrenceCounter, model_pmi,
+                                     topic_pmi)
+from repro.metrics.divergence import (LN2, js_divergence,
+                                      js_divergence_matrix, kl_divergence,
+                                      sorted_theta_js, sorted_theta_js_total)
+from repro.metrics.perplexity import (heldout_gibbs_theta,
+                                      log_likelihood_importance_sampling,
+                                      perplexity_heldout_gibbs,
+                                      perplexity_importance_sampling)
+
+__all__ = [
+    "CooccurrenceCounter",
+    "LN2",
+    "align_topics_by_js",
+    "align_topics_hungarian",
+    "correct_assignments",
+    "heldout_gibbs_theta",
+    "js_divergence",
+    "js_divergence_matrix",
+    "kl_divergence",
+    "labeled_accuracy",
+    "log_likelihood_importance_sampling",
+    "map_assignments",
+    "model_pmi",
+    "perplexity_heldout_gibbs",
+    "perplexity_importance_sampling",
+    "sorted_theta_js",
+    "sorted_theta_js_total",
+    "token_accuracy",
+    "topic_pmi",
+]

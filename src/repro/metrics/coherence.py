@@ -1,0 +1,105 @@
+"""Pointwise mutual information (PMI) topic coherence.
+
+The Fig. 8(c) metric: "PMI ... takes as input a subset of the most popular
+tokens comprising a topic and determines the frequency of all pairs in the
+subset occurring at a given input distance from each other in the corpus."
+For each topic's top-``n`` words, every unordered pair is scored by
+
+    PMI(w1, w2) = log [ P(w1, w2) / (P(w1) P(w2)) ]
+
+with pair probability estimated from co-occurrence within a sliding window
+of the given distance, and the topic's coherence is the average over pairs.
+Higher is better.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+import numpy as np
+
+from repro.models.base import FittedTopicModel
+from repro.text.corpus import Corpus
+
+
+class CooccurrenceCounter:
+    """Window co-occurrence statistics restricted to words of interest.
+
+    Counting only the words that actually appear in some topic's top list
+    keeps the pair table tiny regardless of vocabulary size.
+    """
+
+    def __init__(self, corpus: Corpus, words_of_interest: set[int],
+                 window: int = 10) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = window
+        self.word_counts: Counter[int] = Counter()
+        self.pair_counts: Counter[tuple[int, int]] = Counter()
+        self.total_positions = 0
+        interest = words_of_interest
+        for doc in corpus:
+            ids = doc.word_ids
+            self.total_positions += max(len(ids), 0)
+            positions = [(pos, int(w)) for pos, w in enumerate(ids)
+                         if int(w) in interest]
+            for _, word in positions:
+                self.word_counts[word] += 1
+            for i in range(len(positions)):
+                pos_i, word_i = positions[i]
+                for j in range(i + 1, len(positions)):
+                    pos_j, word_j = positions[j]
+                    if pos_j - pos_i >= window:
+                        break
+                    if word_i != word_j:
+                        self.pair_counts[_ordered(word_i, word_j)] += 1
+
+    def pmi(self, word_a: int, word_b: int, smoothing: float = 1.0) -> float:
+        """Smoothed PMI of one word pair (add-``smoothing`` on the pair
+        count so unseen pairs stay finite)."""
+        if self.total_positions == 0:
+            raise ValueError("co-occurrence counter saw an empty corpus")
+        count_a = self.word_counts[word_a]
+        count_b = self.word_counts[word_b]
+        if count_a == 0 or count_b == 0:
+            return 0.0
+        joint = self.pair_counts[_ordered(word_a, word_b)] + smoothing
+        n = self.total_positions
+        return float(np.log(joint * n / (count_a * count_b)))
+
+
+def _ordered(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+def topic_pmi(counter: CooccurrenceCounter, top_words: np.ndarray) -> float:
+    """Average PMI over all unordered pairs of one topic's top words."""
+    words = [int(w) for w in top_words]
+    pairs = list(combinations(sorted(set(words)), 2))
+    if not pairs:
+        raise ValueError("need at least two distinct top words")
+    return float(np.mean([counter.pmi(a, b) for a, b in pairs]))
+
+
+def model_pmi(model: FittedTopicModel, corpus: Corpus, top_n: int = 10,
+              window: int = 10, topics: list[int] | None = None) -> float:
+    """Mean per-topic PMI coherence of a fitted model (Fig. 8c series).
+
+    ``topics`` restricts scoring to a subset (e.g. the topics surviving
+    superset reduction); by default topics that received at least one
+    token are scored.
+    """
+    scored_topics = topics if topics is not None \
+        else model.topics_used(min_tokens=1)
+    if not scored_topics:
+        raise ValueError("no topics to score")
+    interest: set[int] = set()
+    top_lists = {}
+    for topic in scored_topics:
+        ids = model.top_word_ids(topic, top_n)
+        top_lists[topic] = ids
+        interest.update(int(w) for w in ids)
+    counter = CooccurrenceCounter(corpus, interest, window=window)
+    return float(np.mean([topic_pmi(counter, top_lists[t])
+                          for t in scored_topics]))

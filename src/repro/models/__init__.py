@@ -1,0 +1,22 @@
+"""Baseline topic models: LDA, EDA and the concept-topic model."""
+
+from repro.models.base import (FittedTopicModel, TopicModel, default_alpha,
+                               default_beta)
+from repro.models.ctm import CTM, CtmKernel, concept_word_mask
+from repro.models.eda import EDA, EdaKernel
+from repro.models.lda import LDA, LdaKernel, posterior_theta
+
+__all__ = [
+    "CTM",
+    "CtmKernel",
+    "EDA",
+    "EdaKernel",
+    "FittedTopicModel",
+    "LDA",
+    "LdaKernel",
+    "TopicModel",
+    "concept_word_mask",
+    "default_alpha",
+    "default_beta",
+    "posterior_theta",
+]

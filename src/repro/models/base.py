@@ -1,0 +1,156 @@
+"""Shared topic-model API.
+
+Every model — the LDA/EDA/CTM baselines and the three Source-LDA variants —
+exposes the same surface: construct with hyperparameters, ``fit(corpus)``,
+get back a :class:`FittedTopicModel` holding ``phi``, ``theta``, per-token
+assignments and (for knowledge-source models) per-topic labels.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.text.corpus import Corpus
+from repro.text.vocabulary import Vocabulary
+
+
+@dataclass
+class FittedTopicModel:
+    """The result of fitting a topic model.
+
+    Attributes
+    ----------
+    phi:
+        Topic-word distributions, shape ``(T, V)``; rows sum to 1.
+    theta:
+        Document-topic distributions, shape ``(D, T)``; rows sum to 1.
+    assignments:
+        Final per-token topic assignment, one array per document.
+    topic_labels:
+        Length-``T`` labels; ``None`` marks an unlabeled (latent) topic.
+    log_likelihoods:
+        Complete-data log-likelihood trace, if tracked during fitting.
+    vocabulary:
+        The corpus vocabulary the distributions are indexed by.
+    metadata:
+        Model-specific extras (e.g. which superset topics survived
+        reduction).
+    """
+
+    phi: np.ndarray
+    theta: np.ndarray
+    assignments: list[np.ndarray]
+    vocabulary: Vocabulary
+    topic_labels: tuple[str | None, ...] = ()
+    log_likelihoods: list[float] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.phi = np.asarray(self.phi, dtype=np.float64)
+        self.theta = np.asarray(self.theta, dtype=np.float64)
+        if self.phi.ndim != 2 or self.theta.ndim != 2:
+            raise ValueError("phi and theta must be 2-d")
+        if self.phi.shape[0] != self.theta.shape[1]:
+            raise ValueError(
+                f"phi has {self.phi.shape[0]} topics but theta has "
+                f"{self.theta.shape[1]}")
+        if not self.topic_labels:
+            self.topic_labels = (None,) * self.num_topics
+        if len(self.topic_labels) != self.num_topics:
+            raise ValueError(
+                f"expected {self.num_topics} topic labels, got "
+                f"{len(self.topic_labels)}")
+
+    @property
+    def num_topics(self) -> int:
+        return int(self.phi.shape[0])
+
+    @property
+    def num_documents(self) -> int:
+        return int(self.theta.shape[0])
+
+    @property
+    def vocab_size(self) -> int:
+        return int(self.phi.shape[1])
+
+    def top_word_ids(self, topic: int, n: int = 10) -> np.ndarray:
+        """Ids of the ``n`` most probable words of ``topic``."""
+        row = self.phi[topic]
+        order = np.argsort(-row, kind="stable")
+        return order[:n]
+
+    def top_words(self, topic: int, n: int = 10) -> list[str]:
+        """The ``n`` most probable words of ``topic``."""
+        return self.vocabulary.decode(self.top_word_ids(topic, n))
+
+    def label_of(self, topic: int) -> str | None:
+        return self.topic_labels[topic]
+
+    def labeled_topic_indices(self) -> list[int]:
+        """Indices of topics carrying a knowledge-source label."""
+        return [t for t, label in enumerate(self.topic_labels)
+                if label is not None]
+
+    def topics_used(self, min_tokens: int = 1) -> list[int]:
+        """Topics with at least ``min_tokens`` assigned tokens."""
+        counts = np.zeros(self.num_topics)
+        for doc_assignments in self.assignments:
+            np.add.at(counts, doc_assignments, 1)
+        return [t for t in range(self.num_topics)
+                if counts[t] >= min_tokens]
+
+    def flat_assignments(self) -> np.ndarray:
+        """All token assignments concatenated in corpus order."""
+        if not self.assignments:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self.assignments)
+
+    def __repr__(self) -> str:
+        labeled = len(self.labeled_topic_indices())
+        return (f"{type(self).__name__}(topics={self.num_topics}, "
+                f"labeled={labeled}, docs={self.num_documents}, "
+                f"vocab={self.vocab_size})")
+
+
+FitCallback = Callable[[int, "np.ndarray"], None]
+
+
+class TopicModel(ABC):
+    """Abstract base: configure at construction, then ``fit`` a corpus."""
+
+    @abstractmethod
+    def fit(self, corpus: Corpus, iterations: int = 100,
+            seed: int | np.random.Generator | None = None,
+            track_log_likelihood: bool = False,
+            snapshot_iterations: Sequence[int] = (),
+            ) -> FittedTopicModel:
+        """Run inference on ``corpus`` and return the fitted model.
+
+        ``snapshot_iterations`` asks the model to record ``phi`` snapshots
+        (under ``metadata['snapshots']``) after those sweep indices — used
+        by the Fig. 6 visualization of topics mid-inference.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parameters = ", ".join(f"{k}={v!r}"
+                               for k, v in sorted(vars(self).items())
+                               if not k.startswith("_"))
+        return f"{type(self).__name__}({parameters})"
+
+
+def default_alpha(num_topics: int) -> float:
+    """The paper's symmetric document-topic prior, ``50 / T``."""
+    if num_topics < 1:
+        raise ValueError(f"num_topics must be >= 1, got {num_topics}")
+    return 50.0 / num_topics
+
+
+def default_beta(vocab_size: int) -> float:
+    """The paper's symmetric topic-word prior, ``200 / V``."""
+    if vocab_size < 1:
+        raise ValueError(f"vocab_size must be >= 1, got {vocab_size}")
+    return 200.0 / vocab_size

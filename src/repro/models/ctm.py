@@ -1,0 +1,205 @@
+"""Concept-Topic Model (CTM), Chemudugunta et al. 2008.
+
+The "too lenient" end of the paper's spectrum (Section I): each known
+concept contributes only a *word set* — a bag of words with no frequency
+information — and a token may be assigned to a concept only if its word
+belongs to that concept's bag.  Unconstrained latent topics can be mixed in
+alongside the concepts.  Because the bags carry no distribution, CTM
+"assigns more weight to less important words" (Section IV.C), which is the
+failure mode the Reuters and Wikipedia experiments measure.
+
+Following the paper's setup, concept bags are built from the top-``N`` most
+frequent words of each knowledge-source article.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.knowledge.source import KnowledgeSource
+from repro.models.base import FittedTopicModel, TopicModel
+from repro.models.lda import posterior_theta
+from repro.sampling.gibbs import (CollapsedGibbsSampler, TopicWeightKernel,
+                                  symmetric_dirichlet_log_likelihood)
+from repro.sampling.rng import ensure_rng
+from repro.sampling.scans import ScanStrategy
+from repro.sampling.state import GibbsState
+from repro.text.corpus import Corpus
+from scipy.special import gammaln
+
+
+def concept_word_mask(source: KnowledgeSource, vocabulary,
+                      top_n_words: int) -> np.ndarray:
+    """Boolean ``(V, C)`` mask: may word ``w`` be assigned to concept ``c``?
+
+    A concept's bag is the ``top_n_words`` most frequent words of its
+    article, intersected with the corpus vocabulary.
+    """
+    if top_n_words < 1:
+        raise ValueError(f"top_n_words must be >= 1, got {top_n_words}")
+    counts = source.count_matrix(vocabulary)
+    mask = np.zeros_like(counts, dtype=bool)
+    for concept in range(counts.shape[0]):
+        present = np.flatnonzero(counts[concept] > 0)
+        if present.size == 0:
+            continue
+        order = present[np.argsort(-counts[concept, present],
+                                   kind="stable")]
+        mask[concept, order[:top_n_words]] = True
+    return mask.T  # (V, C)
+
+
+class CtmKernel(TopicWeightKernel):
+    """Free latent topics plus word-set-restricted concept topics.
+
+    Topic layout matches the paper's mixed models: indices
+    ``[0, num_free)`` are unconstrained topics, ``[num_free, T)`` are the
+    concepts.
+    """
+
+    def __init__(self, state: GibbsState, mask: np.ndarray, num_free: int,
+                 alpha: float, beta: float) -> None:
+        super().__init__(state)
+        if alpha <= 0 or beta <= 0:
+            raise ValueError(
+                f"alpha and beta must be positive, got {alpha}, {beta}")
+        num_concepts = state.num_topics - num_free
+        if num_free < 0 or num_concepts < 1:
+            raise ValueError(
+                f"invalid split: {num_free} free topics of "
+                f"{state.num_topics} total")
+        if mask.shape != (state.vocab_size, num_concepts):
+            raise ValueError(
+                f"mask must have shape ({state.vocab_size}, {num_concepts}),"
+                f" got {mask.shape}")
+        self.alpha = alpha
+        self.beta = beta
+        self.num_free = num_free
+        self.mask = mask.astype(np.float64)
+        self._bag_sizes = self.mask.sum(axis=0)  # |W_c|
+        self._beta_sum_free = beta * state.vocab_size
+        # Concepts whose bag misses the corpus vocabulary entirely would
+        # divide 0/0; their mask already zeroes the numerator, so any
+        # positive denominator is safe.
+        self._beta_sum_concepts = np.where(self._bag_sizes > 0,
+                                           beta * self._bag_sizes, 1.0)
+
+    def weights(self, word: int, doc: int) -> np.ndarray:
+        state = self.state
+        k = self.num_free
+        out = np.empty(state.num_topics, dtype=np.float64)
+        doc_part = state.nd[doc] + self.alpha
+        if k:
+            out[:k] = ((state.nw[word, :k] + self.beta)
+                       / (state.nt[:k] + self._beta_sum_free))
+        concept_word = (self.mask[word]
+                        * (state.nw[word, k:] + self.beta)
+                        / (state.nt[k:] + self._beta_sum_concepts))
+        out[k:] = concept_word
+        out *= doc_part
+        if not out.any():
+            # The word is outside every concept bag and there are no free
+            # topics: the model cannot explain it.  Keep the sampler
+            # well-defined with a uniform draw over concepts (the token
+            # contributes "dropout" noise, mirroring the paper's
+            # observation about small bags).
+            out[k:] = doc_part[k:]
+        return out
+
+    def phi(self) -> np.ndarray:
+        state = self.state
+        k = self.num_free
+        phi = np.empty((state.num_topics, state.vocab_size))
+        if k:
+            phi[:k] = ((state.nw[:, :k] + self.beta)
+                       / (state.nt[:k] + self._beta_sum_free)).T
+        concept = (self.mask * (state.nw[:, k:] + self.beta)).T
+        concept /= (state.nt[k:] + self._beta_sum_concepts)[:, np.newaxis]
+        # Concepts whose bag misses the vocabulary entirely normalize to 0;
+        # leave them as uniform so phi rows always sum to 1.
+        empty = concept.sum(axis=1) == 0
+        concept[empty] = 1.0 / state.vocab_size
+        phi[k:] = concept / concept.sum(axis=1, keepdims=True)
+        return phi
+
+    def log_likelihood(self) -> float:
+        state = self.state
+        k = self.num_free
+        total = 0.0
+        if k:
+            total += symmetric_dirichlet_log_likelihood(
+                state.nw[:, :k], state.nt[:k], self.beta)
+        # Concepts: symmetric Dirichlet restricted to each bag.  Empty
+        # bags (no vocabulary overlap) contribute nothing.
+        bag = self._bag_sizes
+        counts = state.nw[:, k:]
+        inside = (self.mask > 0)
+        nonempty = bag > 0
+        per_concept = np.where(
+            nonempty,
+            (gammaln(np.maximum(bag, 1) * self.beta)
+             - bag * gammaln(self.beta)
+             + (gammaln(counts + self.beta) * inside).sum(axis=0)
+             - gammaln(state.nt[k:] + bag * self.beta)),
+            0.0)
+        return float(total + per_concept.sum())
+
+
+class CTM(TopicModel):
+    """Concept-topic model over a knowledge source.
+
+    Parameters
+    ----------
+    source:
+        Knowledge source whose articles define the concept word sets.
+    num_free_topics:
+        Unconstrained latent topics mixed in alongside the concepts
+        (0 reproduces the "Exact"/bijective runs).
+    top_n_words:
+        Bag size per concept; the paper uses the top 10,000 words by
+        frequency.
+    """
+
+    def __init__(self, source: KnowledgeSource, num_free_topics: int = 0,
+                 top_n_words: int = 10_000, alpha: float = 0.5,
+                 beta: float = 0.1,
+                 scan: ScanStrategy | None = None) -> None:
+        if num_free_topics < 0:
+            raise ValueError(
+                f"num_free_topics must be >= 0, got {num_free_topics}")
+        self.source = source
+        self.num_free_topics = num_free_topics
+        self.top_n_words = top_n_words
+        self.alpha = alpha
+        self.beta = beta
+        self._scan = scan
+
+    def fit(self, corpus: Corpus, iterations: int = 100,
+            seed: int | np.random.Generator | None = None,
+            track_log_likelihood: bool = False,
+            snapshot_iterations: Sequence[int] = (),
+            ) -> FittedTopicModel:
+        rng = ensure_rng(seed)
+        mask = concept_word_mask(self.source, corpus.vocabulary,
+                                 self.top_n_words)
+        num_topics = self.num_free_topics + len(self.source)
+        state = GibbsState(corpus, num_topics)
+        state.initialize_random(rng)
+        kernel = CtmKernel(state, mask, self.num_free_topics,
+                           self.alpha, self.beta)
+        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan)
+        log_likelihoods = sampler.run(
+            iterations, track_log_likelihood=track_log_likelihood)
+        labels = ((None,) * self.num_free_topics) + self.source.labels
+        return FittedTopicModel(
+            phi=kernel.phi(),
+            theta=posterior_theta(state, self.alpha),
+            assignments=state.assignments_by_document(),
+            vocabulary=corpus.vocabulary,
+            topic_labels=labels,
+            log_likelihoods=log_likelihoods,
+            metadata={"iteration_seconds": sampler.timings.seconds,
+                      "alpha": self.alpha, "beta": self.beta,
+                      "top_n_words": self.top_n_words})

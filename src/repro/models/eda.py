@@ -1,0 +1,105 @@
+"""Explicit Dirichlet Allocation (EDA), Hansen et al. 2013.
+
+The "too strict" end of the spectrum the paper positions Source-LDA against
+(Section I): every topic's word distribution *is* the knowledge-source
+distribution — Wikipedia article counts, normalized — and inference only
+fits document mixtures and token assignments.  EDA can label topics
+perfectly when the corpus follows the articles exactly, but "does not allow
+for variance from the Wikipedia distribution", which is what the graphical
+experiment (Fig. 6) and the Section IV.D accuracy comparisons exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.knowledge.distributions import (DEFAULT_EPSILON,
+                                           source_hyperparameters)
+from repro.knowledge.source import KnowledgeSource
+from repro.models.base import FittedTopicModel, TopicModel
+from repro.models.lda import posterior_theta
+from repro.sampling.gibbs import CollapsedGibbsSampler, TopicWeightKernel
+from repro.sampling.rng import ensure_rng
+from repro.sampling.scans import ScanStrategy
+from repro.sampling.state import GibbsState
+from repro.text.corpus import Corpus
+
+
+class EdaKernel(TopicWeightKernel):
+    """Fixed-phi kernel: ``P(z=j) ∝ phi_j(w) · (n_dj + α)``."""
+
+    def __init__(self, state: GibbsState, phi: np.ndarray,
+                 alpha: float) -> None:
+        super().__init__(state)
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        phi = np.asarray(phi, dtype=np.float64)
+        if phi.shape != (state.num_topics, state.vocab_size):
+            raise ValueError(
+                f"phi must have shape "
+                f"({state.num_topics}, {state.vocab_size}), got {phi.shape}")
+        self.alpha = alpha
+        self._phi = phi
+        self._phi_by_word = phi.T.copy()  # (V, T) for row gathers
+        self._log_phi_by_word = np.log(self._phi_by_word)
+
+    def weights(self, word: int, doc: int) -> np.ndarray:
+        return self._phi_by_word[word] * (self.state.nd[doc] + self.alpha)
+
+    def phi(self) -> np.ndarray:
+        return self._phi
+
+    def log_likelihood(self) -> float:
+        # phi is fixed, so log P(w | z) decomposes over word-topic counts.
+        return float((self.state.nw * self._log_phi_by_word).sum())
+
+
+class EDA(TopicModel):
+    """Explicit Dirichlet allocation over a knowledge source.
+
+    Parameters
+    ----------
+    source:
+        Knowledge source whose articles become the (fixed) topics.
+    alpha:
+        Symmetric document-topic prior.
+    epsilon:
+        Smoothing added to article counts so every vocabulary word has
+        non-zero probability under every topic (otherwise a corpus word
+        absent from all articles would have zero total mass).
+    """
+
+    def __init__(self, source: KnowledgeSource, alpha: float = 0.5,
+                 epsilon: float = DEFAULT_EPSILON,
+                 scan: ScanStrategy | None = None) -> None:
+        self.source = source
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self._scan = scan
+
+    def fit(self, corpus: Corpus, iterations: int = 100,
+            seed: int | np.random.Generator | None = None,
+            track_log_likelihood: bool = False,
+            snapshot_iterations: Sequence[int] = (),
+            ) -> FittedTopicModel:
+        rng = ensure_rng(seed)
+        counts = self.source.count_matrix(corpus.vocabulary)
+        smoothed = source_hyperparameters(counts, self.epsilon)
+        phi = smoothed / smoothed.sum(axis=1, keepdims=True)
+        state = GibbsState(corpus, len(self.source))
+        state.initialize_random(rng)
+        kernel = EdaKernel(state, phi, self.alpha)
+        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan)
+        log_likelihoods = sampler.run(
+            iterations, track_log_likelihood=track_log_likelihood)
+        return FittedTopicModel(
+            phi=phi,
+            theta=posterior_theta(state, self.alpha),
+            assignments=state.assignments_by_document(),
+            vocabulary=corpus.vocabulary,
+            topic_labels=self.source.labels,
+            log_likelihoods=log_likelihoods,
+            metadata={"iteration_seconds": sampler.timings.seconds,
+                      "alpha": self.alpha, "epsilon": self.epsilon})

@@ -1,0 +1,33 @@
+"""Sampling substrate: Gibbs state, scan strategies, lambda quadrature."""
+
+from repro.sampling.gibbs import (CollapsedGibbsSampler, TopicWeightKernel,
+                                  asymmetric_dirichlet_log_likelihood,
+                                  symmetric_dirichlet_log_likelihood)
+from repro.sampling.integration import DEFAULT_STEPS, LambdaGrid
+from repro.sampling.parallel import WorkerPool, chunk_bounds
+from repro.sampling.prefix_sums import PrefixSumScan, blelloch_exclusive_scan
+from repro.sampling.rng import categorical, ensure_rng
+from repro.sampling.scans import ScanStrategy, SerialScan
+from repro.sampling.simple_parallel import (SimpleParallelScan,
+                                            blocked_inclusive_scan)
+from repro.sampling.state import GibbsState
+
+__all__ = [
+    "CollapsedGibbsSampler",
+    "DEFAULT_STEPS",
+    "GibbsState",
+    "LambdaGrid",
+    "PrefixSumScan",
+    "ScanStrategy",
+    "SerialScan",
+    "SimpleParallelScan",
+    "TopicWeightKernel",
+    "WorkerPool",
+    "asymmetric_dirichlet_log_likelihood",
+    "blelloch_exclusive_scan",
+    "blocked_inclusive_scan",
+    "categorical",
+    "chunk_bounds",
+    "ensure_rng",
+    "symmetric_dirichlet_log_likelihood",
+]

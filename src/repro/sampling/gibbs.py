@@ -1,0 +1,170 @@
+"""The collapsed Gibbs driver (Algorithm 1 scaffolding).
+
+All models in this library share the same sweep structure: for every token,
+decrement its counts, ask the model-specific *kernel* for unnormalized
+per-topic weights, draw a topic through a :class:`ScanStrategy`, and
+re-increment.  The kernel is where LDA, EDA, CTM and the three Source-LDA
+variants differ (Equations 2 and 3 of the paper); everything else lives
+here once.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.sampling.scans import ScanStrategy, SerialScan
+from repro.sampling.state import GibbsState
+
+
+class TopicWeightKernel(ABC):
+    """Model-specific per-token topic weights for collapsed Gibbs.
+
+    A kernel is bound to a :class:`GibbsState` and reads the current count
+    matrices directly; the sampler guarantees the target token has already
+    been decremented when :meth:`weights` is called, so the counts are the
+    ``-i`` quantities of the paper's equations.
+    """
+
+    def __init__(self, state: GibbsState) -> None:
+        self.state = state
+
+    @property
+    def num_topics(self) -> int:
+        return self.state.num_topics
+
+    @abstractmethod
+    def weights(self, word: int, doc: int) -> np.ndarray:
+        """Unnormalized ``P(z_i = j | z_-i, w)`` over all topics."""
+
+    @abstractmethod
+    def phi(self) -> np.ndarray:
+        """Posterior topic-word estimate ``(T, V)`` from current counts."""
+
+    @abstractmethod
+    def log_likelihood(self) -> float:
+        """Complete-data log ``P(w | z)`` under the kernel's priors."""
+
+
+@dataclass
+class SweepTimings:
+    """Wall-clock per-iteration timings collected during a run."""
+
+    seconds: list[float] = field(default_factory=list)
+
+    @property
+    def average(self) -> float:
+        return float(np.mean(self.seconds)) if self.seconds else 0.0
+
+
+IterationCallback = Callable[[int, GibbsState], None]
+
+
+class CollapsedGibbsSampler:
+    """Runs full Gibbs sweeps over a state using a model kernel.
+
+    Parameters
+    ----------
+    state:
+        Count-matrix state (must be initialized before :meth:`run`).
+    kernel:
+        Model-specific weight computation.
+    rng:
+        Source of the uniform draws.
+    scan:
+        Cumulative-sum strategy; defaults to the serial scan.  Passing
+        :class:`~repro.sampling.prefix_sums.PrefixSumScan` or
+        :class:`~repro.sampling.simple_parallel.SimpleParallelScan`
+        reproduces Algorithms 2 and 3.
+    """
+
+    def __init__(self, state: GibbsState, kernel: TopicWeightKernel,
+                 rng: np.random.Generator,
+                 scan: ScanStrategy | None = None) -> None:
+        if kernel.state is not state:
+            raise ValueError("kernel is bound to a different state")
+        self.state = state
+        self.kernel = kernel
+        self.rng = rng
+        self.scan = scan or SerialScan()
+        self.timings = SweepTimings()
+
+    def sweep(self) -> None:
+        """One full pass reassigning every token (the inner loops of
+        Algorithm 1)."""
+        state = self.state
+        kernel = self.kernel
+        scan = self.scan
+        rng = self.rng
+        for token_index in range(state.num_tokens):
+            word, doc, _old = state.decrement(token_index)
+            weights = kernel.weights(word, doc)
+            topic = scan.sample(weights, rng)
+            state.increment(token_index, topic)
+
+    def run(self, iterations: int,
+            callback: IterationCallback | None = None,
+            track_log_likelihood: bool = False,
+            log_every: int = 1) -> list[float]:
+        """Run ``iterations`` sweeps; returns log-likelihoods if tracked.
+
+        ``callback(iteration, state)`` fires after every sweep, letting
+        experiments snapshot topics mid-run (Fig. 6 does this at selected
+        iterations).
+        """
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        if log_every < 1:
+            raise ValueError(f"log_every must be >= 1, got {log_every}")
+        log_likelihoods: list[float] = []
+        for iteration in range(iterations):
+            start = perf_counter()
+            self.sweep()
+            self.timings.seconds.append(perf_counter() - start)
+            if track_log_likelihood and (iteration % log_every == 0
+                                         or iteration == iterations - 1):
+                log_likelihoods.append(self.kernel.log_likelihood())
+            if callback is not None:
+                callback(iteration, self.state)
+        return log_likelihoods
+
+
+def symmetric_dirichlet_log_likelihood(nw: np.ndarray, nt: np.ndarray,
+                                       beta: float) -> float:
+    """Log ``P(w | z)`` for topics with a symmetric ``Dir(beta)`` prior.
+
+    The standard Griffiths-Steyvers closed form, summed over topics:
+    ``log Gamma(V beta) - V log Gamma(beta)
+    + sum_w log Gamma(n_wt + beta) - log Gamma(n_t + V beta)``.
+    """
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    vocab_size, num_topics = nw.shape
+    constant = num_topics * (gammaln(vocab_size * beta)
+                             - vocab_size * gammaln(beta))
+    return float(constant
+                 + gammaln(nw + beta).sum()
+                 - gammaln(nt + vocab_size * beta).sum())
+
+
+def asymmetric_dirichlet_log_likelihood(nw: np.ndarray, nt: np.ndarray,
+                                        delta: np.ndarray) -> float:
+    """Log ``P(w | z)`` for topics with per-topic ``Dir(delta_t)`` priors.
+
+    ``nw`` is ``(V, T)``, ``delta`` is ``(T, V)`` — the source
+    hyperparameters of the bijective model.
+    """
+    delta = np.asarray(delta, dtype=np.float64)
+    if np.any(delta <= 0):
+        raise ValueError("delta must be strictly positive")
+    delta_t = delta.T  # (V, T) to align with nw
+    per_topic = (gammaln(delta.sum(axis=1))
+                 - gammaln(delta).sum(axis=1)
+                 + gammaln(nw + delta_t).sum(axis=0)
+                 - gammaln(nt + delta.sum(axis=1)))
+    return float(per_topic.sum())

@@ -1,0 +1,82 @@
+"""Thread-pool execution of chunked, independent array work.
+
+Both parallel sampling algorithms in the paper decompose the per-token work
+into independent chunks handled by ``P`` parallel units.  :class:`WorkerPool`
+provides that decomposition over a persistent ``ThreadPoolExecutor``.
+numpy kernels release the GIL, so chunks genuinely overlap for large arrays;
+for small ones the dispatch overhead dominates — the very trade-off the
+paper discusses when motivating Algorithm 3 over Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Callable
+
+import numpy as np
+
+ChunkFn = Callable[[np.ndarray | None, int, int], None]
+
+
+def chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``chunks`` near-equal slices."""
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    chunks = min(chunks, max(total, 1))
+    bounds = []
+    base, remainder = divmod(total, chunks)
+    start = 0
+    for index in range(chunks):
+        size = base + (1 if index < remainder else 0)
+        if size == 0:
+            continue
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+class WorkerPool:
+    """A persistent pool of ``threads`` workers for chunked array jobs.
+
+    Use as a context manager or call :meth:`close` explicitly.  With
+    ``threads == 1`` everything runs inline (no executor), which is the
+    paper's serial baseline.
+    """
+
+    def __init__(self, threads: int = 1) -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self._executor = (ThreadPoolExecutor(max_workers=threads)
+                          if threads > 1 else None)
+
+    def run_chunked(self, fn: ChunkFn, total: int) -> None:
+        """Run ``fn(None, lo, hi)`` over a chunking of ``range(total)``."""
+        bounds = chunk_bounds(total, self.threads)
+        if self._executor is None or len(bounds) <= 1:
+            for lo, hi in bounds:
+                fn(None, lo, hi)
+            return
+        futures = [self._executor.submit(fn, None, lo, hi)
+                   for lo, hi in bounds]
+        done, _ = wait(futures)
+        for future in done:
+            exception = future.exception()
+            if exception is not None:
+                raise exception
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(threads={self.threads})"

@@ -1,0 +1,19 @@
+"""Text substrate: tokenization, vocabularies, corpora and TF-IDF."""
+
+from repro.text.corpus import Corpus, CorpusStats, Document
+from repro.text.stopwords import ENGLISH_STOPWORDS
+from repro.text.tfidf import TfidfVectorizer, cosine_similarity
+from repro.text.tokenizer import Tokenizer, whitespace_tokenize
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "Corpus",
+    "CorpusStats",
+    "Document",
+    "ENGLISH_STOPWORDS",
+    "TfidfVectorizer",
+    "Tokenizer",
+    "Vocabulary",
+    "cosine_similarity",
+    "whitespace_tokenize",
+]

@@ -1,0 +1,245 @@
+"""Document and corpus containers.
+
+A :class:`Corpus` is the unit every topic model in this library consumes: a
+list of documents whose tokens have been interned against a shared
+:class:`~repro.text.vocabulary.Vocabulary`.  Documents keep their tokens as
+dense ``int64`` id arrays (token order is preserved because collapsed Gibbs
+sampling assigns a topic to every token position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+
+@dataclass
+class Document:
+    """A single document: an id-encoded token sequence plus metadata.
+
+    Attributes
+    ----------
+    word_ids:
+        Token stream as vocabulary ids, in document order.
+    doc_id:
+        Position of the document in its corpus.
+    title:
+        Optional human-readable identifier (e.g. a Reuters headline).
+    labels:
+        Optional ground-truth category labels (used by evaluation only;
+        never visible to the models).
+    """
+
+    word_ids: np.ndarray
+    doc_id: int = 0
+    title: str = ""
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.word_ids = np.asarray(self.word_ids, dtype=np.int64)
+        if self.word_ids.ndim != 1:
+            raise ValueError("word_ids must be a 1-d array, got shape "
+                             f"{self.word_ids.shape}")
+
+    def __len__(self) -> int:
+        return int(self.word_ids.shape[0])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.word_ids.tolist())
+
+    def count_vector(self, vocab_size: int) -> np.ndarray:
+        """Dense length-V word count vector for this document."""
+        counts = np.zeros(vocab_size, dtype=np.float64)
+        np.add.at(counts, self.word_ids, 1.0)
+        return counts
+
+
+class Corpus:
+    """An ordered collection of :class:`Document` over one vocabulary.
+
+    Examples
+    --------
+    >>> corpus = Corpus.from_texts(
+    ...     ["pencil pencil umpire", "ruler ruler baseball"],
+    ...     tokenizer=None)
+    >>> len(corpus), corpus.num_tokens
+    (2, 6)
+    """
+
+    def __init__(self, documents: Sequence[Document],
+                 vocabulary: Vocabulary) -> None:
+        self._documents = list(documents)
+        self._vocabulary = vocabulary
+        for position, doc in enumerate(self._documents):
+            doc.doc_id = position
+            if len(doc) and int(doc.word_ids.max()) >= len(vocabulary):
+                raise ValueError(
+                    f"document {position} references word id "
+                    f"{int(doc.word_ids.max())} outside the vocabulary "
+                    f"(size {len(vocabulary)})")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_texts(cls, texts: Iterable[str],
+                   tokenizer: Tokenizer | None = None,
+                   vocabulary: Vocabulary | None = None,
+                   titles: Sequence[str] | None = None,
+                   labels: Sequence[tuple[str, ...]] | None = None,
+                   ) -> "Corpus":
+        """Tokenize raw texts and intern them into a corpus.
+
+        When ``tokenizer`` is ``None`` texts are split on whitespace (for
+        pre-tokenized synthetic data).  When ``vocabulary`` is ``None`` a new
+        vocabulary is built from the texts; otherwise tokens missing from the
+        given vocabulary are dropped.
+        """
+        token_lists = []
+        for text in texts:
+            if tokenizer is None:
+                token_lists.append(text.split())
+            else:
+                token_lists.append(tokenizer.tokenize(text))
+        own_vocab = vocabulary is None
+        vocab = Vocabulary() if own_vocab else vocabulary
+        documents = []
+        for index, tokens in enumerate(token_lists):
+            if own_vocab:
+                ids = np.asarray([vocab.add(t) for t in tokens],
+                                 dtype=np.int64)
+            else:
+                ids = vocab.encode(tokens)
+            documents.append(Document(
+                word_ids=ids,
+                doc_id=index,
+                title=titles[index] if titles else "",
+                labels=tuple(labels[index]) if labels else ()))
+        return cls(documents, vocab)
+
+    @classmethod
+    def from_token_lists(cls, token_lists: Iterable[Sequence[str]],
+                         vocabulary: Vocabulary | None = None) -> "Corpus":
+        """Build a corpus from already-tokenized documents."""
+        token_lists = [list(tokens) for tokens in token_lists]
+        own_vocab = vocabulary is None
+        vocab = Vocabulary() if own_vocab else vocabulary
+        documents = []
+        for index, tokens in enumerate(token_lists):
+            if own_vocab:
+                ids = np.asarray([vocab.add(t) for t in tokens],
+                                 dtype=np.int64)
+            else:
+                ids = vocab.encode(tokens)
+            documents.append(Document(word_ids=ids, doc_id=index))
+        return cls(documents, vocab)
+
+    @classmethod
+    def from_word_id_lists(cls, id_lists: Iterable[Sequence[int]],
+                           vocabulary: Vocabulary) -> "Corpus":
+        """Build a corpus directly from word-id sequences."""
+        documents = [Document(word_ids=np.asarray(ids, dtype=np.int64),
+                              doc_id=i)
+                     for i, ids in enumerate(id_lists)]
+        return cls(documents, vocabulary)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._vocabulary)
+
+    @property
+    def documents(self) -> list[Document]:
+        return self._documents
+
+    @property
+    def num_tokens(self) -> int:
+        """Total number of tokens across all documents."""
+        return sum(len(doc) for doc in self._documents)
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._documents:
+            return 0.0
+        return self.num_tokens / len(self._documents)
+
+    def document_term_matrix(self) -> np.ndarray:
+        """Dense (D x V) matrix of word counts."""
+        matrix = np.zeros((len(self), self.vocab_size), dtype=np.float64)
+        for row, doc in enumerate(self._documents):
+            np.add.at(matrix[row], doc.word_ids, 1.0)
+        return matrix
+
+    def word_counts(self) -> np.ndarray:
+        """Corpus-wide length-V word count vector."""
+        counts = np.zeros(self.vocab_size, dtype=np.float64)
+        for doc in self._documents:
+            np.add.at(counts, doc.word_ids, 1.0)
+        return counts
+
+    def subset(self, indices: Sequence[int]) -> "Corpus":
+        """A new corpus holding copies of the selected documents."""
+        docs = [Document(word_ids=self._documents[i].word_ids.copy(),
+                         title=self._documents[i].title,
+                         labels=self._documents[i].labels)
+                for i in indices]
+        return Corpus(docs, self._vocabulary)
+
+    def split(self, train_fraction: float,
+              seed: int | None = None) -> tuple["Corpus", "Corpus"]:
+        """Random train/test split (for held-out perplexity)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1), got "
+                             f"{train_fraction}")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = max(1, int(round(train_fraction * len(self))))
+        cut = min(cut, len(self) - 1)
+        return self.subset(order[:cut].tolist()), \
+            self.subset(order[cut:].tolist())
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __getitem__(self, index: int) -> Document:
+        return self._documents[index]
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __repr__(self) -> str:
+        return (f"Corpus(documents={len(self)}, vocab={self.vocab_size}, "
+                f"tokens={self.num_tokens})")
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Summary statistics of a corpus, used in experiment reports."""
+
+    num_documents: int
+    vocab_size: int
+    num_tokens: int
+    average_document_length: float
+    min_document_length: int = 0
+    max_document_length: int = 0
+
+    @classmethod
+    def of(cls, corpus: Corpus) -> "CorpusStats":
+        lengths = [len(doc) for doc in corpus] or [0]
+        return cls(num_documents=len(corpus),
+                   vocab_size=corpus.vocab_size,
+                   num_tokens=corpus.num_tokens,
+                   average_document_length=corpus.average_document_length,
+                   min_document_length=min(lengths),
+                   max_document_length=max(lengths))

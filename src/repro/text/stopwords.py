@@ -1,0 +1,39 @@
+"""English stopword list.
+
+A compact, dependency-free stopword list covering determiners, pronouns,
+prepositions, auxiliaries, conjunctions and high-frequency adverbs.  It is
+the standard pre-processing step the paper applies before forming source
+distributions and corpus vocabularies.
+"""
+
+from __future__ import annotations
+
+ENGLISH_STOPWORDS: frozenset[str] = frozenset("""
+a about above after again against all also am an and any are aren't as at
+be because been before being below between both but by
+can can't cannot could couldn't
+did didn't do does doesn't doing don't down during
+each either
+few for from further
+get gets got
+had hadn't has hasn't have haven't having he he'd he'll he's her here here's
+hers herself him himself his how how's however
+i i'd i'll i'm i've if in into is isn't it it's its itself
+just
+let's like
+may me might more most much must mustn't my myself
+no nor not now
+of off on once one only onto or other ought our ours ourselves out over own
+per
+rather
+said same shall shan't she she'd she'll she's should shouldn't since so some
+such
+than that that's the their theirs them themselves then there there's these
+they they'd they'll they're they've this those through thus to too
+under until up upon us
+very via
+was wasn't we we'd we'll we're we've were weren't what what's when when's
+where where's whether which while who who's whom why why's will with within
+without won't would wouldn't
+yet you you'd you'll you're you've your yours yourself yourselves
+""".split())

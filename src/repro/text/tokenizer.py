@@ -1,0 +1,94 @@
+"""Tokenization for corpora and knowledge-source documents.
+
+The paper's pipeline (Section IV.C) tokenizes Reuters articles and crawled
+Wikipedia pages into lowercase word tokens before counting.  This module
+provides a small, deterministic tokenizer with the conventional text-mining
+normalizations: lowercasing, punctuation stripping, optional stopword and
+short-token removal, and optional number filtering.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.text.stopwords import ENGLISH_STOPWORDS
+
+_TOKEN_RE = re.compile(r"[A-Za-z][A-Za-z'\-]*|\d+(?:\.\d+)?")
+_NUMBER_RE = re.compile(r"^\d+(?:\.\d+)?$")
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Configurable word tokenizer.
+
+    Parameters
+    ----------
+    lowercase:
+        Normalize tokens to lower case (default ``True``).
+    remove_stopwords:
+        Drop tokens found in :data:`ENGLISH_STOPWORDS` (default ``True``).
+    min_token_length:
+        Drop tokens shorter than this many characters (default 2).
+    keep_numbers:
+        When ``False`` (default) purely numeric tokens are removed.
+    extra_stopwords:
+        Additional stopwords to filter, merged with the built-in list.
+
+    Examples
+    --------
+    >>> Tokenizer().tokenize("The pencil and the ruler!")
+    ['pencil', 'ruler']
+    >>> Tokenizer(remove_stopwords=False).tokenize("The pencil")
+    ['the', 'pencil']
+    """
+
+    lowercase: bool = True
+    remove_stopwords: bool = True
+    min_token_length: int = 2
+    keep_numbers: bool = False
+    extra_stopwords: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.min_token_length < 1:
+            raise ValueError("min_token_length must be >= 1, got "
+                             f"{self.min_token_length}")
+        stop = ENGLISH_STOPWORDS | frozenset(
+            w.lower() for w in self.extra_stopwords)
+        object.__setattr__(self, "_stopwords", stop)
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split ``text`` into normalized word tokens."""
+        if not isinstance(text, str):
+            raise TypeError(f"expected str, got {type(text).__name__}")
+        tokens = []
+        for raw in _TOKEN_RE.findall(text):
+            token = raw.lower() if self.lowercase else raw
+            token = token.strip("'-")
+            if len(token) < self.min_token_length:
+                continue
+            if not self.keep_numbers and _NUMBER_RE.match(token):
+                continue
+            if self.remove_stopwords and token.lower() in self._stopwords:
+                continue
+            tokens.append(token)
+        return tokens
+
+    def tokenize_all(self, texts: Iterable[str]) -> Iterator[list[str]]:
+        """Tokenize an iterable of texts lazily."""
+        for text in texts:
+            yield self.tokenize(text)
+
+
+def whitespace_tokenize(text: str) -> list[str]:
+    """Split on whitespace only.
+
+    Used for pre-tokenized synthetic corpora where every token is already a
+    vocabulary word (e.g. the graphical pixel corpus of Section IV.A, whose
+    "words" are coordinates like ``"23"`` that a linguistic tokenizer would
+    mangle).
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"expected str, got {type(text).__name__}")
+    return text.split()

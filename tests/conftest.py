@@ -1,0 +1,56 @@
+"""Shared fixtures: small corpora and knowledge sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.knowledge.source import KnowledgeSource
+from repro.knowledge.wikipedia import SyntheticWikipedia
+from repro.text.corpus import Corpus
+
+
+@pytest.fixture
+def tiny_corpus() -> Corpus:
+    """The paper's two-document case-study corpus."""
+    return Corpus.from_texts(
+        ["pencil pencil umpire", "ruler ruler baseball"], tokenizer=None)
+
+
+@pytest.fixture
+def small_source() -> KnowledgeSource:
+    """A three-article knowledge source with distinctive vocabularies."""
+    return KnowledgeSource({
+        "School Supplies": ("pencil pencil pencil ruler ruler eraser "
+                            "notebook paper pen crayon").split(),
+        "Baseball": ("baseball baseball umpire umpire bat ball pitcher "
+                     "inning glove base").split(),
+        "Cooking": ("recipe oven flour sugar butter saucepan whisk bake "
+                    "bake knead").split(),
+    })
+
+
+@pytest.fixture
+def wiki_source() -> KnowledgeSource:
+    """A synthetic-Wikipedia source of five pseudo-word topics."""
+    wiki = SyntheticWikipedia([f"Topic {i}" for i in range(5)],
+                              article_length=120, core_vocab_size=10,
+                              background_vocab_size=40, seed=11)
+    return wiki.knowledge_source()
+
+
+@pytest.fixture
+def wiki_corpus(wiki_source: KnowledgeSource) -> Corpus:
+    """A 40-document corpus sampled from the wiki_source articles."""
+    rng = np.random.default_rng(7)
+    texts = []
+    labels = wiki_source.labels
+    for index in range(40):
+        article = wiki_source.tokens(labels[index % len(labels)])
+        texts.append(" ".join(rng.choice(article, size=30)))
+    return Corpus.from_texts(texts, tokenizer=None)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

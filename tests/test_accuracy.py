@@ -1,0 +1,106 @@
+"""Tests for repro.metrics.accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import (align_topics_by_js,
+                                    align_topics_hungarian,
+                                    correct_assignments, labeled_accuracy,
+                                    map_assignments, token_accuracy)
+
+
+class TestCorrectAssignments:
+    def test_counts_matches(self):
+        assert correct_assignments(np.array([0, 1, 2]),
+                                   np.array([0, 9, 2])) == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            correct_assignments(np.array([0]), np.array([0, 1]))
+
+    def test_token_accuracy(self):
+        assert token_accuracy(np.array([1, 1]), np.array([1, 0])) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero tokens"):
+            token_accuracy(np.array([]), np.array([]))
+
+
+class TestAlignment:
+    def _phis(self):
+        truth = np.array([[0.8, 0.1, 0.1],
+                          [0.1, 0.8, 0.1],
+                          [0.1, 0.1, 0.8]])
+        # model topics are truth topics in a shuffled order
+        model = truth[[2, 0, 1]]
+        return model, truth
+
+    def test_js_alignment_recovers_permutation(self):
+        model, truth = self._phis()
+        np.testing.assert_array_equal(align_topics_by_js(model, truth),
+                                      [2, 0, 1])
+
+    def test_hungarian_recovers_permutation(self):
+        model, truth = self._phis()
+        np.testing.assert_array_equal(
+            align_topics_hungarian(model, truth), [2, 0, 1])
+
+    def test_js_alignment_allows_many_to_one(self):
+        truth = np.array([[0.9, 0.05, 0.05], [0.05, 0.9, 0.05]])
+        model = np.array([[0.85, 0.1, 0.05], [0.8, 0.15, 0.05]])
+        mapping = align_topics_by_js(model, truth)
+        np.testing.assert_array_equal(mapping, [0, 0])
+
+    def test_hungarian_requires_enough_truth_topics(self):
+        model = np.ones((3, 2)) / 2
+        truth = np.ones((2, 2)) / 2
+        with pytest.raises(ValueError, match="1-to-1"):
+            align_topics_hungarian(model, truth)
+
+    def test_map_assignments(self):
+        mapping = np.array([5, 7])
+        np.testing.assert_array_equal(
+            map_assignments(np.array([0, 1, 0]), mapping), [5, 7, 5])
+
+    def test_map_assignments_range_check(self):
+        with pytest.raises(ValueError, match="outside"):
+            map_assignments(np.array([3]), np.array([0, 1]))
+
+
+class TestLabeledAccuracy:
+    def test_label_matching(self):
+        accuracy = labeled_accuracy(
+            model_assignments=np.array([0, 1, 1]),
+            model_labels=("Baseball", "Cooking"),
+            truth_assignments=np.array([1, 0, 0]),
+            truth_labels=("Cooking", "Baseball"))
+        # model topic 0 = Baseball = truth topic 1; all three match.
+        assert accuracy == pytest.approx(1.0)
+
+    def test_unlabeled_topics_always_wrong(self):
+        accuracy = labeled_accuracy(
+            model_assignments=np.array([0, 0]),
+            model_labels=(None, "X"),
+            truth_assignments=np.array([0, 0]),
+            truth_labels=("X",))
+        assert accuracy == 0.0
+
+    def test_partial_match(self):
+        accuracy = labeled_accuracy(
+            model_assignments=np.array([0, 1]),
+            model_labels=("A", "B"),
+            truth_assignments=np.array([0, 0]),
+            truth_labels=("A",))
+        assert accuracy == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            labeled_accuracy(np.array([0]), ("A",), np.array([0, 1]),
+                             ("A",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero tokens"):
+            labeled_accuracy(np.array([], dtype=int), ("A",),
+                             np.array([], dtype=int), ("A",))

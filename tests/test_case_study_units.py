@@ -1,0 +1,79 @@
+"""Unit tests for the case-study driver's helpers (fast paths only;
+the full seed-scan demonstration lives in benchmarks/)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.case_study import (CASE_STUDY_ARTICLES,
+                                          CaseStudyResult, _is_mixed,
+                                          case_study_corpus,
+                                          case_study_source,
+                                          format_case_study)
+from repro.models.base import FittedTopicModel
+
+
+class TestCorpusAndSource:
+    def test_corpus_matches_paper(self):
+        corpus = case_study_corpus()
+        assert len(corpus) == 2
+        assert corpus.num_tokens == 6
+        words = corpus.vocabulary.words
+        assert set(words) == {"pencil", "umpire", "ruler", "baseball"}
+
+    def test_source_articles_contain_corpus_words(self):
+        source = case_study_source()
+        school = source.tokens("School Supplies")
+        ball = source.tokens("Baseball")
+        assert "pencil" in school and "ruler" in school
+        assert "umpire" in ball and "baseball" in ball
+
+    def test_article_multiplicities_dominate_correctly(self):
+        school = CASE_STUDY_ARTICLES["School Supplies"]
+        ball = CASE_STUDY_ARTICLES["Baseball"]
+        assert school.count("pencil") > ball.count("pencil") == 0
+        assert ball.count("baseball") > school.count("baseball") == 0
+
+
+def _model_with_assignments(z_doc1, z_doc2) -> FittedTopicModel:
+    corpus = case_study_corpus()
+    phi = np.full((2, 4), 0.25)
+    return FittedTopicModel(
+        phi=phi, theta=np.full((2, 2), 0.5),
+        assignments=[np.asarray(z_doc1), np.asarray(z_doc2)],
+        vocabulary=corpus.vocabulary)
+
+
+class TestIsMixed:
+    def test_ideal_assignment_not_mixed(self):
+        # pencil,pencil->0 umpire->1 / ruler,ruler->0 baseball->1
+        model = _model_with_assignments([0, 0, 1], [0, 0, 1])
+        assert not _is_mixed(model)
+
+    def test_papers_confused_assignment_is_mixed(self):
+        # pencil,pencil->0 umpire->1 / ruler,ruler->1 baseball->0
+        model = _model_with_assignments([0, 0, 1], [1, 1, 0])
+        assert _is_mixed(model)
+
+    def test_single_topic_everything_is_mixed(self):
+        model = _model_with_assignments([0, 0, 0], [0, 0, 0])
+        assert _is_mixed(model)
+
+
+class TestFormatting:
+    def test_format_includes_all_techniques(self):
+        result = CaseStudyResult(
+            lda_seed=3,
+            lda_assignments=[[("pencil", 1)], [("ruler", 2)]],
+            technique_labels={"JS Divergence": ("Baseball", "Baseball"),
+                              "Counting": ("Baseball", "School Supplies")},
+            collapsed_techniques=("JS Divergence",),
+            source_lda_assignments=[[("pencil", 1)], [("ruler", 1)]],
+            source_lda_labels=("School Supplies", "Baseball"),
+            source_lda_separates=True)
+        text = format_case_study(result)
+        assert "JS Divergence" in text
+        assert "Counting" in text
+        assert "seed 3" in text
+        assert "True" in text

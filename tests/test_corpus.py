@@ -1,0 +1,128 @@
+"""Tests for repro.text.corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.corpus import Corpus, CorpusStats, Document
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+
+class TestDocument:
+    def test_length_and_iteration(self):
+        doc = Document(word_ids=np.array([0, 1, 0]))
+        assert len(doc) == 3
+        assert list(doc) == [0, 1, 0]
+
+    def test_rejects_2d_ids(self):
+        with pytest.raises(ValueError, match="1-d"):
+            Document(word_ids=np.zeros((2, 2)))
+
+    def test_count_vector(self):
+        doc = Document(word_ids=np.array([0, 1, 0]))
+        np.testing.assert_array_equal(doc.count_vector(3), [2, 1, 0])
+
+    def test_empty_document(self):
+        doc = Document(word_ids=np.array([], dtype=np.int64))
+        assert len(doc) == 0
+        np.testing.assert_array_equal(doc.count_vector(2), [0, 0])
+
+
+class TestCorpusConstruction:
+    def test_from_texts_whitespace(self, tiny_corpus: Corpus):
+        assert len(tiny_corpus) == 2
+        assert tiny_corpus.num_tokens == 6
+        assert tiny_corpus.vocabulary.words == \
+            ("pencil", "umpire", "ruler", "baseball")
+
+    def test_from_texts_with_tokenizer(self):
+        corpus = Corpus.from_texts(["The pencil!"], tokenizer=Tokenizer())
+        assert corpus.vocabulary.words == ("pencil",)
+
+    def test_from_texts_with_existing_vocabulary_drops_oov(self):
+        vocab = Vocabulary.from_tokens(["pencil"])
+        corpus = Corpus.from_texts(["pencil umpire"], tokenizer=None,
+                                   vocabulary=vocab)
+        assert corpus.num_tokens == 1
+
+    def test_from_token_lists(self):
+        corpus = Corpus.from_token_lists([["a", "b"], ["b"]])
+        assert corpus.num_tokens == 3
+        assert corpus.vocab_size == 2
+
+    def test_from_word_id_lists(self):
+        vocab = Vocabulary.from_tokens(["a", "b"])
+        corpus = Corpus.from_word_id_lists([[0, 1], [1, 1]], vocab)
+        assert corpus.num_tokens == 4
+
+    def test_out_of_range_word_id_rejected(self):
+        vocab = Vocabulary.from_tokens(["a"])
+        with pytest.raises(ValueError, match="outside the vocabulary"):
+            Corpus.from_word_id_lists([[5]], vocab)
+
+    def test_titles_and_labels(self):
+        corpus = Corpus.from_texts(["a b"], tokenizer=None,
+                                   titles=["first"],
+                                   labels=[("lab",)])
+        assert corpus[0].title == "first"
+        assert corpus[0].labels == ("lab",)
+
+    def test_doc_ids_sequential(self, tiny_corpus: Corpus):
+        assert [doc.doc_id for doc in tiny_corpus] == [0, 1]
+
+
+class TestCorpusAccessors:
+    def test_document_term_matrix(self, tiny_corpus: Corpus):
+        matrix = tiny_corpus.document_term_matrix()
+        assert matrix.shape == (2, 4)
+        assert matrix.sum() == 6
+        assert matrix[0, tiny_corpus.vocabulary["pencil"]] == 2
+
+    def test_word_counts(self, tiny_corpus: Corpus):
+        counts = tiny_corpus.word_counts()
+        assert counts[tiny_corpus.vocabulary["ruler"]] == 2
+        assert counts.sum() == tiny_corpus.num_tokens
+
+    def test_average_document_length(self, tiny_corpus: Corpus):
+        assert tiny_corpus.average_document_length == 3.0
+
+    def test_subset_copies_documents(self, tiny_corpus: Corpus):
+        subset = tiny_corpus.subset([1])
+        assert len(subset) == 1
+        assert subset[0].doc_id == 0
+        subset[0].word_ids[0] = 0
+        assert tiny_corpus[1].word_ids[0] != 0 or True  # original untouched
+        assert tiny_corpus[1].word_ids[0] == \
+            tiny_corpus.vocabulary["ruler"]
+
+    def test_split_partitions_documents(self):
+        corpus = Corpus.from_token_lists([["a"]] * 10)
+        train, test = corpus.split(0.7, seed=0)
+        assert len(train) == 7
+        assert len(test) == 3
+
+    def test_split_always_nonempty(self):
+        corpus = Corpus.from_token_lists([["a"], ["a"]])
+        train, test = corpus.split(0.99, seed=0)
+        assert len(train) == 1 and len(test) == 1
+
+    def test_split_validates_fraction(self):
+        corpus = Corpus.from_token_lists([["a"], ["b"]])
+        with pytest.raises(ValueError, match="train_fraction"):
+            corpus.split(1.5)
+
+    def test_empty_corpus_statistics(self):
+        corpus = Corpus([], Vocabulary())
+        assert corpus.average_document_length == 0.0
+        assert corpus.num_tokens == 0
+
+
+class TestCorpusStats:
+    def test_of(self, tiny_corpus: Corpus):
+        stats = CorpusStats.of(tiny_corpus)
+        assert stats.num_documents == 2
+        assert stats.num_tokens == 6
+        assert stats.min_document_length == 3
+        assert stats.max_document_length == 3

@@ -1,0 +1,85 @@
+"""Additional behavioural tests for the EDA and CTM baselines —
+the failure modes the paper's experiments rely on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.graphical import (augment_topics,
+                                      generate_graphical_corpus,
+                                      graphical_knowledge_source,
+                                      original_topics)
+from repro.metrics.divergence import js_divergence
+from repro.models.ctm import CTM
+from repro.models.eda import EDA
+
+
+@pytest.fixture(scope="module")
+def graphical():
+    data = generate_graphical_corpus(num_documents=120, seed=9)
+    source = graphical_knowledge_source(tokens_per_article=1000)
+    return data, source
+
+
+class TestEdaRigidity:
+    """EDA 'does not allow for variance from the Wikipedia distribution'."""
+
+    def test_phi_never_moves(self, graphical):
+        data, source = graphical
+        fitted = EDA(source, alpha=1.0).fit(data.corpus, iterations=15,
+                                            seed=0)
+        counts = source.count_matrix(data.corpus.vocabulary)
+        expected = (counts + 0.01) / (counts + 0.01).sum(axis=1,
+                                                         keepdims=True)
+        np.testing.assert_allclose(fitted.phi, expected)
+
+    def test_js_floor_on_augmented_topics(self, graphical):
+        """EDA's divergence to the augmented truth equals the structural
+        JS(original, one-pixel-swapped) = 0.2 ln 2 (the paper's 0.138)."""
+        data, source = graphical
+        fitted = EDA(source, alpha=1.0).fit(data.corpus, iterations=5,
+                                            seed=0)
+        values = [js_divergence(fitted.phi[t], data.augmented_topics[t])
+                  for t in range(10)]
+        assert np.mean(values) == pytest.approx(0.2 * np.log(2),
+                                                abs=0.005)
+
+
+class TestCtmBagConstraint:
+    """CTM cannot put probability on a word outside a concept's bag."""
+
+    def test_swapped_pixel_never_enters_concept(self, graphical):
+        data, source = graphical
+        fitted = CTM(source, num_free_topics=0, top_n_words=25,
+                     alpha=1.0, beta=0.1).fit(data.corpus, iterations=15,
+                                              seed=0)
+        originals = original_topics()
+        for topic in range(10):
+            outside = np.flatnonzero(originals[topic] == 0)
+            assert fitted.phi[topic, outside].max() < 1e-12
+
+    def test_ctm_divergence_at_least_structural_floor(self, graphical):
+        data, source = graphical
+        fitted = CTM(source, num_free_topics=0, top_n_words=25,
+                     alpha=1.0, beta=0.1).fit(data.corpus, iterations=15,
+                                              seed=0)
+        values = [js_divergence(fitted.phi[t], data.augmented_topics[t])
+                  for t in range(10)]
+        # Missing the swapped-in pixel costs at least ~0.1 ln 2 per topic.
+        assert np.mean(values) > 0.07
+
+
+class TestAugmentationEdgeCases:
+    def test_augmenting_two_identical_support_topics_is_noop(self):
+        # Topics sharing full support have no legal swap; augmentation
+        # must leave them unchanged rather than crash.
+        base = np.array([[0.5, 0.5, 0.0], [0.5, 0.5, 0.0]])
+        augmented, pairs = augment_topics(base, 0)
+        np.testing.assert_allclose(augmented, base)
+        assert len(pairs) == 1
+
+    def test_odd_topic_count_leaves_one_unpaired(self):
+        base = np.eye(3)
+        _, pairs = augment_topics(base, 0)
+        assert len(pairs) == 1  # one pair, one topic left alone

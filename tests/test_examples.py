@@ -1,0 +1,49 @@
+"""The example scripts must run end-to-end (they are living docs)."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", ["quickstart.py",
+                                    "discover_new_topics.py"])
+def test_example_runs(script, capsys):
+    """Fast examples execute without error and produce output."""
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_quickstart_labels_output(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "School Supplies" in out
+    assert "Baseball" in out
+
+
+def test_discover_new_topics_finds_hidden_subject(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "discover_new_topics.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "100%" in out or "83%" in out  # hidden-subject coverage line
+
+
+def test_all_examples_exist():
+    expected = {"quickstart.py", "reuters_labeling.py",
+                "medical_topics.py", "discover_new_topics.py"}
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= present
+
+
+@pytest.fixture(autouse=True)
+def _clean_sys_path():
+    before = list(sys.path)
+    yield
+    sys.path[:] = before

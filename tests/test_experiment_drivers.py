@@ -1,0 +1,111 @@
+"""Smoke tests for the experiment drivers at SMOKE scale.
+
+Each driver must run end-to-end and return a structurally valid result;
+the quantitative shape assertions live in benchmarks/ where the scales are
+large enough for them to be meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (SMOKE, format_boxplots, format_case_study,
+                               format_condition, format_graphical_example,
+                               format_lambda_integration, format_reuters,
+                               format_scaling, format_series, run_fig2,
+                               run_fig3, run_fig4, run_graphical_example,
+                               run_lambda_integration, run_mixed_condition,
+                               run_pmi_sweep, run_reuters_analysis,
+                               run_scaling)
+from repro.experiments.wikipedia_corpus import run_bijective_condition
+
+TINY = SMOKE.scaled(num_documents=16, iterations=4, superset_size=6,
+                    generating_topics=3, avg_document_length=15,
+                    article_length=60, divergence_draws=8)
+
+
+def test_fig2_driver():
+    summaries = run_fig2(TINY, categories=("Trade", "Gold"), seed=0)
+    assert len(summaries) == 2
+    text = format_boxplots(summaries)
+    assert "Trade" in text
+
+
+def test_fig3_driver():
+    result = run_fig3(TINY, lambdas=np.array([0.0, 0.5, 1.0]), seed=0)
+    assert len(result.summaries) == 3
+    assert result.summaries[0].median > result.summaries[-1].median
+
+
+def test_fig4_driver():
+    result = run_fig4(TINY, lambdas=np.array([0.0, 0.5, 1.0]), seed=0)
+    assert result.smoothing is not None
+    assert np.isfinite(result.median_linearity_r2)
+
+
+def test_graphical_driver():
+    result = run_graphical_example(TINY.scaled(num_documents=30),
+                                   num_runs=2, seed=0)
+    assert len(result.log_likelihood_runs) == 2
+    assert result.snapshots
+    assert format_graphical_example(result)
+
+
+def test_lambda_integration_driver():
+    result = run_lambda_integration(TINY, fixed_lambdas=(0.5, 1.0),
+                                    seed=0)
+    assert len(result.fixed) == 2
+    assert result.baseline.perplexity > 1.0
+    assert format_lambda_integration(result)
+
+
+def test_reuters_driver():
+    result = run_reuters_analysis(TINY, seed=0)
+    assert set(result.top_words) == set(result.table_labels)
+    assert result.discovered_labeled_topics["IR-LDA"] >= 0
+    assert format_reuters(result)
+
+
+def test_mixed_condition_driver():
+    result = run_mixed_condition(TINY, seed=0)
+    names = [score.name for score in result.scores]
+    assert names == ["SRC-Unk", "EDA-Unk", "CTM-Unk", "LDA-Unk"]
+    for score in result.scores:
+        assert 0.0 <= score.accuracy <= 1.0
+        assert score.theta_js_total >= 0.0
+    assert format_condition(result)
+
+
+def test_bijective_condition_driver():
+    result = run_bijective_condition(TINY, seed=0)
+    names = [score.name for score in result.scores]
+    assert names == ["SRC-Exact", "EDA-Exact", "CTM-Exact", "LDA-Exact"]
+
+
+def test_pmi_sweep_driver():
+    result = run_pmi_sweep(TINY, topic_counts=[3, 4], seed=0)
+    assert result.topic_counts == [3, 4]
+    for series in result.series.values():
+        assert len(series) == 2
+        assert all(np.isfinite(v) for v in series)
+    assert format_series("topics", result.topic_counts, result.series)
+
+
+def test_scaling_driver():
+    result = run_scaling(topic_counts=[20, 40], thread_counts=(1, 2),
+                         num_documents=3, document_length=10,
+                         iterations=1, seed=0)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert set(row.measured_seconds) == {1, 2}
+        assert row.modeled_seconds[2] <= row.modeled_seconds[1]
+    assert format_scaling(result)
+
+
+@pytest.mark.slow
+def test_case_study_driver():
+    from repro.experiments import run_case_study
+    result = run_case_study(iterations=80)
+    assert result.source_lda_separates
+    assert format_case_study(result)

@@ -1,0 +1,151 @@
+"""Tests for repro.sampling.gibbs (driver + likelihood closed forms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.special import gammaln
+
+from repro.models.lda import LdaKernel
+from repro.sampling.gibbs import (CollapsedGibbsSampler,
+                                  asymmetric_dirichlet_log_likelihood,
+                                  symmetric_dirichlet_log_likelihood)
+from repro.sampling.rng import categorical, ensure_rng
+from repro.sampling.state import GibbsState
+
+
+class TestRngHelpers:
+    def test_ensure_rng_from_seed(self):
+        a, b = ensure_rng(5), ensure_rng(5)
+        assert a.random() == b.random()
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_categorical_respects_weights(self):
+        rng = np.random.default_rng(1)
+        draws = [categorical(np.array([0.0, 1.0, 0.0]), rng)
+                 for _ in range(50)]
+        assert set(draws) == {1}
+
+    def test_categorical_rejects_zero_mass(self):
+        with pytest.raises(ValueError, match="positive finite"):
+            categorical(np.zeros(3), np.random.default_rng(0))
+
+
+class TestSampler:
+    def test_sweep_preserves_token_count(self, tiny_corpus, rng):
+        state = GibbsState(tiny_corpus, 2)
+        state.initialize_random(rng)
+        kernel = LdaKernel(state, alpha=0.5, beta=0.1)
+        sampler = CollapsedGibbsSampler(state, kernel, rng)
+        sampler.sweep()
+        assert state.counts_consistent()
+        assert state.nw.sum() == state.num_tokens
+
+    def test_run_tracks_log_likelihood(self, tiny_corpus, rng):
+        state = GibbsState(tiny_corpus, 2)
+        state.initialize_random(rng)
+        kernel = LdaKernel(state, alpha=0.5, beta=0.1)
+        sampler = CollapsedGibbsSampler(state, kernel, rng)
+        lls = sampler.run(5, track_log_likelihood=True)
+        assert len(lls) == 5
+        assert all(np.isfinite(v) for v in lls)
+
+    def test_run_log_every(self, tiny_corpus, rng):
+        state = GibbsState(tiny_corpus, 2)
+        state.initialize_random(rng)
+        kernel = LdaKernel(state, alpha=0.5, beta=0.1)
+        sampler = CollapsedGibbsSampler(state, kernel, rng)
+        lls = sampler.run(6, track_log_likelihood=True, log_every=3)
+        assert len(lls) == 3  # iterations 0, 3, and the final one
+
+    def test_callback_invoked_each_iteration(self, tiny_corpus, rng):
+        state = GibbsState(tiny_corpus, 2)
+        state.initialize_random(rng)
+        kernel = LdaKernel(state, alpha=0.5, beta=0.1)
+        seen = []
+        CollapsedGibbsSampler(state, kernel, rng).run(
+            3, callback=lambda it, st: seen.append(it))
+        assert seen == [0, 1, 2]
+
+    def test_timings_recorded(self, tiny_corpus, rng):
+        state = GibbsState(tiny_corpus, 2)
+        state.initialize_random(rng)
+        kernel = LdaKernel(state, alpha=0.5, beta=0.1)
+        sampler = CollapsedGibbsSampler(state, kernel, rng)
+        sampler.run(4)
+        assert len(sampler.timings.seconds) == 4
+        assert sampler.timings.average >= 0
+
+    def test_mismatched_state_rejected(self, tiny_corpus, rng):
+        state_a = GibbsState(tiny_corpus, 2)
+        state_b = GibbsState(tiny_corpus, 2)
+        state_a.initialize_random(rng)
+        kernel = LdaKernel(state_a, alpha=0.5, beta=0.1)
+        with pytest.raises(ValueError, match="different state"):
+            CollapsedGibbsSampler(state_b, kernel, rng)
+
+    def test_negative_iterations_rejected(self, tiny_corpus, rng):
+        state = GibbsState(tiny_corpus, 2)
+        state.initialize_random(rng)
+        kernel = LdaKernel(state, alpha=0.5, beta=0.1)
+        with pytest.raises(ValueError, match="iterations"):
+            CollapsedGibbsSampler(state, kernel, rng).run(-1)
+
+    def test_deterministic_given_seed(self, tiny_corpus):
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            state = GibbsState(tiny_corpus, 2)
+            state.initialize_random(rng)
+            kernel = LdaKernel(state, alpha=0.5, beta=0.1)
+            CollapsedGibbsSampler(state, kernel, rng).run(5)
+            return state.z.copy()
+
+        np.testing.assert_array_equal(run(9), run(9))
+
+
+class TestLikelihoodClosedForms:
+    def test_symmetric_matches_manual(self):
+        nw = np.array([[2.0, 0.0], [1.0, 3.0]])
+        nt = nw.sum(axis=0)
+        beta = 0.5
+        manual = 0.0
+        for t in range(2):
+            manual += gammaln(2 * beta) - 2 * gammaln(beta)
+            manual += gammaln(nw[:, t] + beta).sum()
+            manual -= gammaln(nt[t] + 2 * beta)
+        assert symmetric_dirichlet_log_likelihood(nw, nt, beta) == \
+            pytest.approx(manual)
+
+    def test_symmetric_rejects_bad_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            symmetric_dirichlet_log_likelihood(np.zeros((2, 2)),
+                                               np.zeros(2), 0.0)
+
+    def test_asymmetric_reduces_to_symmetric(self):
+        nw = np.array([[2.0, 0.0], [1.0, 3.0]])
+        nt = nw.sum(axis=0)
+        beta = 0.7
+        delta = np.full((2, 2), beta)
+        assert asymmetric_dirichlet_log_likelihood(nw, nt, delta) == \
+            pytest.approx(symmetric_dirichlet_log_likelihood(nw, nt, beta))
+
+    def test_asymmetric_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError, match="positive"):
+            asymmetric_dirichlet_log_likelihood(
+                np.zeros((2, 2)), np.zeros(2), np.zeros((2, 2)))
+
+    def test_likelihood_prefers_coherent_assignments(self, tiny_corpus):
+        # Putting each word type in its own topic beats random mixing.
+        state = GibbsState(tiny_corpus, 2)
+        state.initialize_assignments(np.array([0, 0, 1, 0, 0, 1]))
+        coherent = symmetric_dirichlet_log_likelihood(state.nw, state.nt,
+                                                      0.1)
+        state.initialize_assignments(np.array([0, 1, 0, 1, 0, 1]))
+        mixed = symmetric_dirichlet_log_likelihood(state.nw, state.nt, 0.1)
+        assert coherent > mixed

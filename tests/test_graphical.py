@@ -1,0 +1,144 @@
+"""Tests for repro.datasets.graphical (the 5x5 pixel experiment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.graphical import (NUM_TOPICS, augment_topics,
+                                      generate_graphical_corpus,
+                                      graphical_knowledge_source,
+                                      original_topics, pixel_vocabulary,
+                                      render_topic_ascii, topic_image)
+
+
+class TestOriginalTopics:
+    def test_ten_topics_over_25_pixels(self):
+        topics = original_topics()
+        assert topics.shape == (10, 25)
+        np.testing.assert_allclose(topics.sum(axis=1), 1.0)
+
+    def test_rows_and_columns_uniform_over_five(self):
+        topics = original_topics()
+        for t in range(10):
+            support = np.flatnonzero(topics[t])
+            assert support.size == 5
+            np.testing.assert_allclose(topics[t, support], 0.2)
+
+    def test_row_column_intersection_is_one_pixel(self):
+        topics = original_topics()
+        row0 = set(np.flatnonzero(topics[0]))
+        col0 = set(np.flatnonzero(topics[5]))
+        assert len(row0 & col0) == 1
+
+    def test_vocabulary_words(self):
+        vocab = pixel_vocabulary()
+        assert len(vocab) == 25
+        assert "00" in vocab and "44" in vocab
+
+
+class TestAugmentation:
+    def test_every_topic_stays_normalized(self, rng):
+        augmented, _ = augment_topics(original_topics(), rng)
+        np.testing.assert_allclose(augmented.sum(axis=1), 1.0)
+
+    def test_pairs_cover_all_topics(self, rng):
+        _, pairs = augment_topics(original_topics(), rng)
+        touched = {t for pair in pairs for t in pair}
+        assert touched == set(range(NUM_TOPICS))
+
+    def test_twenty_percent_augmentation(self, rng):
+        """Each swapped topic differs from its original in exactly one of
+        five pixels (the paper's 20% rate)."""
+        original = original_topics()
+        augmented, pairs = augment_topics(original, rng)
+        for first, second in pairs:
+            for topic in (first, second):
+                before = set(np.flatnonzero(original[topic]))
+                after = set(np.flatnonzero(augmented[topic]))
+                assert len(before - after) == 1
+                assert len(after - before) == 1
+
+    def test_swapped_pixels_not_in_partner_support(self, rng):
+        original = original_topics()
+        augmented, pairs = augment_topics(original, rng)
+        for first, second in pairs:
+            gained_by_first = set(np.flatnonzero(augmented[first])) - \
+                set(np.flatnonzero(original[first]))
+            for pixel in gained_by_first:
+                assert original[first, pixel] == 0
+
+    def test_deterministic(self):
+        a, pairs_a = augment_topics(original_topics(), 3)
+        b, pairs_b = augment_topics(original_topics(), 3)
+        np.testing.assert_array_equal(a, b)
+        assert pairs_a == pairs_b
+
+
+class TestRendering:
+    def test_topic_image_shape(self):
+        image = topic_image(original_topics()[0])
+        assert image.shape == (5, 5)
+
+    def test_intensity_floor(self):
+        image = topic_image(original_topics()[0])
+        assert image.min() >= 0.2
+
+    def test_ascii_render_five_lines(self):
+        art = render_topic_ascii(original_topics()[3])
+        assert len(art.splitlines()) == 5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="expected shape"):
+            topic_image(np.ones(10))
+
+
+class TestCorpusGeneration:
+    def test_sizes(self):
+        data = generate_graphical_corpus(num_documents=30, seed=0)
+        assert len(data.corpus) == 30
+        assert data.corpus.num_tokens == 30 * 25
+        assert data.token_topics.shape == (750,)
+
+    def test_token_topics_valid(self):
+        data = generate_graphical_corpus(num_documents=10, seed=0)
+        assert data.token_topics.min() >= 0
+        assert data.token_topics.max() < NUM_TOPICS
+
+    def test_tokens_drawn_from_assigned_topic_support(self):
+        data = generate_graphical_corpus(num_documents=20, seed=1)
+        flat_words = np.concatenate([d.word_ids for d in data.corpus])
+        for word, topic in zip(flat_words[:100], data.token_topics[:100]):
+            assert data.augmented_topics[topic, word] > 0
+
+    def test_deterministic(self):
+        a = generate_graphical_corpus(num_documents=5, seed=2)
+        b = generate_graphical_corpus(num_documents=5, seed=2)
+        np.testing.assert_array_equal(a.corpus[0].word_ids,
+                                      b.corpus[0].word_ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_graphical_corpus(num_documents=0)
+
+
+class TestKnowledgeSource:
+    def test_labels(self):
+        source = graphical_knowledge_source()
+        assert len(source) == 10
+        assert source.labels[0] == "row-0"
+        assert source.labels[5] == "column-0"
+
+    def test_article_counts_proportional(self):
+        source = graphical_knowledge_source(tokens_per_article=100)
+        vocab = pixel_vocabulary()
+        counts = source.count_matrix(vocab)
+        topics = original_topics()
+        for t in range(10):
+            support = np.flatnonzero(topics[t])
+            np.testing.assert_allclose(counts[t, support], 20.0)
+            assert counts[t].sum() == 100
+
+    def test_minimum_length_validation(self):
+        with pytest.raises(ValueError, match="tokens_per_article"):
+            graphical_knowledge_source(tokens_per_article=5)

@@ -1,0 +1,117 @@
+"""Cross-module integration tests: the full pipelines users run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.source_lda import SourceLDA
+from repro.datasets.synthetic import (generate_source_lda_corpus,
+                                      restrict_source_to_truth)
+from repro.knowledge.wikipedia import SyntheticWikipedia
+from repro.labeling.js_mapping import JsDivergenceLabeler
+from repro.metrics.accuracy import labeled_accuracy
+from repro.metrics.perplexity import perplexity_importance_sampling
+from repro.models.lda import LDA
+from repro.sampling.prefix_sums import PrefixSumScan
+from repro.sampling.simple_parallel import SimpleParallelScan
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Source -> generated corpus -> fitted Source-LDA, shared per module."""
+    wiki = SyntheticWikipedia([f"Subject {i}" for i in range(6)],
+                              article_length=200, core_vocab_size=12,
+                              background_vocab_size=50, seed=21)
+    source = wiki.knowledge_source()
+    data = generate_source_lda_corpus(
+        source, num_topics=4, num_documents=50, avg_document_length=40,
+        alpha=0.5, mu=0.8, sigma=0.2, seed=21)
+    fitted = SourceLDA(source, num_unlabeled_topics=1, mu=0.8, sigma=0.2,
+                       alpha=0.5, min_documents=3, min_proportion=0.1,
+                       calibration_draws=4).fit(
+        data.corpus, iterations=30, seed=21)
+    return source, data, fitted
+
+
+class TestSourceLdaPipeline:
+    def test_recovers_generating_topics(self, pipeline):
+        source, data, fitted = pipeline
+        active_labels = {label for label in
+                         fitted.metadata["active_labels"]
+                         if label is not None}
+        recovered = len(active_labels & set(data.chosen_topics))
+        assert recovered >= 3
+
+    def test_token_label_accuracy_beats_chance(self, pipeline):
+        source, data, fitted = pipeline
+        accuracy = labeled_accuracy(
+            fitted.flat_assignments(), fitted.topic_labels,
+            data.token_topics, data.chosen_topics)
+        assert accuracy > 0.5  # chance is ~1/7
+
+    def test_beats_unsupervised_lda_on_labels(self, pipeline):
+        source, data, fitted = pipeline
+        lda = LDA(num_topics=4, alpha=0.5, beta=0.1).fit(
+            data.corpus, iterations=30, seed=21)
+        labeling = JsDivergenceLabeler().label_topics(lda, source)
+        lda_accuracy = labeled_accuracy(
+            lda.flat_assignments(), labeling.labels, data.token_topics,
+            data.chosen_topics)
+        src_accuracy = labeled_accuracy(
+            fitted.flat_assignments(), fitted.topic_labels,
+            data.token_topics, data.chosen_topics)
+        # LDA here is given the oracle topic count (4) on an easy corpus,
+        # so post-hoc mapping is unusually strong; Source-LDA must stay
+        # competitive despite carrying the full 6-topic superset plus an
+        # unlabeled topic.  (The decisive gaps appear at bench scale —
+        # see benchmarks/test_bench_fig8a_accuracy_mixed.py.)
+        assert src_accuracy >= lda_accuracy - 0.1
+
+    def test_heldout_perplexity_sane(self, pipeline):
+        source, data, fitted = pipeline
+        heldout = generate_source_lda_corpus(
+            source, num_topics=4, num_documents=8,
+            avg_document_length=40, alpha=0.5, mu=0.8, sigma=0.2,
+            seed=22, vocabulary=data.corpus.vocabulary)
+        perplexity = perplexity_importance_sampling(
+            fitted.phi, heldout.corpus, alpha=0.5, num_samples=16, rng=0)
+        assert 1.0 < perplexity < data.corpus.vocab_size
+
+
+class TestParallelScansInModels:
+    """Algorithms 2/3 must be drop-in replacements inside real models."""
+
+    def test_scan_strategies_equivalent_in_lda(self, wiki_corpus):
+        results = []
+        for scan in (None, PrefixSumScan(), SimpleParallelScan(blocks=4)):
+            fitted = LDA(3, alpha=0.5, beta=0.1, scan=scan).fit(
+                wiki_corpus, iterations=5, seed=13)
+            results.append(fitted.flat_assignments())
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+    def test_scan_strategies_equivalent_in_source_lda(self, wiki_source,
+                                                      wiki_corpus):
+        from repro.core.bijective import BijectiveSourceLDA
+        results = []
+        for scan in (None, PrefixSumScan(), SimpleParallelScan(blocks=3)):
+            fitted = BijectiveSourceLDA(wiki_source, scan=scan).fit(
+                wiki_corpus, iterations=4, seed=13)
+            results.append(fitted.flat_assignments())
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+
+class TestExactCondition:
+    def test_exact_source_pipeline(self, pipeline):
+        source, data, _ = pipeline
+        exact = restrict_source_to_truth(source, data)
+        fitted = SourceLDA(exact, num_unlabeled_topics=0, mu=0.8,
+                           sigma=0.2, alpha=0.5, reduce_topics=False,
+                           calibration_draws=4).fit(
+            data.corpus, iterations=25, seed=5)
+        accuracy = labeled_accuracy(
+            fitted.flat_assignments(), fitted.topic_labels,
+            data.token_topics, data.chosen_topics)
+        assert accuracy > 0.6

@@ -1,0 +1,119 @@
+"""Tests for repro.sampling.integration (LambdaGrid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.integration import DEFAULT_STEPS, LambdaGrid
+
+
+class TestConstruction:
+    def test_weights_normalized(self):
+        grid = LambdaGrid(nodes=np.array([0.2, 0.8]),
+                          weights=np.array([2.0, 6.0]))
+        np.testing.assert_allclose(grid.weights, [0.25, 0.75])
+
+    def test_rejects_out_of_range_nodes(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            LambdaGrid(nodes=np.array([1.5]), weights=np.array([1.0]))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LambdaGrid(nodes=np.array([0.5]), weights=np.array([-1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            LambdaGrid(nodes=np.array([]), weights=np.array([]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="equal length"):
+            LambdaGrid(nodes=np.array([0.5]), weights=np.array([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(LambdaGrid.from_prior(0.5, 0.3, steps=7)) == 7
+
+
+class TestFromPrior:
+    def test_default_steps(self):
+        grid = LambdaGrid.from_prior(0.7, 0.3)
+        assert len(grid) == DEFAULT_STEPS
+
+    def test_nodes_are_midpoints(self):
+        grid = LambdaGrid.from_prior(0.5, 0.3, steps=4)
+        np.testing.assert_allclose(grid.nodes,
+                                   [0.125, 0.375, 0.625, 0.875])
+
+    def test_weights_peak_near_mu(self):
+        grid = LambdaGrid.from_prior(0.7, 0.1, steps=9)
+        assert grid.nodes[grid.weights.argmax()] == pytest.approx(0.7,
+                                                                  abs=0.08)
+
+    def test_sigma_zero_degenerates(self):
+        grid = LambdaGrid.from_prior(0.4, 0.0)
+        assert len(grid) == 1
+        assert grid.nodes[0] == 0.4
+        assert grid.weights[0] == 1.0
+
+    def test_sigma_zero_clips_mu(self):
+        assert LambdaGrid.from_prior(7.0, 0.0).nodes[0] == 1.0
+        assert LambdaGrid.from_prior(-3.0, 0.0).nodes[0] == 0.0
+
+    def test_far_mu_underflow_fallback(self):
+        grid = LambdaGrid.from_prior(500.0, 1e-3, steps=5)
+        assert grid.weights.sum() == pytest.approx(1.0)
+        # All mass on the node closest to the clipped mu.
+        assert grid.nodes[grid.weights.argmax()] == grid.nodes[-1]
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            LambdaGrid.from_prior(0.5, -0.1)
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError, match="steps"):
+            LambdaGrid.from_prior(0.5, 0.3, steps=0)
+
+    def test_large_sigma_near_uniform(self):
+        grid = LambdaGrid.from_prior(0.5, 100.0, steps=5)
+        np.testing.assert_allclose(grid.weights, 0.2, atol=0.01)
+
+
+class TestFixed:
+    def test_single_node(self):
+        grid = LambdaGrid.fixed(0.3)
+        assert len(grid) == 1
+        assert grid.nodes[0] == 0.3
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError, match="lambda"):
+            LambdaGrid.fixed(1.2)
+
+
+class TestExpectation:
+    def test_weighted_average(self):
+        grid = LambdaGrid(nodes=np.array([0.0, 1.0]),
+                          weights=np.array([0.25, 0.75]))
+        assert grid.expectation(np.array([0.0, 4.0])) == pytest.approx(3.0)
+
+    def test_matrix_expectation(self):
+        grid = LambdaGrid(nodes=np.array([0.0, 1.0]),
+                          weights=np.array([0.5, 0.5]))
+        values = np.array([[1.0, 3.0], [2.0, 4.0]])
+        np.testing.assert_allclose(grid.expectation(values), [2.0, 3.0])
+
+    def test_shape_validation(self):
+        grid = LambdaGrid.fixed(0.5)
+        with pytest.raises(ValueError, match="last axis"):
+            grid.expectation(np.zeros((3, 2)))
+
+    @given(st.floats(min_value=0, max_value=1),
+           st.floats(min_value=0.01, max_value=5),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=50, deadline=None)
+    def test_property_weights_form_distribution(self, mu, sigma, steps):
+        grid = LambdaGrid.from_prior(mu, sigma, steps)
+        assert grid.weights.sum() == pytest.approx(1.0)
+        assert np.all(grid.weights >= 0)
+        assert np.all((grid.nodes >= 0) & (grid.nodes <= 1))

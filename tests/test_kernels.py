@@ -1,0 +1,147 @@
+"""Tests for repro.core.kernels (Equations 2, 3 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import SourceTopicsKernel
+from repro.core.priors import SourcePrior
+from repro.sampling.integration import LambdaGrid
+from repro.sampling.state import GibbsState
+
+
+@pytest.fixture
+def setup(small_source, tiny_corpus):
+    prior = SourcePrior(small_source, tiny_corpus.vocabulary)
+    return prior, tiny_corpus
+
+
+def _kernel(prior, corpus, num_free, grid, rng_seed=0):
+    tables = prior.grid_tables(grid.nodes)
+    state = GibbsState(corpus, num_free + prior.num_topics)
+    state.initialize_random(np.random.default_rng(rng_seed))
+    kernel = SourceTopicsKernel(state, num_free=num_free, alpha=0.5,
+                                beta=0.1, tables=tables, grid=grid)
+    return state, kernel
+
+
+class TestSingleNodeEquivalence:
+    """With one grid node the kernel must equal the closed-form
+    fixed-delta expressions of Equation 2."""
+
+    def test_weights_match_manual_formula(self, setup):
+        prior, corpus = setup
+        grid = LambdaGrid.fixed(1.0)
+        state, kernel = _kernel(prior, corpus, num_free=0, grid=grid)
+        delta = prior.hyperparameters
+        word, doc = int(state.words[0]), int(state.doc_ids[0])
+        state.decrement(0)
+        expected = ((state.nw[word] + delta[:, word])
+                    / (state.nt + delta.sum(axis=1))
+                    * (state.nd[doc] + 0.5))
+        np.testing.assert_allclose(kernel.weights(word, doc), expected,
+                                   rtol=1e-12)
+        state.increment(0, 0)
+
+    def test_phi_matches_equation_one(self, setup):
+        prior, corpus = setup
+        grid = LambdaGrid.fixed(1.0)
+        state, kernel = _kernel(prior, corpus, num_free=0, grid=grid)
+        delta = prior.hyperparameters
+        expected = ((state.nw + delta.T)
+                    / (state.nt + delta.sum(axis=1))).T
+        np.testing.assert_allclose(kernel.phi(), expected, rtol=1e-12)
+
+
+class TestMixedLayout:
+    def test_free_topics_use_symmetric_beta(self, setup):
+        prior, corpus = setup
+        grid = LambdaGrid.fixed(1.0)
+        state, kernel = _kernel(prior, corpus, num_free=2, grid=grid)
+        word, doc = int(state.words[0]), int(state.doc_ids[0])
+        state.decrement(0)
+        weights = kernel.weights(word, doc)
+        vocab_size = corpus.vocab_size
+        expected_free = ((state.nw[word, :2] + 0.1)
+                         / (state.nt[:2] + 0.1 * vocab_size)
+                         * (state.nd[doc, :2] + 0.5))
+        np.testing.assert_allclose(weights[:2], expected_free, rtol=1e-12)
+        state.increment(0, 0)
+
+    def test_phi_rows_all_normalized(self, setup):
+        prior, corpus = setup
+        grid = LambdaGrid.from_prior(0.7, 0.3, steps=5)
+        _, kernel = _kernel(prior, corpus, num_free=2, grid=grid)
+        np.testing.assert_allclose(kernel.phi().sum(axis=1), 1.0,
+                                   atol=1e-9)
+
+
+class TestGridIntegration:
+    def test_weights_are_weighted_average_over_nodes(self, setup):
+        prior, corpus = setup
+        grid = LambdaGrid(nodes=np.array([0.0, 1.0]),
+                          weights=np.array([0.3, 0.7]))
+        state, kernel = _kernel(prior, corpus, num_free=0, grid=grid)
+        word, doc = int(state.words[0]), int(state.doc_ids[0])
+        state.decrement(0)
+        combined = kernel.weights(word, doc)
+        parts = []
+        for node in (0.0, 1.0):
+            delta = prior.delta(node)
+            parts.append((state.nw[word] + delta[:, word])
+                         / (state.nt + delta.sum(axis=1)))
+        expected = (0.3 * parts[0] + 0.7 * parts[1]) \
+            * (state.nd[doc] + 0.5)
+        np.testing.assert_allclose(combined, expected, rtol=1e-12)
+        state.increment(0, 0)
+
+    def test_log_likelihood_finite(self, setup):
+        prior, corpus = setup
+        grid = LambdaGrid.from_prior(0.7, 0.3, steps=4)
+        _, kernel = _kernel(prior, corpus, num_free=1, grid=grid)
+        assert np.isfinite(kernel.log_likelihood())
+
+    def test_log_likelihood_single_node_matches_closed_form(self, setup):
+        from repro.sampling.gibbs import \
+            asymmetric_dirichlet_log_likelihood
+        prior, corpus = setup
+        grid = LambdaGrid.fixed(1.0)
+        state, kernel = _kernel(prior, corpus, num_free=0, grid=grid)
+        expected = asymmetric_dirichlet_log_likelihood(
+            state.nw, state.nt, prior.hyperparameters)
+        assert kernel.log_likelihood() == pytest.approx(expected,
+                                                        rel=1e-9)
+
+
+class TestValidation:
+    def test_rejects_bad_split(self, setup):
+        prior, corpus = setup
+        grid = LambdaGrid.fixed(1.0)
+        tables = prior.grid_tables(grid.nodes)
+        state = GibbsState(corpus, prior.num_topics)  # no room for free
+        state.initialize_random(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="invalid split"):
+            SourceTopicsKernel(state, num_free=prior.num_topics,
+                               alpha=0.5, beta=0.1, tables=tables,
+                               grid=grid)
+
+    def test_rejects_node_count_mismatch(self, setup):
+        prior, corpus = setup
+        tables = prior.grid_tables(np.array([1.0]))
+        state = GibbsState(corpus, prior.num_topics)
+        state.initialize_random(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="nodes"):
+            SourceTopicsKernel(state, num_free=0, alpha=0.5, beta=0.1,
+                               tables=tables,
+                               grid=LambdaGrid.from_prior(0.5, 0.5, 3))
+
+    def test_rejects_nonpositive_priors(self, setup):
+        prior, corpus = setup
+        grid = LambdaGrid.fixed(1.0)
+        tables = prior.grid_tables(grid.nodes)
+        state = GibbsState(corpus, prior.num_topics)
+        state.initialize_random(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="positive"):
+            SourceTopicsKernel(state, num_free=0, alpha=0.0, beta=0.1,
+                               tables=tables, grid=grid)

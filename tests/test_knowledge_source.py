@@ -1,0 +1,83 @@
+"""Tests for repro.knowledge.source."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.knowledge.source import KnowledgeSource
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+
+class TestKnowledgeSource:
+    def test_labels_preserve_insertion_order(self, small_source):
+        assert small_source.labels == \
+            ("School Supplies", "Baseball", "Cooking")
+
+    def test_tokens_returns_copy(self, small_source):
+        tokens = small_source.tokens("Baseball")
+        tokens.append("mutated")
+        assert "mutated" not in small_source.tokens("Baseball")
+
+    def test_len_and_contains(self, small_source):
+        assert len(small_source) == 3
+        assert "Baseball" in small_source
+        assert "Chess" not in small_source
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ValueError, match="at least one article"):
+            KnowledgeSource({})
+
+    def test_empty_article_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            KnowledgeSource({"X": []})
+
+    def test_from_texts_tokenizes(self):
+        source = KnowledgeSource.from_texts(
+            {"Baseball": "The umpire called a strike!"},
+            tokenizer=Tokenizer())
+        assert source.tokens("Baseball") == ["umpire", "called", "strike"]
+
+    def test_vocabulary_covers_all_articles(self, small_source):
+        vocab = small_source.vocabulary()
+        for label in small_source.labels:
+            for token in small_source.tokens(label):
+                assert token in vocab
+
+    def test_count_matrix_shape_and_totals(self, small_source):
+        vocab = small_source.vocabulary()
+        matrix = small_source.count_matrix(vocab)
+        assert matrix.shape == (3, len(vocab))
+        for row, label in enumerate(small_source.labels):
+            assert matrix[row].sum() == len(small_source.tokens(label))
+
+    def test_count_matrix_ignores_oov_words(self, small_source):
+        vocab = Vocabulary.from_tokens(["pencil"])
+        matrix = small_source.count_matrix(vocab)
+        assert matrix.shape == (3, 1)
+        assert matrix[0, 0] == 3  # three "pencil" in School Supplies
+        assert matrix[1, 0] == 0
+
+    def test_subset_preserves_order(self, small_source):
+        subset = small_source.subset(["Cooking", "Baseball"])
+        assert subset.labels == ("Cooking", "Baseball")
+
+    def test_subset_unknown_label(self, small_source):
+        with pytest.raises(KeyError, match="Chess"):
+            small_source.subset(["Chess"])
+
+    def test_merged_with(self, small_source):
+        other = KnowledgeSource({"Chess": ["board", "pawn"]})
+        merged = small_source.merged_with(other)
+        assert len(merged) == 4
+        assert merged.tokens("Chess") == ["board", "pawn"]
+
+    def test_merged_with_duplicate_label(self, small_source):
+        other = KnowledgeSource({"Baseball": ["bat"]})
+        with pytest.raises(ValueError, match="duplicate"):
+            small_source.merged_with(other)
+
+    def test_count_matrix_is_float(self, small_source):
+        matrix = small_source.count_matrix(small_source.vocabulary())
+        assert matrix.dtype == np.float64

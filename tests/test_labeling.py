@@ -1,0 +1,115 @@
+"""Tests for repro.labeling (the four post-hoc mapping techniques)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.labeling.counting import CountingLabeler
+from repro.labeling.ir_lda import TfidfCosineLabeler
+from repro.labeling.js_mapping import JsDivergenceLabeler
+from repro.labeling.pmi_mapping import PmiLabeler
+from repro.models.base import FittedTopicModel
+
+ALL_LABELERS = [JsDivergenceLabeler(), TfidfCosineLabeler(top_n_words=3),
+                CountingLabeler(top_n_words=3), PmiLabeler(top_n_words=3)]
+
+
+@pytest.fixture
+def clean_model(small_source, tiny_corpus) -> FittedTopicModel:
+    """A hand-built model whose topics cleanly match two articles."""
+    vocab = tiny_corpus.vocabulary
+    phi = np.full((2, 4), 0.01)
+    phi[0, vocab["pencil"]] = 0.6
+    phi[0, vocab["ruler"]] = 0.38
+    phi[1, vocab["baseball"]] = 0.6
+    phi[1, vocab["umpire"]] = 0.38
+    phi /= phi.sum(axis=1, keepdims=True)
+    return FittedTopicModel(
+        phi=phi, theta=np.full((2, 2), 0.5),
+        assignments=[np.array([0, 0, 1]), np.array([0, 0, 1])],
+        vocabulary=vocab)
+
+
+class TestAllLabelers:
+    @pytest.mark.parametrize("labeler", ALL_LABELERS,
+                             ids=lambda lab: type(lab).__name__)
+    def test_clean_topics_labeled_correctly(self, labeler, clean_model,
+                                            small_source):
+        labeling = labeler.label_topics(clean_model, small_source)
+        assert labeling.labels == ("School Supplies", "Baseball")
+
+    @pytest.mark.parametrize("labeler", ALL_LABELERS,
+                             ids=lambda lab: type(lab).__name__)
+    def test_score_matrix_shape(self, labeler, clean_model, small_source):
+        labeling = labeler.label_topics(clean_model, small_source)
+        assert labeling.score_matrix.shape == (2, 3)
+        assert labeling.candidate_labels == small_source.labels
+
+    @pytest.mark.parametrize("labeler", ALL_LABELERS,
+                             ids=lambda lab: type(lab).__name__)
+    def test_argmax_consistency(self, labeler, clean_model, small_source):
+        labeling = labeler.label_topics(clean_model, small_source)
+        for topic in range(labeling.num_topics):
+            winner = labeling.score_matrix[topic].argmax()
+            assert labeling.labels[topic] == small_source.labels[winner]
+
+
+class TestTopicLabeling:
+    def test_distinct_labels(self, clean_model, small_source):
+        labeling = JsDivergenceLabeler().label_topics(clean_model,
+                                                      small_source)
+        assert labeling.distinct_labels() == {"School Supplies",
+                                              "Baseball"}
+
+    def test_score_of(self, clean_model, small_source):
+        labeling = CountingLabeler(top_n_words=2).label_topics(
+            clean_model, small_source)
+        assert labeling.score_of(0) == labeling.score_matrix[0].max()
+
+    def test_label_of(self, clean_model, small_source):
+        labeling = PmiLabeler(top_n_words=2).label_topics(clean_model,
+                                                          small_source)
+        assert labeling.label_of(1) == "Baseball"
+
+
+class TestMixedTopicCollapse:
+    """The intro case-study failure: mixed topics collapse to one label."""
+
+    def test_js_labeler_collapses_mixed_topics(self, tiny_corpus,
+                                               small_source):
+        vocab = tiny_corpus.vocabulary
+        # Topic 0 = {pencil, umpire}, topic 1 = {ruler, baseball} — the
+        # paper's confused LDA outcome.
+        phi = np.full((2, 4), 1e-3)
+        phi[0, vocab["pencil"]] = 0.66
+        phi[0, vocab["umpire"]] = 0.33
+        phi[1, vocab["ruler"]] = 0.66
+        phi[1, vocab["baseball"]] = 0.33
+        phi /= phi.sum(axis=1, keepdims=True)
+        model = FittedTopicModel(
+            phi=phi, theta=np.full((2, 2), 0.5),
+            assignments=[np.array([0, 0, 0]), np.array([1, 1, 1])],
+            vocabulary=vocab)
+        collapsed = 0
+        for labeler in ALL_LABELERS:
+            labels = labeler.label_topics(model, small_source).labels
+            collapsed += len(set(labels)) == 1
+        assert collapsed >= 1
+
+
+class TestValidation:
+    def test_top_n_validation(self):
+        for cls in (TfidfCosineLabeler, CountingLabeler, PmiLabeler):
+            with pytest.raises(ValueError, match="top_n_words"):
+                cls(top_n_words=0)
+
+    def test_pmi_smoothing_validation(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            PmiLabeler(smoothing=0.0)
+
+    def test_binary_query_variant(self, clean_model, small_source):
+        labeler = TfidfCosineLabeler(top_n_words=2,
+                                     weight_by_probability=False)
+        labeling = labeler.label_topics(clean_model, small_source)
+        assert labeling.labels[0] == "School Supplies"

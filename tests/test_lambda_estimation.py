@@ -1,0 +1,79 @@
+"""Tests for repro.core.lambda_estimation (learning lambda from data)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bijective import BijectiveSourceLDA
+from repro.core.lambda_estimation import (estimate_lambda_posterior,
+                                          lambda_log_likelihoods)
+from repro.core.priors import SourcePrior
+from repro.datasets.synthetic import generate_source_lda_corpus
+from repro.sampling.integration import LambdaGrid
+
+
+class TestLambdaLogLikelihoods:
+    def test_shape(self, small_source, tiny_corpus):
+        prior = SourcePrior(small_source, tiny_corpus.vocabulary)
+        counts = np.ones((3, 4))
+        out = lambda_log_likelihoods(counts, prior,
+                                     np.array([0.0, 0.5, 1.0]))
+        assert out.shape == (3, 3)
+        assert np.all(np.isfinite(out))
+
+    def test_shape_validation(self, small_source, tiny_corpus):
+        prior = SourcePrior(small_source, tiny_corpus.vocabulary)
+        with pytest.raises(ValueError, match="counts"):
+            lambda_log_likelihoods(np.ones((2, 4)), prior,
+                                   np.array([1.0]))
+
+    def test_source_matching_counts_prefer_high_lambda(self, wiki_source):
+        """Counts proportional to the article prefer lambda = 1."""
+        vocab = wiki_source.vocabulary()
+        prior = SourcePrior(wiki_source, vocab)
+        counts = prior.hyperparameters * 3.0  # exactly source-shaped
+        out = lambda_log_likelihoods(counts, prior,
+                                     np.array([0.1, 0.5, 1.0]))
+        assert np.all(out[:, 2] > out[:, 0])
+
+
+class TestEstimateLambdaPosterior:
+    def test_posterior_is_distribution(self, wiki_source, wiki_corpus):
+        grid = LambdaGrid.from_prior(0.7, 0.3, steps=5)
+        fitted = BijectiveSourceLDA(wiki_source, lambda_grid=grid).fit(
+            wiki_corpus, iterations=10, seed=0)
+        prior = SourcePrior(wiki_source, wiki_corpus.vocabulary)
+        posterior, mean = estimate_lambda_posterior(fitted, prior, grid)
+        assert posterior.shape == (5, 5)
+        np.testing.assert_allclose(posterior.sum(axis=1), 1.0)
+        assert np.all((mean >= 0) & (mean <= 1))
+
+    def test_detects_high_lambda_topics(self, wiki_source):
+        """A corpus generated at lambda = 1 yields high posterior means."""
+        data = generate_source_lda_corpus(
+            wiki_source, num_documents=40, avg_document_length=60,
+            mu=1.0, sigma=0.0, seed=4)
+        grid = LambdaGrid.from_prior(0.5, 0.5, steps=7)
+        fitted = BijectiveSourceLDA(wiki_source, lambda_grid=grid).fit(
+            data.corpus, iterations=15, seed=4)
+        prior = SourcePrior(wiki_source, data.corpus.vocabulary)
+        _, mean = estimate_lambda_posterior(fitted, prior, grid)
+        assert mean.mean() > 0.6
+
+    def test_requires_recorded_counts(self, wiki_source, wiki_corpus):
+        from repro.models.lda import LDA
+        fitted = LDA(5).fit(wiki_corpus, iterations=2, seed=0)
+        prior = SourcePrior(wiki_source, wiki_corpus.vocabulary)
+        grid = LambdaGrid.fixed(1.0)
+        with pytest.raises(ValueError, match="source_word_counts"):
+            estimate_lambda_posterior(fitted, prior, grid)
+
+    def test_exponent_shape_validation(self, wiki_source, wiki_corpus):
+        grid = LambdaGrid.from_prior(0.7, 0.3, steps=3)
+        fitted = BijectiveSourceLDA(wiki_source, lambda_grid=grid).fit(
+            wiki_corpus, iterations=2, seed=0)
+        prior = SourcePrior(wiki_source, wiki_corpus.vocabulary)
+        with pytest.raises(ValueError, match="exponents"):
+            estimate_lambda_posterior(fitted, prior, grid,
+                                      exponents=np.array([1.0]))

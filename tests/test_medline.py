@@ -1,0 +1,59 @@
+"""Tests for repro.knowledge.medline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knowledge.medline import (MEDLINE_TOPIC_COUNT,
+                                     medline_knowledge_source,
+                                     medlineplus_topics)
+
+
+class TestMedlineplusTopics:
+    def test_default_count_matches_paper(self):
+        assert MEDLINE_TOPIC_COUNT == 578
+        assert len(medlineplus_topics()) == 578
+
+    def test_all_labels_unique(self):
+        labels = medlineplus_topics()
+        assert len(set(labels)) == len(labels)
+
+    def test_prefix_stability(self):
+        # The first N labels never change when requesting more.
+        assert medlineplus_topics(20) == medlineplus_topics(200)[:20]
+
+    def test_base_topics_come_first(self):
+        labels = medlineplus_topics(5)
+        assert labels[0] == "Asthma"
+
+    def test_qualified_topics_appear_after_base(self):
+        labels = medlineplus_topics(400)
+        assert any(label.startswith("Pediatric ") for label in labels)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="count"):
+            medlineplus_topics(0)
+
+    def test_rejects_more_than_inventory(self):
+        with pytest.raises(ValueError, match="exhausted"):
+            medlineplus_topics(100_000)
+
+
+class TestMedlineKnowledgeSource:
+    def test_source_has_requested_topics(self):
+        source = medline_knowledge_source(num_topics=12, article_length=40,
+                                          seed=1)
+        assert len(source) == 12
+        assert source.labels == medlineplus_topics(12)
+
+    def test_articles_nonempty(self):
+        source = medline_knowledge_source(num_topics=3, article_length=40)
+        for label in source.labels:
+            assert len(source.tokens(label)) == 40
+
+    def test_deterministic(self):
+        a = medline_knowledge_source(num_topics=4, article_length=30,
+                                     seed=2)
+        b = medline_knowledge_source(num_topics=4, article_length=30,
+                                     seed=2)
+        assert a.tokens(a.labels[0]) == b.tokens(b.labels[0])

@@ -1,0 +1,85 @@
+"""Tests for repro.sampling.parallel (WorkerPool, chunking)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.sampling.parallel import WorkerPool, chunk_bounds
+
+
+class TestChunkBounds:
+    def test_even_split(self):
+        assert chunk_bounds(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split_front_loads_remainder(self):
+        assert chunk_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_bounds(2, 5) == [(0, 1), (1, 2)]
+
+    def test_zero_total(self):
+        assert chunk_bounds(0, 3) == []
+
+    def test_covers_range_exactly(self):
+        for total in (1, 7, 100):
+            for chunks in (1, 2, 3, 8):
+                bounds = chunk_bounds(total, chunks)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == total
+                for (a, b), (c, d) in zip(bounds, bounds[1:]):
+                    assert b == c
+                    assert a < b
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            chunk_bounds(-1, 2)
+
+    def test_zero_chunks_rejected(self):
+        with pytest.raises(ValueError, match="chunks"):
+            chunk_bounds(5, 0)
+
+
+class TestWorkerPool:
+    def test_single_thread_runs_inline(self):
+        pool = WorkerPool(1)
+        thread_ids = set()
+
+        def record(_seg, lo, hi):
+            thread_ids.add(threading.get_ident())
+
+        pool.run_chunked(record, 10)
+        assert thread_ids == {threading.get_ident()}
+
+    def test_multi_thread_covers_all_indices(self):
+        covered = np.zeros(100, dtype=np.int64)
+
+        def mark(_seg, lo, hi):
+            covered[lo:hi] += 1
+
+        with WorkerPool(4) as pool:
+            pool.run_chunked(mark, 100)
+        np.testing.assert_array_equal(covered, np.ones(100))
+
+    def test_exceptions_propagate(self):
+        def boom(_seg, lo, hi):
+            raise RuntimeError("chunk failure")
+
+        with WorkerPool(3) as pool:
+            with pytest.raises(RuntimeError, match="chunk failure"):
+                pool.run_chunked(boom, 10)
+
+    def test_close_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError, match="threads"):
+            WorkerPool(0)
+
+    def test_zero_work(self):
+        with WorkerPool(2) as pool:
+            pool.run_chunked(lambda *_: None, 0)  # no error

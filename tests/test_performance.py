@@ -1,0 +1,89 @@
+"""Tests for repro.experiments.performance (Fig. 8f machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.performance import (ScalingResult, ScalingRow,
+                                           _modeled_time,
+                                           random_topic_source,
+                                           run_scaling)
+
+
+class TestRandomTopicSource:
+    def test_topic_count_and_lengths(self):
+        source = random_topic_source(5, vocab_size=50, article_length=20,
+                                     seed=0)
+        assert len(source) == 5
+        for label in source.labels:
+            assert len(source.tokens(label)) == 20
+
+    def test_deterministic(self):
+        a = random_topic_source(3, vocab_size=30, article_length=10,
+                                seed=4)
+        b = random_topic_source(3, vocab_size=30, article_length=10,
+                                seed=4)
+        assert a.tokens(a.labels[0]) == b.tokens(b.labels[0])
+
+    def test_topics_differ(self):
+        source = random_topic_source(2, vocab_size=200,
+                                     article_length=50, seed=1)
+        assert source.tokens(source.labels[0]) != \
+            source.tokens(source.labels[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_topics"):
+            random_topic_source(0)
+
+
+class TestModeledTime:
+    def test_serial_identity(self):
+        assert _modeled_time(1.0, 1000, 1) == pytest.approx(1.0)
+
+    def test_work_dominated_regime(self):
+        # T/P >> P: time divides by P.
+        assert _modeled_time(1.0, 1000, 4) == pytest.approx(0.25)
+
+    def test_latency_dominated_regime(self):
+        # P > T/P: adding units past sqrt(T) stops helping.
+        assert _modeled_time(1.0, 16, 8) == pytest.approx(0.5)
+
+    def test_monotone_in_threads_up_to_sqrt(self):
+        times = [_modeled_time(1.0, 400, p) for p in (1, 2, 4, 8, 16, 20)]
+        assert times[:5] == sorted(times[:5], reverse=True)
+
+
+class TestScalingResult:
+    def _rows(self, times):
+        return [ScalingRow(num_topics=b, measured_seconds={1: t},
+                           modeled_seconds={1: t})
+                for b, t in times]
+
+    def test_linear_detection_positive(self):
+        result = ScalingResult(
+            rows=self._rows([(100, 0.01), (200, 0.02), (400, 0.04)]),
+            thread_counts=(1,))
+        assert result.is_linear_in_topics()
+
+    def test_linear_detection_negative(self):
+        result = ScalingResult(
+            rows=self._rows([(100, 0.04), (200, 0.01), (400, 0.04)]),
+            thread_counts=(1,))
+        assert not result.is_linear_in_topics()
+
+    def test_short_series_trivially_linear(self):
+        result = ScalingResult(rows=self._rows([(100, 0.01)]),
+                               thread_counts=(1,))
+        assert result.is_linear_in_topics()
+
+
+class TestRunScaling:
+    def test_rows_and_fields(self):
+        result = run_scaling(topic_counts=[10, 20], thread_counts=(1,),
+                             num_documents=2, document_length=8,
+                             iterations=1, seed=0)
+        assert [row.num_topics for row in result.rows] == [10, 20]
+        for row in result.rows:
+            assert row.measured_seconds[1] > 0
+            assert np.isfinite(row.modeled_seconds[1])

@@ -1,0 +1,108 @@
+"""Tests for repro.metrics.perplexity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.perplexity import (heldout_gibbs_theta,
+                                      log_likelihood_importance_sampling,
+                                      perplexity_heldout_gibbs,
+                                      perplexity_importance_sampling)
+from repro.text.corpus import Corpus
+
+
+@pytest.fixture
+def phi() -> np.ndarray:
+    return np.array([[0.7, 0.1, 0.1, 0.1],
+                     [0.1, 0.1, 0.1, 0.7]])
+
+
+@pytest.fixture
+def corpus() -> Corpus:
+    return Corpus.from_token_lists([["a", "a", "b"], ["d", "d", "c"]])
+
+
+class TestImportanceSampling:
+    def test_log_likelihood_negative(self, phi, corpus):
+        value = log_likelihood_importance_sampling(phi, corpus, alpha=0.5,
+                                                   num_samples=16, rng=0)
+        assert value < 0
+
+    def test_perplexity_bounded_by_vocab(self, phi, corpus):
+        value = perplexity_importance_sampling(phi, corpus, alpha=0.5,
+                                               num_samples=32, rng=0)
+        # Perplexity of any model on a 4-word vocabulary is < some large
+        # multiple of V; a sane fit is well under V.
+        assert 1.0 < value < 40.0
+
+    def test_better_phi_gives_lower_perplexity(self, corpus):
+        matched = np.array([[0.45, 0.45, 0.05, 0.05],
+                            [0.05, 0.05, 0.45, 0.45]])
+        mismatched = np.array([[0.05, 0.05, 0.45, 0.45],
+                               [0.45, 0.45, 0.05, 0.05]])
+        uniform = np.full((2, 4), 0.25)
+        good = perplexity_importance_sampling(matched, corpus, 0.5,
+                                              num_samples=64, rng=1)
+        flat = perplexity_importance_sampling(uniform, corpus, 0.5,
+                                              num_samples=64, rng=1)
+        assert good < flat
+        # mismatched is equivalent to matched up to topic relabeling
+        swapped = perplexity_importance_sampling(mismatched, corpus, 0.5,
+                                                 num_samples=64, rng=1)
+        assert swapped == pytest.approx(good, rel=0.15)
+
+    def test_validates_phi(self, corpus):
+        with pytest.raises(ValueError, match="sum to 1"):
+            perplexity_importance_sampling(np.ones((2, 4)), corpus, 0.5)
+
+    def test_validates_alpha(self, phi, corpus):
+        with pytest.raises(ValueError, match="alpha"):
+            perplexity_importance_sampling(phi, corpus, alpha=0.0)
+
+    def test_empty_corpus_rejected(self, phi):
+        from repro.text.vocabulary import Vocabulary
+        empty = Corpus([], Vocabulary(["a", "b", "c", "d"]))
+        with pytest.raises(ValueError, match="empty"):
+            perplexity_importance_sampling(phi, empty, 0.5)
+
+    def test_deterministic_given_seed(self, phi, corpus):
+        a = perplexity_importance_sampling(phi, corpus, 0.5, 8, rng=3)
+        b = perplexity_importance_sampling(phi, corpus, 0.5, 8, rng=3)
+        assert a == b
+
+
+class TestHeldoutGibbs:
+    def test_theta_shape_and_normalization(self, phi, corpus):
+        theta = heldout_gibbs_theta(phi, corpus, alpha=0.5,
+                                    iterations=10, rng=0)
+        assert theta.shape == (2, 2)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0)
+
+    def test_theta_identifies_dominant_topic(self, phi, corpus):
+        theta = heldout_gibbs_theta(phi, corpus, alpha=0.1,
+                                    iterations=25, rng=0)
+        # doc 0 is "a a b" -> topic 0; doc 1 is "d d c" -> topic 1
+        assert theta[0, 0] > 0.6
+        assert theta[1, 1] > 0.6
+
+    def test_empty_document_gets_uniform_theta(self, phi):
+        corpus = Corpus.from_token_lists([[]])
+        # need the 4-word vocabulary
+        from repro.text.vocabulary import Vocabulary
+        vocab = Vocabulary(["a", "b", "c", "d"])
+        corpus = Corpus.from_word_id_lists([[]], vocab)
+        theta = heldout_gibbs_theta(phi, corpus, 0.5, iterations=3, rng=0)
+        np.testing.assert_allclose(theta[0], 0.5)
+
+    def test_perplexity_finite_and_reasonable(self, phi, corpus):
+        value = perplexity_heldout_gibbs(phi, corpus, alpha=0.5,
+                                         iterations=15, rng=0)
+        assert 1.0 < value < 40.0
+
+    def test_two_estimators_roughly_agree(self, phi, corpus):
+        is_value = perplexity_importance_sampling(phi, corpus, 0.5,
+                                                  num_samples=200, rng=2)
+        hg_value = perplexity_heldout_gibbs(phi, corpus, 0.5,
+                                            iterations=30, rng=2)
+        assert hg_value == pytest.approx(is_value, rel=0.5)

@@ -1,0 +1,138 @@
+"""Tests for repro.core.priors (SourcePrior, GridDeltaTables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.priors import (GridDeltaTables, SourcePrior,
+                               informed_word_topic_probs)
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture
+def prior(small_source) -> SourcePrior:
+    vocab = small_source.vocabulary()
+    return SourcePrior(small_source, vocab)
+
+
+class TestSourcePrior:
+    def test_hyperparameters_are_counts_plus_epsilon(self, small_source):
+        vocab = small_source.vocabulary()
+        prior = SourcePrior(small_source, vocab, epsilon=0.5)
+        counts = small_source.count_matrix(vocab)
+        np.testing.assert_allclose(prior.hyperparameters, counts + 0.5)
+
+    def test_labels_preserved(self, prior, small_source):
+        assert prior.labels == small_source.labels
+
+    def test_source_distributions_normalized(self, prior):
+        dists = prior.source_distributions()
+        np.testing.assert_allclose(dists.sum(axis=1), 1.0)
+
+    def test_delta_scalar_exponent(self, prior):
+        np.testing.assert_allclose(prior.delta(1.0),
+                                   prior.hyperparameters)
+        np.testing.assert_allclose(prior.delta(0.0),
+                                   np.ones_like(prior.hyperparameters))
+
+    def test_delta_per_topic_exponent(self, prior):
+        exponents = np.array([0.0, 0.5, 1.0])
+        delta = prior.delta(exponents)
+        np.testing.assert_allclose(delta[0], 1.0)
+        np.testing.assert_allclose(delta[2], prior.hyperparameters[2])
+
+    def test_delta_per_topic_shape_check(self, prior):
+        with pytest.raises(ValueError, match="per-topic"):
+            prior.delta(np.array([1.0, 2.0]))
+
+    def test_unique_values_compact(self, prior):
+        # Counts are small integers, so few distinct values exist.
+        assert prior.num_unique_values <= 6
+
+
+class TestGridDeltaTables:
+    def test_delta_for_word_matches_direct_power(self, prior):
+        exponents = np.array([0.3, 0.8])
+        tables = prior.grid_tables(exponents)
+        for word in range(prior.vocab_size):
+            expected = np.power(prior.hyperparameters[:, word][:, None],
+                                exponents[None, :])
+            np.testing.assert_allclose(tables.delta_for_word(word),
+                                       expected, rtol=1e-12)
+
+    def test_sum_delta_matches_direct_power(self, prior):
+        exponents = np.array([0.0, 0.5, 1.0])
+        tables = prior.grid_tables(exponents)
+        for node, exponent in enumerate(exponents):
+            expected = np.power(prior.hyperparameters, exponent).sum(axis=1)
+            np.testing.assert_allclose(tables.sum_delta[:, node], expected,
+                                       rtol=1e-12)
+
+    def test_delta_for_words_batch(self, prior):
+        exponents = np.array([0.4, 0.9])
+        tables = prior.grid_tables(exponents)
+        words = np.array([0, 3, 5])
+        batch = tables.delta_for_words(words)
+        assert batch.shape == (3, prior.num_topics, 2)
+        for i, word in enumerate(words):
+            np.testing.assert_allclose(batch[i],
+                                       tables.delta_for_word(int(word)))
+
+    def test_per_topic_exponents(self, prior):
+        exponents = np.array([[0.0, 1.0]] * prior.num_topics)
+        exponents[1] = [0.5, 0.5]
+        tables = prior.grid_tables(exponents)
+        word = 2
+        direct = np.power(prior.hyperparameters[1, word], 0.5)
+        np.testing.assert_allclose(tables.delta_for_word(word)[1],
+                                   [direct, direct])
+
+    def test_exponent_shape_validation(self, prior):
+        with pytest.raises(ValueError, match="exponents"):
+            prior.grid_tables(np.zeros((99, 2)))
+
+    def test_single_node_grid(self, prior):
+        tables = prior.grid_tables(np.array([1.0]))
+        assert tables.num_nodes == 1
+        np.testing.assert_allclose(tables.sum_delta[:, 0],
+                                   prior.hyperparameters.sum(axis=1))
+
+
+class TestInformedWordTopicProbs:
+    def test_source_only(self, prior):
+        probs = informed_word_topic_probs(prior, num_free=0)
+        assert probs.shape == (prior.num_topics, prior.vocab_size)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_with_free_topics(self, prior):
+        probs = informed_word_topic_probs(prior, num_free=2)
+        assert probs.shape == (prior.num_topics + 2, prior.vocab_size)
+        np.testing.assert_allclose(probs[0], 1.0 / prior.vocab_size)
+
+    def test_all_positive(self, prior):
+        assert np.all(informed_word_topic_probs(prior, 1) > 0)
+
+    def test_negative_free_rejected(self, prior):
+        with pytest.raises(ValueError, match="num_free"):
+            informed_word_topic_probs(prior, -1)
+
+    def test_source_words_weighted_by_counts(self, small_source):
+        vocab = small_source.vocabulary()
+        prior = SourcePrior(small_source, vocab)
+        probs = informed_word_topic_probs(prior, 0)
+        pencil = vocab["pencil"]
+        baseball = vocab["baseball"]
+        # "pencil" belongs to School Supplies (topic 0), not Baseball.
+        assert probs[0, pencil] > probs[1, pencil]
+        assert probs[1, baseball] > probs[0, baseball]
+
+
+class TestVocabularyInteraction:
+    def test_corpus_vocabulary_restriction(self, small_source):
+        vocab = Vocabulary.from_tokens(["pencil", "baseball", "unseen"])
+        prior = SourcePrior(small_source, vocab)
+        assert prior.vocab_size == 3
+        # "unseen" appears in no article: hyperparameter = epsilon only.
+        assert np.all(prior.hyperparameters[:, vocab["unseen"]]
+                      == prior.epsilon)

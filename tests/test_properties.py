@@ -1,0 +1,131 @@
+"""Property-based tests on cross-cutting invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.priors import SourcePrior
+from repro.knowledge.source import KnowledgeSource
+from repro.metrics.divergence import js_divergence
+from repro.models.lda import LDA, posterior_theta
+from repro.sampling.integration import LambdaGrid
+from repro.sampling.state import GibbsState
+from repro.text.corpus import Corpus
+
+words = st.sampled_from(["aa", "bb", "cc", "dd", "ee", "ff"])
+documents = st.lists(st.lists(words, min_size=1, max_size=12),
+                     min_size=1, max_size=8)
+
+
+@given(documents, st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=999))
+@settings(max_examples=25, deadline=None)
+def test_gibbs_state_invariants_hold_after_random_init(
+        docs, num_topics, seed):
+    corpus = Corpus.from_token_lists(docs)
+    state = GibbsState(corpus, num_topics)
+    state.initialize_random(np.random.default_rng(seed))
+    assert state.counts_consistent()
+    assert state.nw.sum() == state.num_tokens
+    assert state.nt.sum() == state.num_tokens
+    np.testing.assert_array_equal(state.nd.sum(axis=1),
+                                  state.doc_lengths)
+
+
+@given(documents, st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=999))
+@settings(max_examples=15, deadline=None)
+def test_lda_outputs_are_distributions(docs, num_topics, seed):
+    corpus = Corpus.from_token_lists(docs)
+    fitted = LDA(num_topics, alpha=0.5, beta=0.1).fit(
+        corpus, iterations=2, seed=seed)
+    np.testing.assert_allclose(fitted.phi.sum(axis=1), 1.0, atol=1e-9)
+    np.testing.assert_allclose(fitted.theta.sum(axis=1), 1.0, atol=1e-9)
+    assert np.all(fitted.phi > 0)
+    assert np.all(fitted.theta > 0)
+
+
+@given(documents, st.integers(min_value=1, max_value=4))
+@settings(max_examples=15, deadline=None)
+def test_posterior_theta_rows_normalized(docs, num_topics):
+    corpus = Corpus.from_token_lists(docs)
+    state = GibbsState(corpus, num_topics)
+    state.initialize_random(np.random.default_rng(0))
+    theta = posterior_theta(state, alpha=0.5)
+    np.testing.assert_allclose(theta.sum(axis=1), 1.0, atol=1e-9)
+
+
+article_counts = st.lists(st.integers(min_value=0, max_value=40),
+                          min_size=3, max_size=12)
+
+
+@given(article_counts, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_source_prior_delta_bounds(counts, exponent):
+    """delta entries always lie between min(1, X) and max(1, X)."""
+    tokens = [f"w{i}" for i, c in enumerate(counts) for _ in range(c)]
+    if not tokens:
+        return
+    source = KnowledgeSource({"T": tokens})
+    vocab = source.vocabulary()
+    prior = SourcePrior(source, vocab)
+    delta = prior.delta(exponent)
+    hyper = prior.hyperparameters
+    lower = np.minimum(1.0, hyper)
+    upper = np.maximum(1.0, hyper)
+    assert np.all(delta >= lower - 1e-12)
+    assert np.all(delta <= upper + 1e-12)
+
+
+@given(article_counts,
+       st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.01, max_value=2.0),
+       st.integers(min_value=1, max_value=12))
+@settings(max_examples=30, deadline=None)
+def test_grid_tables_consistent_with_direct_power(counts, mu, sigma,
+                                                  steps):
+    tokens = [f"w{i}" for i, c in enumerate(counts) for _ in range(c)]
+    if not tokens:
+        return
+    source = KnowledgeSource({"T": tokens})
+    prior = SourcePrior(source, source.vocabulary())
+    grid = LambdaGrid.from_prior(mu, sigma, steps)
+    tables = prior.grid_tables(grid.nodes)
+    word = 0
+    direct = np.power(prior.hyperparameters[:, word][:, None],
+                      grid.nodes[None, :])
+    np.testing.assert_allclose(tables.delta_for_word(word), direct,
+                               rtol=1e-10)
+
+
+@given(st.integers(min_value=2, max_value=30),
+       st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_js_triangle_like_behaviour(size, seed):
+    """JS^(1/2) is a metric: check the triangle inequality on random
+    triples (a stronger invariant than symmetry/bounds alone)."""
+    rng = np.random.default_rng(seed)
+    p, q, r = rng.dirichlet(np.ones(size), size=3)
+    d_pq = np.sqrt(js_divergence(p, q))
+    d_qr = np.sqrt(js_divergence(q, r))
+    d_pr = np.sqrt(js_divergence(p, r))
+    assert d_pr <= d_pq + d_qr + 1e-9
+
+
+@given(documents, st.integers(min_value=0, max_value=99))
+@settings(max_examples=15, deadline=None)
+def test_sampler_token_conservation_through_sweeps(docs, seed):
+    """No sweep may create or destroy tokens (counts stay balanced)."""
+    from repro.models.lda import LdaKernel
+    from repro.sampling.gibbs import CollapsedGibbsSampler
+    corpus = Corpus.from_token_lists(docs)
+    rng = np.random.default_rng(seed)
+    state = GibbsState(corpus, 3)
+    state.initialize_random(rng)
+    sampler = CollapsedGibbsSampler(state, LdaKernel(state, 0.5, 0.1), rng)
+    sampler.run(2)
+    assert state.counts_consistent()
+    assert state.nw.sum() == corpus.num_tokens

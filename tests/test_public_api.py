@@ -1,0 +1,66 @@
+"""The top-level public API surface must stay importable and coherent."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", repro.__all__)
+    def test_all_exports_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_models_share_fit_interface(self):
+        from repro import (CTM, EDA, LDA, BijectiveSourceLDA,
+                           MixtureSourceLDA, SourceLDA, TopicModel)
+        for model_cls in (LDA, EDA, CTM, BijectiveSourceLDA,
+                          MixtureSourceLDA, SourceLDA):
+            assert issubclass(model_cls, TopicModel)
+
+    def test_subpackage_all_lists_resolve(self):
+        import repro.core
+        import repro.datasets
+        import repro.experiments
+        import repro.knowledge
+        import repro.labeling
+        import repro.metrics
+        import repro.models
+        import repro.sampling
+        import repro.text
+        for module in (repro.core, repro.datasets, repro.experiments,
+                       repro.knowledge, repro.labeling, repro.metrics,
+                       repro.models, repro.sampling, repro.text):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, \
+                    f"{module.__name__}.{name}"
+
+
+class TestReadmeQuickstart:
+    """The README's quickstart snippet must actually work."""
+
+    def test_snippet(self):
+        from repro import Corpus, KnowledgeSource, SourceLDA
+
+        corpus = Corpus.from_texts([
+            "pencil eraser notebook pencil ruler classroom",
+            "umpire baseball inning pitcher glove strike",
+        ])
+        source = KnowledgeSource({
+            "School Supplies":
+                "pencil pencil ruler eraser notebook paper".split(),
+            "Baseball":
+                "baseball baseball umpire bat ball pitcher".split(),
+            "Astronomy":
+                "telescope star planet galaxy orbit comet".split(),
+        })
+        fitted = SourceLDA(source, num_unlabeled_topics=1).fit(
+            corpus, iterations=50, seed=7)
+        assert fitted.num_topics == 4
+        assert "active_topics" in fitted.metadata
+        labels = [fitted.label_of(t) for t in range(fitted.num_topics)]
+        assert "School Supplies" in labels and "Baseball" in labels

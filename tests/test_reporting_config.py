@@ -1,0 +1,82 @@
+"""Tests for repro.experiments.reporting and .config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import LAPTOP, PAPER, SMOKE
+from repro.experiments.reporting import (BoxplotSummary, format_boxplots,
+                                         format_series, format_table)
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestBoxplotSummary:
+    def test_five_number_summary(self):
+        summary = BoxplotSummary.of("x", np.arange(1, 101, dtype=float))
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.median == pytest.approx(50.5)
+        assert summary.q1 < summary.median < summary.q3
+        assert summary.mean == pytest.approx(50.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            BoxplotSummary.of("x", np.array([]))
+
+    def test_format_boxplots(self):
+        summaries = [BoxplotSummary.of("a", np.array([1.0, 2.0, 3.0]))]
+        text = format_boxplots(summaries, value_label="topic")
+        assert "topic" in text and "median" in text
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        text = format_series("x", [1, 2], {"a": [0.1, 0.2],
+                                           "b": [0.3, 0.4]})
+        assert "a" in text and "b" in text
+        assert len(text.splitlines()) == 4
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series("x", [1, 2], {"a": [0.1]})
+
+
+class TestScales:
+    def test_paper_matches_publication_parameters(self):
+        assert PAPER.iterations == 1000
+        assert PAPER.num_documents == 2000
+        assert PAPER.superset_size == 578
+        assert PAPER.generating_topics == 100
+
+    def test_ordering(self):
+        assert SMOKE.iterations < LAPTOP.iterations < PAPER.iterations
+        assert SMOKE.num_documents < LAPTOP.num_documents \
+            < PAPER.num_documents
+
+    def test_scaled_override(self):
+        scaled = LAPTOP.scaled(iterations=3)
+        assert scaled.iterations == 3
+        assert scaled.num_documents == LAPTOP.num_documents
+        # original untouched (frozen dataclass)
+        assert LAPTOP.iterations != 3

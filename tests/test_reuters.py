@@ -1,0 +1,94 @@
+"""Tests for repro.knowledge.reuters (synthetic newswire)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.knowledge.reuters import (CURATED_CATEGORY_WORDS,
+                                     FIGURE2_CATEGORIES, REUTERS_CATEGORIES,
+                                     SyntheticReuters)
+
+
+class TestCategoryInventory:
+    def test_eighty_categories(self):
+        assert len(REUTERS_CATEGORIES) == 80
+
+    def test_unique_categories(self):
+        assert len(set(REUTERS_CATEGORIES)) == 80
+
+    def test_figure2_categories_are_the_paper_list(self):
+        assert len(FIGURE2_CATEGORIES) == 20
+        assert "Money Supply" in FIGURE2_CATEGORIES
+        assert "Housing Starts" in FIGURE2_CATEGORIES
+
+    def test_figure2_subset_of_inventory(self):
+        assert set(FIGURE2_CATEGORIES) <= set(REUTERS_CATEGORIES)
+
+    def test_table1_categories_curated(self):
+        for label in ("Inventories", "Natural Gas", "Balance of Payments"):
+            assert label in CURATED_CATEGORY_WORDS
+            assert len(CURATED_CATEGORY_WORDS[label]) >= 10
+
+
+@pytest.fixture(scope="module")
+def generator() -> SyntheticReuters:
+    return SyntheticReuters(num_documents=30, num_present_categories=8,
+                            document_length_mean=25.0, article_length=120,
+                            seed=4)
+
+
+class TestSyntheticReuters:
+    def test_corpus_size(self, generator):
+        assert len(generator.corpus()) == 30
+
+    def test_corpus_cached(self, generator):
+        assert generator.corpus() is generator.corpus()
+
+    def test_present_categories_count(self, generator):
+        truth = generator.ground_truth()
+        assert len(truth.present_categories) == 8
+        assert set(truth.present_categories) <= set(generator.categories)
+
+    def test_document_labels_are_present_categories(self, generator):
+        truth = generator.ground_truth()
+        for labels in truth.document_categories:
+            assert set(labels) <= set(truth.present_categories)
+
+    def test_token_categories_match_document_lengths(self, generator):
+        truth = generator.ground_truth()
+        for doc, token_cats in zip(generator.corpus(),
+                                   truth.token_categories):
+            assert len(doc) == token_cats.shape[0]
+
+    def test_category_distributions_normalized(self, generator):
+        truth = generator.ground_truth()
+        np.testing.assert_allclose(
+            truth.category_distributions.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_lambdas_bounded(self, generator):
+        truth = generator.ground_truth()
+        assert np.all(truth.lambdas >= 0.0)
+        assert np.all(truth.lambdas <= 1.0)
+
+    def test_knowledge_source_covers_all_categories(self, generator):
+        assert generator.knowledge_source().labels == generator.categories
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticReuters(num_documents=5, num_present_categories=4,
+                             article_length=60, seed=9)
+        b = SyntheticReuters(num_documents=5, num_present_categories=4,
+                             article_length=60, seed=9)
+        np.testing.assert_array_equal(a.corpus()[0].word_ids,
+                                      b.corpus()[0].word_ids)
+
+    def test_too_many_present_categories_rejected(self):
+        with pytest.raises(ValueError, match="present"):
+            SyntheticReuters(num_present_categories=99,
+                             categories=("A", "B"))
+
+    def test_titles_mention_main_category(self, generator):
+        truth = generator.ground_truth()
+        doc = generator.corpus()[0]
+        assert any(doc.title.startswith(c)
+                   for c in truth.present_categories)

@@ -1,0 +1,140 @@
+"""Tests for the scan strategies (Algorithms 2 and 3).
+
+The paper's central claim for its parallel samplers is *exactness*: they
+must produce the same cumulative sums (hence the same draws) as the serial
+scan.  These tests verify that equivalence exhaustively and property-based.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.parallel import WorkerPool
+from repro.sampling.prefix_sums import (PrefixSumScan,
+                                        blelloch_exclusive_scan)
+from repro.sampling.scans import SerialScan
+from repro.sampling.simple_parallel import (SimpleParallelScan,
+                                            blocked_inclusive_scan)
+
+weight_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=300).map(lambda xs: np.asarray(xs))
+
+
+class TestBlellochScan:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 100,
+                                   1023, 1024, 1025])
+    def test_matches_cumsum_all_sizes(self, n: int):
+        values = np.random.default_rng(n).random(n)
+        expected = np.concatenate(([0.0], np.cumsum(values)[:-1]))
+        np.testing.assert_allclose(blelloch_exclusive_scan(values),
+                                   expected, rtol=1e-12)
+
+    def test_empty_input(self):
+        assert blelloch_exclusive_scan(np.array([])).shape == (0,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-d"):
+            blelloch_exclusive_scan(np.zeros((2, 2)))
+
+    def test_with_thread_pool(self):
+        values = np.random.default_rng(0).random(515)
+        expected = blelloch_exclusive_scan(values)
+        with WorkerPool(4) as pool:
+            threaded = blelloch_exclusive_scan(values, pool=pool)
+        np.testing.assert_allclose(threaded, expected, rtol=1e-12)
+
+    @given(weight_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_property_exclusive_scan(self, values: np.ndarray):
+        expected = np.concatenate(([0.0], np.cumsum(values)[:-1]))
+        np.testing.assert_allclose(blelloch_exclusive_scan(values),
+                                   expected, rtol=1e-9, atol=1e-9)
+
+
+class TestBlockedScan:
+    @pytest.mark.parametrize("blocks", [1, 2, 3, 4, 7, 64])
+    def test_matches_cumsum(self, blocks: int):
+        values = np.random.default_rng(blocks).random(53)
+        np.testing.assert_allclose(
+            blocked_inclusive_scan(values, blocks), np.cumsum(values),
+            rtol=1e-12)
+
+    def test_more_blocks_than_elements(self):
+        values = np.array([1.0, 2.0])
+        np.testing.assert_allclose(blocked_inclusive_scan(values, 10),
+                                   [1.0, 3.0])
+
+    def test_empty_input(self):
+        assert blocked_inclusive_scan(np.array([]), 4).shape == (0,)
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError, match="blocks"):
+            blocked_inclusive_scan(np.array([1.0]), 0)
+
+    def test_with_thread_pool(self):
+        values = np.random.default_rng(1).random(301)
+        with WorkerPool(3) as pool:
+            threaded = blocked_inclusive_scan(values, 6, pool=pool)
+        np.testing.assert_allclose(threaded, np.cumsum(values), rtol=1e-12)
+
+    @given(weight_arrays, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_property_inclusive_scan(self, values: np.ndarray,
+                                     blocks: int):
+        np.testing.assert_allclose(
+            blocked_inclusive_scan(values, blocks), np.cumsum(values),
+            rtol=1e-9, atol=1e-9)
+
+
+class TestSamplingEquivalence:
+    """Identical uniform draw => identical topic from all three scans."""
+
+    @pytest.mark.parametrize("scan_factory", [
+        SerialScan,
+        PrefixSumScan,
+        lambda: SimpleParallelScan(blocks=4),
+    ])
+    def test_sample_distribution(self, scan_factory):
+        scan = scan_factory()
+        weights = np.array([1.0, 0.0, 3.0, 0.0])
+        rng = np.random.default_rng(0)
+        draws = np.array([scan.sample(weights, rng) for _ in range(500)])
+        # Only topics with mass are ever drawn, at roughly 1:3 odds.
+        assert set(np.unique(draws)) <= {0, 2}
+        assert (draws == 2).mean() == pytest.approx(0.75, abs=0.07)
+
+    def test_same_seed_same_draws_across_strategies(self):
+        weights = np.random.default_rng(3).random(37)
+        draws = []
+        for scan in (SerialScan(), PrefixSumScan(),
+                     SimpleParallelScan(blocks=5)):
+            rng = np.random.default_rng(42)
+            draws.append([scan.sample(weights, rng) for _ in range(100)])
+        assert draws[0] == draws[1] == draws[2]
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError, match="positive finite mass"):
+            SerialScan().sample(np.zeros(4), np.random.default_rng(0))
+
+    def test_nan_mass_rejected(self):
+        with pytest.raises(ValueError, match="positive finite mass"):
+            SerialScan().sample(np.array([1.0, np.nan]),
+                                np.random.default_rng(0))
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100),
+                    min_size=2, max_size=64),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_identical_draws(self, weights: list[float],
+                                      seed: int):
+        array = np.asarray(weights)
+        results = set()
+        for scan in (SerialScan(), PrefixSumScan(),
+                     SimpleParallelScan(blocks=3)):
+            rng = np.random.default_rng(seed)
+            results.add(scan.sample(array, rng))
+        assert len(results) == 1

@@ -1,0 +1,121 @@
+"""Tests for repro.sampling.state (GibbsState)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.state import GibbsState
+from repro.text.corpus import Corpus
+
+
+@pytest.fixture
+def state(tiny_corpus: Corpus) -> GibbsState:
+    return GibbsState(tiny_corpus, num_topics=2)
+
+
+class TestConstruction:
+    def test_flattening(self, state: GibbsState):
+        assert state.num_tokens == 6
+        assert state.num_documents == 2
+        np.testing.assert_array_equal(state.doc_ids, [0, 0, 0, 1, 1, 1])
+
+    def test_doc_lengths(self, state: GibbsState):
+        np.testing.assert_array_equal(state.doc_lengths, [3.0, 3.0])
+
+    def test_invalid_topic_count(self, tiny_corpus: Corpus):
+        with pytest.raises(ValueError, match="num_topics"):
+            GibbsState(tiny_corpus, 0)
+
+    def test_empty_corpus(self):
+        from repro.text.vocabulary import Vocabulary
+        state = GibbsState(Corpus([], Vocabulary(["x"])), 2)
+        assert state.num_tokens == 0
+
+
+class TestInitialization:
+    def test_random_init_counts_consistent(self, state: GibbsState, rng):
+        state.initialize_random(rng)
+        assert state.counts_consistent()
+        assert state.nw.sum() == state.num_tokens
+        assert state.nd.sum() == state.num_tokens
+
+    def test_informed_init_counts_consistent(self, state: GibbsState, rng):
+        probs = np.array([[1.0, 0.0, 1.0, 0.0],
+                          [0.0, 1.0, 0.0, 1.0]])
+        state.initialize_informed(probs, rng)
+        assert state.counts_consistent()
+
+    def test_informed_init_respects_zero_mass(self, state: GibbsState,
+                                              rng):
+        # Topic 1 forbidden for word 0 ("pencil"); all pencil tokens must
+        # land on topic 0.
+        probs = np.ones((2, 4))
+        probs[1, 0] = 0.0
+        state.initialize_informed(probs, rng)
+        pencil_tokens = state.words == 0
+        assert np.all(state.z[pencil_tokens] == 0)
+
+    def test_informed_init_rejects_zero_column(self, state: GibbsState,
+                                               rng):
+        probs = np.ones((2, 4))
+        probs[:, 0] = 0.0
+        with pytest.raises(ValueError, match="zero mass"):
+            state.initialize_informed(probs, rng)
+
+    def test_informed_init_shape_validation(self, state: GibbsState, rng):
+        with pytest.raises(ValueError, match="shape"):
+            state.initialize_informed(np.ones((3, 4)), rng)
+
+    def test_initialize_assignments(self, state: GibbsState):
+        state.initialize_assignments(np.array([0, 1, 0, 1, 0, 1]))
+        assert state.counts_consistent()
+        assert state.nd[0, 0] == 2
+
+    def test_initialize_assignments_range_check(self, state: GibbsState):
+        with pytest.raises(ValueError, match="out-of-range"):
+            state.initialize_assignments(np.array([0, 1, 0, 1, 0, 9]))
+
+    def test_initialize_assignments_shape_check(self, state: GibbsState):
+        with pytest.raises(ValueError, match="shape"):
+            state.initialize_assignments(np.array([0, 1]))
+
+
+class TestIncrementDecrement:
+    def test_roundtrip_preserves_counts(self, state: GibbsState, rng):
+        state.initialize_random(rng)
+        before_nw = state.nw.copy()
+        word, doc, topic = state.decrement(2)
+        assert state.nw[word, topic] == before_nw[word, topic] - 1
+        state.increment(2, topic)
+        np.testing.assert_array_equal(state.nw, before_nw)
+        assert state.counts_consistent()
+
+    def test_reassignment_moves_counts(self, state: GibbsState, rng):
+        state.initialize_assignments(np.zeros(6, dtype=np.int64))
+        word, doc, old = state.decrement(0)
+        state.increment(0, 1)
+        assert state.z[0] == 1
+        assert state.nd[0, 1] == 1
+        assert state.counts_consistent()
+
+    def test_nt_tracks_nw(self, state: GibbsState, rng):
+        state.initialize_random(rng)
+        for i in range(state.num_tokens):
+            _, _, topic = state.decrement(i)
+            state.increment(i, (topic + 1) % 2)
+        np.testing.assert_array_equal(state.nt, state.nw.sum(axis=0))
+
+
+class TestAssignmentsByDocument:
+    def test_shapes(self, state: GibbsState, rng):
+        state.initialize_random(rng)
+        per_doc = state.assignments_by_document()
+        assert [len(a) for a in per_doc] == [3, 3]
+        np.testing.assert_array_equal(np.concatenate(per_doc), state.z)
+
+    def test_returns_copies(self, state: GibbsState, rng):
+        state.initialize_random(rng)
+        per_doc = state.assignments_by_document()
+        per_doc[0][0] = -99
+        assert state.z[0] != -99

@@ -1,0 +1,134 @@
+"""Tests for repro.core.superset (topic reduction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.superset import (cluster_topics_js,
+                                 reduce_by_count_frequency,
+                                 reduce_by_document_frequency,
+                                 select_final_topics,
+                                 topic_document_frequencies,
+                                 topic_document_frequencies_from_counts)
+
+
+class TestThetaDocumentFrequencies:
+    def test_counts_documents_over_threshold(self):
+        theta = np.array([[0.9, 0.1], [0.5, 0.5], [0.02, 0.98]])
+        freqs = topic_document_frequencies(theta, min_proportion=0.4)
+        np.testing.assert_array_equal(freqs, [2, 2])
+
+    def test_validates_proportion(self):
+        with pytest.raises(ValueError, match="min_proportion"):
+            topic_document_frequencies(np.ones((1, 1)), min_proportion=2.0)
+
+    def test_validates_ndim(self):
+        with pytest.raises(ValueError, match="2-d"):
+            topic_document_frequencies(np.ones(3))
+
+
+class TestCountDocumentFrequencies:
+    def test_zero_for_unassigned_topics(self):
+        nd = np.array([[3.0, 0.0], [2.0, 0.0]])
+        lengths = np.array([3.0, 2.0])
+        freqs = topic_document_frequencies_from_counts(nd, lengths)
+        np.testing.assert_array_equal(freqs, [2, 0])
+
+    def test_proportion_threshold(self):
+        nd = np.array([[9.0, 1.0]])
+        lengths = np.array([10.0])
+        # topic 1 holds 10% of the document
+        freqs = topic_document_frequencies_from_counts(
+            nd, lengths, min_proportion=0.2)
+        np.testing.assert_array_equal(freqs, [1, 0])
+
+    def test_minimum_one_token(self):
+        nd = np.array([[1.0, 0.0]])
+        lengths = np.array([100.0])
+        freqs = topic_document_frequencies_from_counts(
+            nd, lengths, min_proportion=0.0)
+        np.testing.assert_array_equal(freqs, [1, 0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="doc_lengths"):
+            topic_document_frequencies_from_counts(
+                np.ones((2, 2)), np.ones(3))
+
+
+class TestReduction:
+    def test_reduce_by_document_frequency(self):
+        theta = np.array([[0.8, 0.15, 0.05],
+                          [0.7, 0.25, 0.05]])
+        kept = reduce_by_document_frequency(theta, min_documents=2,
+                                            min_proportion=0.1)
+        np.testing.assert_array_equal(kept, [0, 1])
+
+    def test_reduce_by_count_frequency(self):
+        nd = np.array([[5.0, 1.0, 0.0], [4.0, 2.0, 0.0]])
+        lengths = np.array([6.0, 6.0])
+        kept = reduce_by_count_frequency(nd, lengths, min_documents=2,
+                                         min_proportion=0.0)
+        np.testing.assert_array_equal(kept, [0, 1])
+
+    def test_negative_min_documents(self):
+        with pytest.raises(ValueError, match="min_documents"):
+            reduce_by_count_frequency(np.ones((1, 1)), np.ones(1),
+                                      min_documents=-1)
+
+
+class TestClusterTopicsJs:
+    def test_groups_identical_topics(self, rng):
+        base_a = np.array([0.7, 0.1, 0.1, 0.1])
+        base_b = np.array([0.1, 0.1, 0.1, 0.7])
+        phi = np.vstack([base_a, base_a, base_b, base_b])
+        labels, centroids = cluster_topics_js(phi, 2, seed=0)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        np.testing.assert_allclose(centroids.sum(axis=1), 1.0)
+
+    def test_single_cluster(self):
+        phi = np.array([[0.5, 0.5], [0.9, 0.1]])
+        labels, centroids = cluster_topics_js(phi, 1, seed=0)
+        np.testing.assert_array_equal(labels, [0, 0])
+
+    def test_cluster_count_validation(self):
+        with pytest.raises(ValueError, match="num_clusters"):
+            cluster_topics_js(np.array([[1.0]]), 5)
+
+    def test_deterministic(self):
+        rng_phi = np.random.default_rng(1).dirichlet(np.ones(6), size=8)
+        a, _ = cluster_topics_js(rng_phi, 3, seed=4)
+        b, _ = cluster_topics_js(rng_phi, 3, seed=4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSelectFinalTopics:
+    def test_returns_survivors_when_few(self):
+        theta = np.array([[0.9, 0.05, 0.05],
+                          [0.85, 0.1, 0.05]])
+        phi = np.random.default_rng(0).dirichlet(np.ones(4), size=3)
+        kept = select_final_topics(theta, phi, target_count=2,
+                                   min_documents=2, min_proportion=0.5)
+        np.testing.assert_array_equal(kept, [0])
+
+    def test_clusters_when_too_many(self):
+        rng = np.random.default_rng(3)
+        theta = rng.dirichlet(np.ones(6), size=10)
+        phi = np.vstack([rng.dirichlet([20, 1, 1, 1], size=3),
+                         rng.dirichlet([1, 1, 1, 20], size=3)])
+        kept = select_final_topics(theta, phi, target_count=2,
+                                   min_documents=0, min_proportion=0.0)
+        assert 1 <= kept.size <= 2
+
+    def test_empty_survivors_fallback(self):
+        theta = np.array([[0.5, 0.5]])
+        phi = np.array([[0.5, 0.5], [0.5, 0.5]])
+        kept = select_final_topics(theta, phi, target_count=1,
+                                   min_documents=99)
+        assert kept.size == 1
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError, match="target_count"):
+            select_final_topics(np.ones((1, 1)), np.ones((1, 1)), 0)

@@ -1,0 +1,107 @@
+"""Tests for repro.datasets.synthetic (generative corpus synthesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (generate_source_lda_corpus,
+                                      restrict_source_to_truth)
+
+
+class TestGenerateSourceLdaCorpus:
+    def test_all_topics_when_none(self, wiki_source):
+        data = generate_source_lda_corpus(wiki_source, num_topics=None,
+                                          num_documents=10,
+                                          avg_document_length=20, seed=0)
+        assert data.num_topics == len(wiki_source)
+        np.testing.assert_array_equal(data.chosen_indices,
+                                      np.arange(len(wiki_source)))
+
+    def test_topic_subset_selection(self, wiki_source):
+        data = generate_source_lda_corpus(wiki_source, num_topics=3,
+                                          num_documents=10,
+                                          avg_document_length=20, seed=0)
+        assert data.num_topics == 3
+        assert len(set(data.chosen_topics)) == 3
+        assert set(data.chosen_topics) <= set(wiki_source.labels)
+
+    def test_token_topics_within_range(self, wiki_source):
+        data = generate_source_lda_corpus(wiki_source, num_topics=3,
+                                          num_documents=10,
+                                          avg_document_length=20, seed=0)
+        assert data.token_topics.min() >= 0
+        assert data.token_topics.max() < 3
+        assert data.token_topics.shape[0] == data.corpus.num_tokens
+
+    def test_lambdas_bounded(self, wiki_source):
+        data = generate_source_lda_corpus(wiki_source, num_documents=5,
+                                          avg_document_length=10,
+                                          mu=0.5, sigma=5.0, seed=1)
+        assert np.all((data.lambdas >= 0) & (data.lambdas <= 1))
+
+    def test_sigma_zero_pins_lambda(self, wiki_source):
+        data = generate_source_lda_corpus(wiki_source, num_documents=5,
+                                          avg_document_length=10,
+                                          mu=1.0, sigma=0.0, seed=1)
+        np.testing.assert_allclose(data.lambdas, 1.0)
+
+    def test_distributions_normalized(self, wiki_source):
+        data = generate_source_lda_corpus(wiki_source, num_documents=5,
+                                          avg_document_length=10, seed=2)
+        np.testing.assert_allclose(data.topic_distributions.sum(axis=1),
+                                   1.0, atol=1e-9)
+        np.testing.assert_allclose(data.document_theta.sum(axis=1), 1.0)
+
+    def test_high_lambda_tracks_source(self, wiki_source):
+        """With lambda pinned to 1 the generated topics stay JS-close to
+        their source distributions."""
+        from repro.knowledge.distributions import (source_distribution,
+                                                   source_hyperparameters)
+        from repro.metrics.divergence import js_divergence
+        data = generate_source_lda_corpus(wiki_source, num_documents=5,
+                                          avg_document_length=10, mu=1.0,
+                                          sigma=0.0, seed=3)
+        counts = wiki_source.count_matrix(data.corpus.vocabulary)
+        refs = source_distribution(source_hyperparameters(counts))
+        for row, idx in enumerate(data.chosen_indices):
+            assert js_divergence(data.topic_distributions[row],
+                                 refs[idx]) < 0.15
+
+    def test_token_topics_by_document(self, wiki_source):
+        data = generate_source_lda_corpus(wiki_source, num_documents=7,
+                                          avg_document_length=15, seed=4)
+        chunks = data.token_topics_by_document()
+        assert len(chunks) == 7
+        np.testing.assert_array_equal(np.concatenate(chunks),
+                                      data.token_topics)
+
+    def test_deterministic(self, wiki_source):
+        a = generate_source_lda_corpus(wiki_source, num_documents=4,
+                                       avg_document_length=12, seed=5)
+        b = generate_source_lda_corpus(wiki_source, num_documents=4,
+                                       avg_document_length=12, seed=5)
+        np.testing.assert_array_equal(a.token_topics, b.token_topics)
+        np.testing.assert_array_equal(a.corpus[1].word_ids,
+                                      b.corpus[1].word_ids)
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(num_documents=0), "num_documents"),
+        (dict(avg_document_length=0), "avg_document_length"),
+        (dict(alpha=0), "alpha"),
+        (dict(num_topics=99), "num_topics"),
+    ])
+    def test_validation(self, wiki_source, kwargs, match):
+        defaults = dict(num_documents=3, avg_document_length=10, seed=0)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError, match=match):
+            generate_source_lda_corpus(wiki_source, **defaults)
+
+
+class TestRestrictSourceToTruth:
+    def test_exact_condition_source(self, wiki_source):
+        data = generate_source_lda_corpus(wiki_source, num_topics=2,
+                                          num_documents=3,
+                                          avg_document_length=10, seed=6)
+        exact = restrict_source_to_truth(wiki_source, data)
+        assert exact.labels == data.chosen_topics

@@ -1,0 +1,96 @@
+"""Tests for repro.text.tfidf."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.corpus import Corpus
+from repro.text.tfidf import TfidfVectorizer, cosine_similarity
+
+
+@pytest.fixture
+def corpus() -> Corpus:
+    return Corpus.from_texts(
+        ["apple apple banana", "banana cherry", "cherry cherry cherry"],
+        tokenizer=None)
+
+
+class TestTfidfVectorizer:
+    def test_requires_fit_before_transform(self):
+        with pytest.raises(RuntimeError, match="not been fitted"):
+            TfidfVectorizer().transform(np.zeros((1, 3)))
+
+    def test_idf_is_higher_for_rarer_terms(self, corpus: Corpus):
+        vectorizer = TfidfVectorizer().fit(corpus)
+        vocab = corpus.vocabulary
+        # apple appears in 1 doc, banana in 2: apple has higher IDF.
+        assert vectorizer.idf[vocab["apple"]] > \
+            vectorizer.idf[vocab["banana"]]
+
+    def test_idf_strictly_positive(self, corpus: Corpus):
+        vectorizer = TfidfVectorizer().fit(corpus)
+        assert np.all(vectorizer.idf > 0)
+
+    def test_transform_scales_counts(self, corpus: Corpus):
+        vectorizer = TfidfVectorizer().fit(corpus)
+        counts = np.array([[2.0, 0.0, 0.0]])
+        weighted = vectorizer.transform(counts)
+        assert weighted[0, 0] == pytest.approx(2.0 * vectorizer.idf[0])
+
+    def test_transform_validates_width(self, corpus: Corpus):
+        vectorizer = TfidfVectorizer().fit(corpus)
+        with pytest.raises(ValueError, match="columns"):
+            vectorizer.transform(np.zeros((1, 99)))
+
+    def test_fit_transform_shape(self, corpus: Corpus):
+        matrix = TfidfVectorizer().fit_transform(corpus)
+        assert matrix.shape == (3, corpus.vocab_size)
+
+    def test_unseen_word_gets_finite_weight(self):
+        corpus = Corpus.from_texts(["a a", "a"], tokenizer=None)
+        # Extend vocabulary with a word no document contains.
+        corpus.vocabulary.add("ghost")
+        extended = Corpus.from_texts(["a a", "a"], tokenizer=None,
+                                     vocabulary=corpus.vocabulary)
+        vectorizer = TfidfVectorizer().fit(extended)
+        assert np.isfinite(vectorizer.idf).all()
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([[1.0, 2.0, 3.0]])
+        assert cosine_similarity(v, v)[0, 0] == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert cosine_similarity(a, b)[0, 0] == pytest.approx(0.0)
+
+    def test_zero_vector_yields_zero_not_nan(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 1.0]])
+        assert cosine_similarity(a, b)[0, 0] == 0.0
+
+    def test_pairwise_shape(self):
+        a = np.random.default_rng(0).random((3, 4))
+        b = np.random.default_rng(1).random((5, 4))
+        assert cosine_similarity(a, b).shape == (3, 5)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            cosine_similarity(np.zeros((1, 2)), np.zeros((1, 3)))
+
+    def test_scale_invariance(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[2.0, 1.0]])
+        small = cosine_similarity(a, b)
+        large = cosine_similarity(10 * a, 100 * b)
+        np.testing.assert_allclose(small, large)
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.random((4, 6)), rng.random((3, 6))
+        sims = cosine_similarity(a, b)
+        assert np.all(sims <= 1.0 + 1e-12)
+        assert np.all(sims >= -1.0 - 1e-12)

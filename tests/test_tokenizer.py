@@ -1,0 +1,99 @@
+"""Tests for repro.text.tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stopwords import ENGLISH_STOPWORDS
+from repro.text.tokenizer import Tokenizer, whitespace_tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokenization(self):
+        assert Tokenizer().tokenize("The pencil and the ruler!") == \
+            ["pencil", "ruler"]
+
+    def test_lowercases_by_default(self):
+        assert Tokenizer().tokenize("Pencil RULER") == ["pencil", "ruler"]
+
+    def test_lowercase_disabled(self):
+        tokens = Tokenizer(lowercase=False,
+                           remove_stopwords=False).tokenize("Pencil")
+        assert tokens == ["Pencil"]
+
+    def test_keeps_stopwords_when_disabled(self):
+        tokens = Tokenizer(remove_stopwords=False).tokenize("the pencil")
+        assert tokens == ["the", "pencil"]
+
+    def test_removes_numbers_by_default(self):
+        assert Tokenizer().tokenize("sold 100 barrels") == \
+            ["sold", "barrels"]
+
+    def test_keeps_numbers_when_asked(self):
+        tokens = Tokenizer(keep_numbers=True).tokenize("sold 100 barrels")
+        assert tokens == ["sold", "100", "barrels"]
+
+    def test_min_token_length(self):
+        tokens = Tokenizer(min_token_length=4,
+                           remove_stopwords=False).tokenize("a big whale")
+        assert tokens == ["whale"]
+
+    def test_min_token_length_validation(self):
+        with pytest.raises(ValueError, match="min_token_length"):
+            Tokenizer(min_token_length=0)
+
+    def test_extra_stopwords(self):
+        tokenizer = Tokenizer(extra_stopwords=frozenset({"reuter"}))
+        assert tokenizer.tokenize("Reuter reports wheat") == \
+            ["reports", "wheat"]
+
+    def test_hyphenated_words_preserved(self):
+        tokens = Tokenizer().tokenize("state-of-the-art system")
+        assert "state-of-the-art" in tokens
+
+    def test_leading_trailing_apostrophes_stripped(self):
+        tokens = Tokenizer(remove_stopwords=False).tokenize("'tis 'quoted'")
+        assert tokens == ["tis", "quoted"]
+
+    def test_empty_string(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert Tokenizer().tokenize("... !!! ???") == []
+
+    def test_type_error_on_non_string(self):
+        with pytest.raises(TypeError):
+            Tokenizer().tokenize(42)  # type: ignore[arg-type]
+
+    def test_tokenize_all_is_lazy_per_text(self):
+        results = list(Tokenizer().tokenize_all(["pencil", "ruler"]))
+        assert results == [["pencil"], ["ruler"]]
+
+    @given(st.text(max_size=200))
+    def test_never_returns_stopwords_or_short_tokens(self, text: str):
+        tokens = Tokenizer().tokenize(text)
+        for token in tokens:
+            assert token.lower() not in ENGLISH_STOPWORDS
+            assert len(token) >= 2
+
+    @given(st.text(max_size=200))
+    def test_deterministic(self, text: str):
+        tokenizer = Tokenizer()
+        assert tokenizer.tokenize(text) == tokenizer.tokenize(text)
+
+
+class TestWhitespaceTokenize:
+    def test_splits_on_whitespace(self):
+        assert whitespace_tokenize("23 00 14") == ["23", "00", "14"]
+
+    def test_empty(self):
+        assert whitespace_tokenize("") == []
+
+    def test_preserves_tokens_verbatim(self):
+        assert whitespace_tokenize("The THE the") == ["The", "THE", "the"]
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            whitespace_tokenize(None)  # type: ignore[arg-type]

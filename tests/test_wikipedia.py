@@ -1,0 +1,115 @@
+"""Tests for repro.knowledge.wikipedia (synthetic article generator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.knowledge.wikipedia import (SyntheticWikipedia, make_lexicon,
+                                       zipf_probabilities)
+
+
+class TestMakeLexicon:
+    def test_size_and_uniqueness(self):
+        lexicon = make_lexicon(200, seed=1)
+        assert len(lexicon) == 200
+        assert len(set(lexicon)) == 200
+
+    def test_deterministic(self):
+        assert make_lexicon(50, seed=3) == make_lexicon(50, seed=3)
+
+    def test_seed_changes_output(self):
+        assert make_lexicon(50, seed=3) != make_lexicon(50, seed=4)
+
+    def test_prefix_applied(self):
+        lexicon = make_lexicon(10, seed=0, prefix="zzq")
+        assert all(word.startswith("zzq") for word in lexicon)
+
+    def test_zero_size(self):
+        assert make_lexicon(0) == ()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_lexicon(-1)
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        assert zipf_probabilities(100).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(50)
+        assert np.all(np.diff(probs) < 0)
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        flat = zipf_probabilities(50, exponent=0.5)
+        steep = zipf_probabilities(50, exponent=2.0)
+        assert flat[0] < steep[0]
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            zipf_probabilities(0)
+
+
+class TestSyntheticWikipedia:
+    def test_article_deterministic(self):
+        wiki_a = SyntheticWikipedia(["Baseball"], seed=5)
+        wiki_b = SyntheticWikipedia(["Baseball"], seed=5)
+        assert wiki_a.article("Baseball") == wiki_b.article("Baseball")
+
+    def test_article_length(self):
+        wiki = SyntheticWikipedia(["X"], article_length=123, seed=0)
+        assert len(wiki.article("X")) == 123
+
+    def test_core_words_dominate(self):
+        wiki = SyntheticWikipedia(["X"], article_length=1000,
+                                  core_weight=0.8, seed=0)
+        article = wiki.article("X")
+        core = set(wiki.core_words("X"))
+        core_fraction = sum(1 for t in article if t in core) / len(article)
+        assert core_fraction == pytest.approx(0.8, abs=0.06)
+
+    def test_topics_have_distinct_core_vocabularies(self):
+        wiki = SyntheticWikipedia(["A", "B"], seed=0)
+        assert not (set(wiki.core_words("A")) & set(wiki.core_words("B")))
+
+    def test_topics_share_background(self):
+        wiki = SyntheticWikipedia(["A", "B"], article_length=2000, seed=0)
+        background = set(wiki.background_words)
+        tokens_a = set(wiki.article("A")) & background
+        tokens_b = set(wiki.article("B")) & background
+        assert tokens_a & tokens_b
+
+    def test_curated_vocabulary_used(self):
+        wiki = SyntheticWikipedia(
+            ["Gold"], curated_vocabularies={"Gold": ("gold", "ounce")},
+            seed=0)
+        assert wiki.core_words("Gold") == ("gold", "ounce")
+        assert set(wiki.article("Gold")) & {"gold", "ounce"}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            SyntheticWikipedia(["A", "A"])
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SyntheticWikipedia([])
+
+    def test_invalid_core_weight(self):
+        with pytest.raises(ValueError, match="core_weight"):
+            SyntheticWikipedia(["A"], core_weight=1.5)
+
+    def test_empty_curated_vocabulary_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SyntheticWikipedia(["A"], curated_vocabularies={"A": []})
+
+    def test_knowledge_source_roundtrip(self):
+        wiki = SyntheticWikipedia(["A", "B"], article_length=50, seed=2)
+        source = wiki.knowledge_source()
+        assert source.labels == ("A", "B")
+        assert source.tokens("A") == wiki.article("A")
+
+    def test_article_independent_of_other_topics(self):
+        solo = SyntheticWikipedia(["A"], seed=9).article("A")
+        paired = SyntheticWikipedia(["A", "B"], seed=9).article("A")
+        assert solo == paired
