@@ -1,0 +1,35 @@
+"""Sweep-engine throughput: fast vs reference on a Source-LDA workload.
+
+Regenerates: tokens/sec for the reference Algorithm 1 loop and the fast
+sweep engine (incremental lambda-integration caches,
+``repro.sampling.fast_engine``) on a fixed B=2000 / A=16 Source-LDA
+corpus — the per-token regime of the paper's Section IV.E scaling runs,
+where the reference pays ``O(S * A)`` per token and the fast engine
+``O(S)``.
+
+Shape asserted: the fast engine is byte-identical to the reference (the
+exactness the engines guarantee by construction) and at least 5x faster
+on this workload.  The recorded tokens/sec give future PRs a perf
+trajectory to regress against.
+"""
+
+from __future__ import annotations
+
+from _shared import record
+
+from repro.experiments import format_engine_speedup, run_engine_speedup
+
+
+def test_bench_sweep_speed(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_engine_speedup(num_topics=2000,
+                                   approximation_steps=16,
+                                   num_documents=30,
+                                   document_length=60,
+                                   vocab_size=500,
+                                   sweeps=2, seed=0),
+        rounds=1, iterations=1)
+    record("sweep_speed", format_engine_speedup(result))
+
+    assert result.exact
+    assert result.speedup >= 5.0

@@ -64,7 +64,8 @@ class BijectiveSourceLDA(TopicModel):
                  smoothing: SmoothingFunction | None = None,
                  epsilon: float = DEFAULT_EPSILON,
                  init: str = "informed",
-                 scan: ScanStrategy | None = None) -> None:
+                 scan: ScanStrategy | None = None,
+                 engine: str = "fast") -> None:
         if not 0.0 <= lambda_ <= 1.0:
             raise ValueError(f"lambda_ must be in [0, 1], got {lambda_}")
         if init not in ("informed", "random"):
@@ -78,6 +79,7 @@ class BijectiveSourceLDA(TopicModel):
         self.epsilon = epsilon
         self.init = init
         self._scan = scan
+        self.engine = engine
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -98,7 +100,8 @@ class BijectiveSourceLDA(TopicModel):
             state.initialize_random(rng)
         kernel = SourceTopicsKernel(state, num_free=0, alpha=self.alpha,
                                     beta=1.0, tables=tables, grid=grid)
-        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan)
+        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
+                                        engine=self.engine)
         snapshots: dict[int, np.ndarray] = {}
         wanted = set(int(i) for i in snapshot_iterations)
 

@@ -13,6 +13,27 @@ unlabeled topics followed by ``S`` source topics:
 each source topic's lambda over the grid with log-sum-exp (topics draw
 independent lambdas in the generative process, so the marginal factorizes
 over topics).
+
+Fast-path algebra
+-----------------
+The per-token integrated source weight of Equation 3,
+
+    w_t  =  sum_a omega_a * (nw[w,t] + delta[t,w,a]) / (nt[t] + sd[t,a]),
+
+(``sd = sum_delta``) costs ``O(S * A)`` per token when evaluated directly.
+It decomposes into ``w_t = nw[w,t] * C[t] + D[w,t]`` with
+
+    C[t]    = sum_a omega_a / (nt[t] + sd[t,a])
+    D[w,t]  = sum_a omega_a * delta[t,w,a] / (nt[t] + sd[t,a]),
+
+both pure functions of ``nt[t]`` — and a Gibbs step changes ``nt`` for at
+most two topics.  Because ``delta[t,w,a]`` takes values from the tiny
+``(U, S, A)`` unique-value table of :class:`GridDeltaTables`, ``D`` is
+representable as ``E[u, t]`` with ``u = inverse[t, w]``: refreshing one
+topic's column after its ``nt`` changes costs ``O(U * A)``, and the
+per-token evaluation is an ``O(S)`` gather plus multiply-add.
+:class:`SourceTopicsFastPath` implements exactly this for the fast sweep
+engine (:mod:`repro.sampling.fast_engine`).
 """
 
 from __future__ import annotations
@@ -21,6 +42,7 @@ import numpy as np
 from scipy.special import gammaln, logsumexp
 
 from repro.core.priors import GridDeltaTables
+from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import (TopicWeightKernel,
                                   symmetric_dirichlet_log_likelihood)
 from repro.sampling.integration import LambdaGrid
@@ -118,35 +140,130 @@ class SourceTopicsKernel(TopicWeightKernel):
         total += self._source_log_likelihood()
         return float(total)
 
-    def _source_log_likelihood(self) -> float:
+    def _source_log_likelihood(self, chunk: int = 65536) -> float:
         """Per source topic: ``logsumexp_a [log w_a + log P(w | z, d_ta)]``.
 
-        ``log P(w | z, delta)`` is the Dirichlet-multinomial closed form.
-        Evaluated lazily (only when likelihood tracking is requested)
-        because it costs ``O(S * A * V)`` gammaln calls.
+        ``log P(w | z, delta)`` is the Dirichlet-multinomial closed form
+
+            gammaln(sd) - gammaln(nt + sd)
+            + sum_w [gammaln(nw + delta) - gammaln(delta)],
+
+        where the per-word bracket vanishes for every word with a zero
+        count — so only the nonzero entries of the ``(S, V)`` count
+        matrix contribute.  This pass gathers those entries once (their
+        ``gammaln(delta)`` comes from the cached unique-value table) and
+        scatter-adds the brackets per topic: ``O(nnz * A)`` gammaln calls
+        instead of the ``O(S * A * V)`` of a dense per-node evaluation.
+        ``chunk`` bounds the temporary ``(chunk, A)`` gather buffers.
         """
         state = self.state
         k = self.num_free
         tables = self.tables
         counts = state.nw[:, k:].T                              # (S, V)
-        log_node = np.empty((self.num_source, tables.num_nodes))
-        for node in range(tables.num_nodes):
-            # Reconstruct delta for this node from the power table by
-            # gathering all words once (chunked to bound memory).
-            per_topic = np.zeros(self.num_source)
-            sum_gamma_delta = np.zeros(self.num_source)
-            chunk = 2048
-            for start in range(0, state.vocab_size, chunk):
-                stop = min(start + chunk, state.vocab_size)
-                words = np.arange(start, stop)
-                delta_chunk = tables.delta_for_words(words)[:, :, node]
-                per_topic += gammaln(
-                    counts[:, start:stop].T + delta_chunk).sum(axis=0)
-                sum_gamma_delta += gammaln(delta_chunk).sum(axis=0)
-            sums = tables.sum_delta[:, node]
-            log_node[:, node] = (gammaln(sums) - sum_gamma_delta
-                                 + per_topic
-                                 - gammaln(state.nt[k:] + sums))
+        topic_idx, word_idx = np.nonzero(counts)
+        bracket = np.zeros((self.num_source, tables.num_nodes))
+        for start in range(0, topic_idx.shape[0], chunk):
+            topics = topic_idx[start:start + chunk]
+            words = word_idx[start:start + chunk]
+            delta = tables.delta_for_pairs(topics, words)       # (n, A)
+            contrib = (gammaln(counts[topics, words][:, np.newaxis]
+                               + delta)
+                       - tables.log_gamma_for_pairs(topics, words))
+            np.add.at(bracket, topics, contrib)
+        log_node = (gammaln(tables.sum_delta) + bracket
+                    - gammaln(state.nt[k:, np.newaxis]
+                              + tables.sum_delta))
         log_weights = np.log(self.grid.weights)
         return float(logsumexp(log_node + log_weights[np.newaxis, :],
                                axis=1).sum())
+
+    def fast_path(self) -> "SourceTopicsFastPath":
+        return SourceTopicsFastPath(self)
+
+
+class SourceTopicsFastPath(FastKernelPath):
+    """Incremental ``nw * C + D`` evaluation of Equation 3.
+
+    See the module docstring for the algebra.  ``C`` and ``E`` are fused
+    into one cache by prepending a *unit row* to the powered-value
+    table: ``1 ** exp = 1``, so integrating the augmented table against
+    ``omega / (nt + sd)`` yields ``C[t]`` in row 0 and ``E[u, t]`` in the
+    remaining rows with a single matrix product.  Caches:
+
+    ``_E``
+        ``(U + 1, S)`` C-contiguous — row 0 is ``C``, row ``u + 1`` is
+        ``E`` for unique value ``u``; ``D[w, t] = E[inverse[t, w] + 1, t]``.
+    ``_flat``
+        ``(V, S)`` — per-word flattened gather indices into ``_E`` so a
+        token's ``D`` row is a single ``take``.
+    ``_nt_free``
+        ``(K,)`` — the free topics' ``nt + V * beta`` denominators.
+
+    Only the entries keyed on a changed ``nt[topic]`` are refreshed per
+    token (``O(U * A)`` for a source topic, ``O(1)`` for a free topic).
+    """
+
+    def __init__(self, kernel: SourceTopicsKernel) -> None:
+        super().__init__(kernel.state)
+        self.alpha = kernel.alpha
+        self.beta = kernel.beta
+        self.num_free = kernel.num_free
+        self._beta_sum = kernel._beta_sum
+        self._omega = kernel._omega                       # (A,)
+        tables = kernel.tables
+        self._sum_delta = tables.sum_delta                # (S, A)
+        num_source = kernel.num_source
+        num_unique = tables.power_table.shape[0]
+        # (S, U + 1, A): per-topic contiguous augmented tables, unit row
+        # first so one ``aug[t] @ ratio`` refreshes C and E together.
+        aug = np.empty((num_source, num_unique + 1, tables.num_nodes))
+        aug[:, 0, :] = 1.0
+        aug[:, 1:, :] = tables.power_table.transpose(1, 0, 2)
+        self._aug = aug
+        inverse = tables.inverse                          # (S, V)
+        self._flat = np.ascontiguousarray(
+            (inverse.T.astype(np.int64) + 1) * num_source
+            + np.arange(num_source, dtype=np.int64)[np.newaxis, :])
+        self._E = np.empty((num_unique + 1, num_source))
+        self._E_flat = self._E.reshape(-1)
+        self._C = self._E[0]
+        self._nt_free = np.empty(self.num_free)
+        self._dbuf = np.empty(num_source)
+        self._out = np.empty(kernel.state.num_topics)
+
+    def begin_sweep(self) -> None:
+        state = self.state
+        k = self.num_free
+        np.add(state.nt[:k], self._beta_sum, out=self._nt_free)
+        # Refresh every column through topic_changed rather than one
+        # batched einsum: the per-column matmul and a batched contraction
+        # are not guaranteed to round identically, and a cache entry must
+        # not depend on which refresh path last wrote it (a sweep
+        # boundary would otherwise perturb weights with no count change).
+        for topic in range(k, state.num_topics):
+            self.topic_changed(topic)
+
+    def topic_changed(self, topic: int) -> None:
+        k = self.num_free
+        if topic < k:
+            self._nt_free[topic] = self.state.nt[topic] + self._beta_sum
+            return
+        t = topic - k
+        ratio = self._omega / (self.state.nt[topic] + self._sum_delta[t])
+        self._E[:, t] = self._aug[t] @ ratio
+
+    def weights(self, word: int, doc_row: np.ndarray) -> np.ndarray:
+        state = self.state
+        k = self.num_free
+        out = self._out
+        self._E_flat.take(self._flat[word], out=self._dbuf)
+        if k:
+            np.divide(state.nw[word, :k] + self.beta, self._nt_free,
+                      out=out[:k])
+            np.multiply(state.nw[word, k:], self._C, out=out[k:])
+            out[k:] += self._dbuf
+        else:
+            np.multiply(state.nw[word], self._C, out=out)
+            out += self._dbuf
+        out *= doc_row
+        return out

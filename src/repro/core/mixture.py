@@ -49,7 +49,8 @@ class MixtureSourceLDA(TopicModel):
                  lambda_: float = 1.0,
                  epsilon: float = DEFAULT_EPSILON,
                  init: str = "informed",
-                 scan: ScanStrategy | None = None) -> None:
+                 scan: ScanStrategy | None = None,
+                 engine: str = "fast") -> None:
         if num_free_topics < 1:
             raise ValueError(
                 f"num_free_topics must be >= 1, got {num_free_topics}; "
@@ -67,6 +68,7 @@ class MixtureSourceLDA(TopicModel):
         self.lambda_ = lambda_
         self.epsilon = epsilon
         self._scan = scan
+        self.engine = engine
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -87,7 +89,8 @@ class MixtureSourceLDA(TopicModel):
         kernel = SourceTopicsKernel(state, num_free=self.num_free_topics,
                                     alpha=self.alpha, beta=self.beta,
                                     tables=tables, grid=grid)
-        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan)
+        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
+                                        engine=self.engine)
         log_likelihoods = sampler.run(
             iterations, track_log_likelihood=track_log_likelihood)
         labels = ((None,) * self.num_free_topics) + prior.labels

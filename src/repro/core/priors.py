@@ -13,6 +13,7 @@ single fancy-indexed gather.
 from __future__ import annotations
 
 import numpy as np
+from scipy.special import gammaln
 
 from repro.knowledge.distributions import (DEFAULT_EPSILON,
                                            source_hyperparameters)
@@ -138,6 +139,29 @@ class GridDeltaTables:
             value_counts[topic] = np.bincount(
                 inverse[topic], minlength=unique.shape[0])
         self.sum_delta = np.einsum("tu,uta->ta", value_counts, self._table)
+        self._log_gamma_table: np.ndarray | None = None
+
+    @property
+    def power_table(self) -> np.ndarray:
+        """The ``(U, S, A)`` powered unique-value table."""
+        return self._table
+
+    @property
+    def inverse(self) -> np.ndarray:
+        """``(S, V)`` indices of each word's unique value per topic."""
+        return self._inverse
+
+    @property
+    def log_gamma_table(self) -> np.ndarray:
+        """``gammaln`` of the power table, computed once and cached.
+
+        The likelihood evaluation needs ``gammaln(delta)`` for every
+        (word, topic, node) triple; since delta values come from the tiny
+        unique table this reduces to ``U * S * A`` gammaln calls total.
+        """
+        if self._log_gamma_table is None:
+            self._log_gamma_table = gammaln(self._table)
+        return self._log_gamma_table
 
     def delta_for_word(self, word: int) -> np.ndarray:
         """``delta_t^{exp[t,a]}[word]`` for all topics/nodes, ``(S, A)``."""
@@ -150,3 +174,19 @@ class GridDeltaTables:
                            self._topic_range[np.newaxis, :, np.newaxis],
                            np.arange(self.num_nodes)[np.newaxis,
                                                      np.newaxis, :]]
+
+    def delta_for_pairs(self, topics: np.ndarray,
+                        words: np.ndarray) -> np.ndarray:
+        """``delta_t^{exp[t,a]}[w]`` for parallel (topic, word) arrays.
+
+        Returns shape ``(len(topics), A)`` — the sparse gather the
+        vectorized likelihood uses for nonzero word-topic counts.
+        """
+        return self._table[self._inverse[topics, words], topics, :]
+
+    def log_gamma_for_pairs(self, topics: np.ndarray,
+                            words: np.ndarray) -> np.ndarray:
+        """``gammaln(delta)`` for parallel (topic, word) arrays, from the
+        cached table; shape ``(len(topics), A)``."""
+        return self.log_gamma_table[self._inverse[topics, words],
+                                    topics, :]

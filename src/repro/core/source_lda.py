@@ -74,6 +74,12 @@ class SourceLDA(TopicModel):
         initialization.
     scan:
         Optional parallel scan strategy (Algorithms 2/3).
+    engine:
+        Sweep engine: ``"fast"`` (default) uses the incremental
+        lambda-integration caches of
+        :class:`~repro.core.kernels.SourceTopicsFastPath` (O(S) per
+        token); ``"reference"`` runs the literal Algorithm 1 loop
+        (O(S * A) per token), kept as the exactness oracle.
     """
 
     def __init__(self, source: KnowledgeSource,
@@ -90,7 +96,8 @@ class SourceLDA(TopicModel):
                  final_topics: int | None = None,
                  epsilon: float = DEFAULT_EPSILON,
                  init: str = "informed",
-                 scan: ScanStrategy | None = None) -> None:
+                 scan: ScanStrategy | None = None,
+                 engine: str = "fast") -> None:
         if num_unlabeled_topics < 0:
             raise ValueError(
                 f"num_unlabeled_topics must be >= 0, got "
@@ -115,6 +122,7 @@ class SourceLDA(TopicModel):
         self.final_topics = final_topics
         self.epsilon = epsilon
         self._scan = scan
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def _smoothing_function(self, prior: SourcePrior,
@@ -149,7 +157,8 @@ class SourceLDA(TopicModel):
         kernel = SourceTopicsKernel(
             state, num_free=self.num_unlabeled_topics, alpha=self.alpha,
             beta=self.beta, tables=tables, grid=grid)
-        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan)
+        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
+                                        engine=self.engine)
         snapshots: dict[int, np.ndarray] = {}
         wanted = set(int(i) for i in snapshot_iterations)
 

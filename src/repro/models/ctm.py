@@ -21,6 +21,7 @@ import numpy as np
 from repro.knowledge.source import KnowledgeSource
 from repro.models.base import FittedTopicModel, TopicModel
 from repro.models.lda import posterior_theta
+from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import (CollapsedGibbsSampler, TopicWeightKernel,
                                   symmetric_dirichlet_log_likelihood)
 from repro.sampling.rng import ensure_rng
@@ -146,6 +147,61 @@ class CtmKernel(TopicWeightKernel):
             0.0)
         return float(total + per_concept.sum())
 
+    def fast_path(self) -> "CtmFastPath":
+        return CtmFastPath(self)
+
+
+class CtmFastPath(FastKernelPath):
+    """CTM fast path: incremental denominator rows for the free topics
+    (``nt + V * beta``) and the concepts (``nt + |W_c| * beta``); only
+    the (at most two) entries whose ``nt`` changed are recomputed per
+    token, with the reference's exact expressions so the weights stay
+    bit-identical — including the uniform-over-concepts fallback for
+    words outside every bag."""
+
+    def __init__(self, kernel: CtmKernel) -> None:
+        super().__init__(kernel.state)
+        self.alpha = kernel.alpha
+        self.beta = kernel.beta
+        self.num_free = kernel.num_free
+        self._mask = kernel.mask
+        self._beta_sum_free = kernel._beta_sum_free
+        self._beta_sum_concepts = kernel._beta_sum_concepts
+        self._nt_free = np.empty(self.num_free)
+        self._nt_concepts = np.empty(
+            kernel.state.num_topics - self.num_free)
+        self._out = np.empty(kernel.state.num_topics)
+
+    def begin_sweep(self) -> None:
+        state = self.state
+        k = self.num_free
+        np.add(state.nt[:k], self._beta_sum_free, out=self._nt_free)
+        np.add(state.nt[k:], self._beta_sum_concepts,
+               out=self._nt_concepts)
+
+    def topic_changed(self, topic: int) -> None:
+        state = self.state
+        k = self.num_free
+        if topic < k:
+            self._nt_free[topic] = state.nt[topic] + self._beta_sum_free
+        else:
+            self._nt_concepts[topic - k] = (
+                state.nt[topic] + self._beta_sum_concepts[topic - k])
+
+    def weights(self, word: int, doc_row: np.ndarray) -> np.ndarray:
+        state = self.state
+        k = self.num_free
+        out = self._out
+        if k:
+            np.divide(state.nw[word, :k] + self.beta, self._nt_free,
+                      out=out[:k])
+        out[k:] = (self._mask[word] * (state.nw[word, k:] + self.beta)
+                   / self._nt_concepts)
+        out *= doc_row
+        if not out.any():
+            out[k:] = doc_row[k:]
+        return out
+
 
 class CTM(TopicModel):
     """Concept-topic model over a knowledge source.
@@ -165,7 +221,8 @@ class CTM(TopicModel):
     def __init__(self, source: KnowledgeSource, num_free_topics: int = 0,
                  top_n_words: int = 10_000, alpha: float = 0.5,
                  beta: float = 0.1,
-                 scan: ScanStrategy | None = None) -> None:
+                 scan: ScanStrategy | None = None,
+                 engine: str = "fast") -> None:
         if num_free_topics < 0:
             raise ValueError(
                 f"num_free_topics must be >= 0, got {num_free_topics}")
@@ -175,6 +232,7 @@ class CTM(TopicModel):
         self.alpha = alpha
         self.beta = beta
         self._scan = scan
+        self.engine = engine
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -189,7 +247,8 @@ class CTM(TopicModel):
         state.initialize_random(rng)
         kernel = CtmKernel(state, mask, self.num_free_topics,
                            self.alpha, self.beta)
-        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan)
+        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
+                                        engine=self.engine)
         log_likelihoods = sampler.run(
             iterations, track_log_likelihood=track_log_likelihood)
         labels = ((None,) * self.num_free_topics) + self.source.labels

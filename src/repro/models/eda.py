@@ -20,6 +20,7 @@ from repro.knowledge.distributions import (DEFAULT_EPSILON,
 from repro.knowledge.source import KnowledgeSource
 from repro.models.base import FittedTopicModel, TopicModel
 from repro.models.lda import posterior_theta
+from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import CollapsedGibbsSampler, TopicWeightKernel
 from repro.sampling.rng import ensure_rng
 from repro.sampling.scans import ScanStrategy
@@ -55,6 +56,26 @@ class EdaKernel(TopicWeightKernel):
         # phi is fixed, so log P(w | z) decomposes over word-topic counts.
         return float((self.state.nw * self._log_phi_by_word).sum())
 
+    def fast_path(self) -> "EdaFastPath":
+        return EdaFastPath(self)
+
+
+class EdaFastPath(FastKernelPath):
+    """EDA fast path: phi is fixed, so there is nothing to cache — the
+    weight is a row view of the precomputed ``(V, T)`` phi table times
+    the engine's document row (bit-identical to the reference)."""
+
+    def __init__(self, kernel: EdaKernel) -> None:
+        super().__init__(kernel.state)
+        self.alpha = kernel.alpha
+        self._phi_by_word = kernel._phi_by_word
+
+    def begin_sweep(self) -> None:
+        pass
+
+    def weights(self, word: int, doc_row: np.ndarray) -> np.ndarray:
+        return self._phi_by_word[word] * doc_row
+
 
 class EDA(TopicModel):
     """Explicit Dirichlet allocation over a knowledge source.
@@ -73,11 +94,13 @@ class EDA(TopicModel):
 
     def __init__(self, source: KnowledgeSource, alpha: float = 0.5,
                  epsilon: float = DEFAULT_EPSILON,
-                 scan: ScanStrategy | None = None) -> None:
+                 scan: ScanStrategy | None = None,
+                 engine: str = "fast") -> None:
         self.source = source
         self.alpha = alpha
         self.epsilon = epsilon
         self._scan = scan
+        self.engine = engine
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -91,7 +114,8 @@ class EDA(TopicModel):
         state = GibbsState(corpus, len(self.source))
         state.initialize_random(rng)
         kernel = EdaKernel(state, phi, self.alpha)
-        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan)
+        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
+                                        engine=self.engine)
         log_likelihoods = sampler.run(
             iterations, track_log_likelihood=track_log_likelihood)
         return FittedTopicModel(

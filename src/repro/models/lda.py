@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.models.base import FittedTopicModel, TopicModel
+from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import (CollapsedGibbsSampler, TopicWeightKernel,
                                   symmetric_dirichlet_log_likelihood)
 from repro.sampling.rng import ensure_rng
@@ -50,6 +51,41 @@ class LdaKernel(TopicWeightKernel):
         return symmetric_dirichlet_log_likelihood(
             self.state.nw, self.state.nt, self.beta)
 
+    def fast_path(self) -> "LdaFastPath":
+        return LdaFastPath(self)
+
+
+class LdaFastPath(FastKernelPath):
+    """Incremental LDA weights for the fast sweep engine.
+
+    The only cache is the denominator row ``nt + V * beta``: a Gibbs step
+    changes ``nt`` for at most two topics, so the two touched entries are
+    recomputed (with the reference's exact ``count + constant``
+    expression, keeping the weights bit-identical) instead of re-adding
+    the constant across all ``T`` topics per token.
+    """
+
+    def __init__(self, kernel: LdaKernel) -> None:
+        super().__init__(kernel.state)
+        self.alpha = kernel.alpha
+        self.beta = kernel.beta
+        self._beta_sum = kernel._beta_sum
+        self._nt_beta = np.empty(kernel.state.num_topics)
+        self._out = np.empty(kernel.state.num_topics)
+
+    def begin_sweep(self) -> None:
+        np.add(self.state.nt, self._beta_sum, out=self._nt_beta)
+
+    def topic_changed(self, topic: int) -> None:
+        self._nt_beta[topic] = self.state.nt[topic] + self._beta_sum
+
+    def weights(self, word: int, doc_row: np.ndarray) -> np.ndarray:
+        out = self._out
+        np.add(self.state.nw[word], self.beta, out=out)
+        out /= self._nt_beta
+        out *= doc_row
+        return out
+
 
 def posterior_theta(state: GibbsState, alpha: float) -> np.ndarray:
     """Equation 1's ``theta`` estimate: ``(n_dt + α) / (n_d + K α)``."""
@@ -71,17 +107,22 @@ class LDA(TopicModel):
         :func:`default_beta`), applied by the experiment drivers.
     scan:
         Optional scan strategy (Algorithms 2/3); defaults to serial.
+    engine:
+        Sweep engine: ``"fast"`` (default) or ``"reference"``; see
+        :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
     """
 
     def __init__(self, num_topics: int, alpha: float = 0.5,
                  beta: float = 0.1,
-                 scan: ScanStrategy | None = None) -> None:
+                 scan: ScanStrategy | None = None,
+                 engine: str = "fast") -> None:
         if num_topics < 1:
             raise ValueError(f"num_topics must be >= 1, got {num_topics}")
         self.num_topics = num_topics
         self.alpha = alpha
         self.beta = beta
         self._scan = scan
+        self.engine = engine
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -92,7 +133,8 @@ class LDA(TopicModel):
         state = GibbsState(corpus, self.num_topics)
         state.initialize_random(rng)
         kernel = LdaKernel(state, self.alpha, self.beta)
-        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan)
+        sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
+                                        engine=self.engine)
         snapshots: dict[int, np.ndarray] = {}
         wanted = set(int(i) for i in snapshot_iterations)
 

@@ -1,6 +1,8 @@
 """Sampling substrate: Gibbs state, scan strategies, lambda quadrature."""
 
-from repro.sampling.gibbs import (CollapsedGibbsSampler, TopicWeightKernel,
+from repro.sampling.fast_engine import FastKernelPath, FastSweepEngine
+from repro.sampling.gibbs import (ENGINES, CollapsedGibbsSampler,
+                                  TopicWeightKernel,
                                   asymmetric_dirichlet_log_likelihood,
                                   symmetric_dirichlet_log_likelihood)
 from repro.sampling.integration import DEFAULT_STEPS, LambdaGrid
@@ -15,6 +17,9 @@ from repro.sampling.state import GibbsState
 __all__ = [
     "CollapsedGibbsSampler",
     "DEFAULT_STEPS",
+    "ENGINES",
+    "FastKernelPath",
+    "FastSweepEngine",
     "GibbsState",
     "LambdaGrid",
     "PrefixSumScan",

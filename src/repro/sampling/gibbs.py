@@ -6,6 +6,19 @@ per-topic weights, draw a topic through a :class:`ScanStrategy`, and
 re-increment.  The kernel is where LDA, EDA, CTM and the three Source-LDA
 variants differ (Equations 2 and 3 of the paper); everything else lives
 here once.
+
+Two sweep engines execute that structure:
+
+* ``engine="reference"`` — the literal per-token transcription of
+  Algorithm 1 below (:meth:`CollapsedGibbsSampler.sweep` via
+  ``_sweep_reference``), kept as the exactness oracle;
+* ``engine="fast"`` (default) — the batched loop of
+  :mod:`repro.sampling.fast_engine`, which pre-draws the sweep's uniform
+  variates in one call, caches the ``nd[doc] + alpha`` row per document
+  and lets kernels maintain incremental caches through
+  :meth:`TopicWeightKernel.fast_path`.  It consumes the RNG stream
+  identically and is draw-for-draw equivalent (see the engine module's
+  exactness contract).
 """
 
 from __future__ import annotations
@@ -18,8 +31,12 @@ from typing import Callable
 import numpy as np
 from scipy.special import gammaln
 
+from repro.sampling.fast_engine import FastKernelPath, FastSweepEngine
 from repro.sampling.scans import ScanStrategy, SerialScan
 from repro.sampling.state import GibbsState
+
+#: Valid values for the sampler's ``engine`` argument.
+ENGINES = ("fast", "reference")
 
 
 class TopicWeightKernel(ABC):
@@ -49,6 +66,16 @@ class TopicWeightKernel(ABC):
     @abstractmethod
     def log_likelihood(self) -> float:
         """Complete-data log ``P(w | z)`` under the kernel's priors."""
+
+    def fast_path(self) -> FastKernelPath | None:
+        """Optional incremental fast path for the fast sweep engine.
+
+        ``None`` (the default) makes the fast engine fall back to calling
+        :meth:`weights` per token; built-in kernels override this with a
+        :class:`~repro.sampling.fast_engine.FastKernelPath` that updates
+        cached quantities incrementally as topic totals change.
+        """
+        return None
 
 
 @dataclass
@@ -81,22 +108,42 @@ class CollapsedGibbsSampler:
         :class:`~repro.sampling.prefix_sums.PrefixSumScan` or
         :class:`~repro.sampling.simple_parallel.SimpleParallelScan`
         reproduces Algorithms 2 and 3.
+    engine:
+        ``"fast"`` (default) runs sweeps through
+        :class:`~repro.sampling.fast_engine.FastSweepEngine`;
+        ``"reference"`` runs the literal Algorithm 1 loop.  Both consume
+        the RNG stream identically.
     """
 
     def __init__(self, state: GibbsState, kernel: TopicWeightKernel,
                  rng: np.random.Generator,
-                 scan: ScanStrategy | None = None) -> None:
+                 scan: ScanStrategy | None = None,
+                 engine: str = "fast") -> None:
         if kernel.state is not state:
             raise ValueError("kernel is bound to a different state")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}")
         self.state = state
         self.kernel = kernel
         self.rng = rng
         self.scan = scan or SerialScan()
+        self.engine = engine
         self.timings = SweepTimings()
+        self._fast_engine = (FastSweepEngine(state, kernel, rng,
+                                             scan=self.scan)
+                             if engine == "fast" else None)
 
     def sweep(self) -> None:
         """One full pass reassigning every token (the inner loops of
-        Algorithm 1)."""
+        Algorithm 1), executed by the selected engine."""
+        if self._fast_engine is not None:
+            self._fast_engine.sweep()
+        else:
+            self._sweep_reference()
+
+    def _sweep_reference(self) -> None:
+        """The literal per-token loop of Algorithm 1 (exactness oracle)."""
         state = self.state
         kernel = self.kernel
         scan = self.scan

@@ -38,7 +38,10 @@ class ScanStrategy(ABC):
                 f"topic weights must have positive finite mass, got "
                 f"total={total!r}")
         u = rng.random() * total
-        return int(np.searchsorted(cumulative, u, side="right"))
+        topic = int(np.searchsorted(cumulative, u, side="right"))
+        # u * total can round up to exactly total, in which case the
+        # right-bisection lands one past the final topic; clamp.
+        return min(topic, cumulative.shape[0] - 1)
 
 
 class SerialScan(ScanStrategy):

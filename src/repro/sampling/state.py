@@ -115,12 +115,17 @@ class GibbsState:
         self.rebuild_counts()
 
     def rebuild_counts(self) -> None:
-        """Recompute ``nw``, ``nt``, ``nd`` from the current assignments."""
+        """Recompute ``nw``, ``nt``, ``nd`` from the current assignments.
+
+        All three arrays are updated *in place* — ``nt`` in particular is
+        never rebound, so long-lived references (the sweep engines and
+        kernel fast paths hold one) can never go stale.
+        """
         self.nw.fill(0.0)
         self.nd.fill(0.0)
         np.add.at(self.nw, (self.words, self.z), 1.0)
         np.add.at(self.nd, (self.doc_ids, self.z), 1.0)
-        self.nt = self.nw.sum(axis=0)
+        np.sum(self.nw, axis=0, out=self.nt)
 
     def decrement(self, token_index: int) -> tuple[int, int, int]:
         """Remove token ``i`` from the counts; returns (word, doc, old_topic).
