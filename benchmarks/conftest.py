@@ -1,0 +1,25 @@
+"""Mark every test collected under benchmarks/ with the ``bench`` marker.
+
+Tier-1 runs deselect these via the ``-m "not bench"`` addopts in
+pytest.ini; the perf job selects them explicitly with
+``python -m pytest benchmarks -m bench``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        try:
+            in_bench = Path(str(item.fspath)).resolve().is_relative_to(
+                _BENCH_DIR)
+        except (OSError, ValueError):
+            in_bench = False
+        if in_bench:
+            item.add_marker(pytest.mark.bench)

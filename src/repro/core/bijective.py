@@ -56,6 +56,11 @@ class BijectiveSourceLDA(TopicModel):
         ``"informed"`` (default) seeds each token's topic from the source
         distributions; ``"random"`` is the uniform initialization of
         Algorithm 1.
+    engine:
+        ``"fast"`` (default, draw-identical to the reference),
+        ``"sparse"`` (bucketed O(nnz) draws, statistically equivalent)
+        or ``"reference"``; see
+        :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
     """
 
     def __init__(self, source: KnowledgeSource, alpha: float = 0.5,

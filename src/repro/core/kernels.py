@@ -46,7 +46,16 @@ from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import (TopicWeightKernel,
                                   symmetric_dirichlet_log_likelihood)
 from repro.sampling.integration import LambdaGrid
+from repro.sampling.scans import last_positive_index
+from repro.sampling.sparse_engine import (SparseKernelPath, TopicSet,
+                                          WordTopicLists)
 from repro.sampling.state import GibbsState
+
+#: Segment size (as a shift) of the sparse path's two-level floor walk:
+#: a floor draw scans 2**_BLOCK_SHIFT block sums plus one segment
+#: instead of all S source topics.
+_BLOCK_SHIFT = 6
+_BLOCK_SIZE = 1 << _BLOCK_SHIFT
 
 
 class SourceTopicsKernel(TopicWeightKernel):
@@ -111,23 +120,37 @@ class SourceTopicsKernel(TopicWeightKernel):
         out *= state.nd[doc] + self.alpha
         return out
 
-    def phi(self, chunk_size: int = 512) -> np.ndarray:
+    def phi(self) -> np.ndarray:
         """Equation 4: symmetric rows for free topics, integrated rows for
-        source topics."""
+        source topics.
+
+        The source block uses the ``nw * C + D`` decomposition of the
+        module docstring: the lambda integral is evaluated once per
+        *unique* hyperparameter value (``O(U * S * A)``), the dense
+        ``D`` block is a gather through the inverse table, and the
+        count-dependent ``nw * C`` part is scatter-added over the
+        nonzero word-topic counts — ``O(U * S * A + S * V + nnz)``
+        instead of the dense ``O(V * S * A)`` walk.
+        """
         state = self.state
         k = self.num_free
+        tables = self.tables
         phi = np.empty((state.num_topics, state.vocab_size))
         if k:
             phi[:k] = ((state.nw[:, :k] + self.beta)
                        / (state.nt[:k] + self._beta_sum)).T
-        denominator = state.nt[k:, np.newaxis] + self.tables.sum_delta
-        for start in range(0, state.vocab_size, chunk_size):
-            stop = min(start + chunk_size, state.vocab_size)
-            words = np.arange(start, stop)
-            delta = self.tables.delta_for_words(words)         # (W, S, A)
-            numerator = state.nw[start:stop, k:, np.newaxis] + delta
-            ratios = numerator / denominator[np.newaxis, :, :]
-            phi[k:, start:stop] = (ratios @ self._omega).T
+        # ratio[t, a] = omega_a / (nt[t] + sum_delta[t, a])
+        ratio = self._omega / (state.nt[k:, np.newaxis] + tables.sum_delta)
+        # integrated[u, t] = sum_a unique_u^exp[t,a] * ratio[t, a]
+        integrated = np.einsum("uta,ta->ut", tables.power_table, ratio)
+        phi[k:] = integrated[tables.inverse,
+                             np.arange(self.num_source)[:, np.newaxis]]
+        counts = state.nw[:, k:]
+        word_idx, topic_idx = np.nonzero(counts)
+        if word_idx.size:
+            c_per_topic = ratio.sum(axis=1)                    # C[t]
+            phi[k + topic_idx, word_idx] += (counts[word_idx, topic_idx]
+                                             * c_per_topic[topic_idx])
         return phi
 
     def log_likelihood(self) -> float:
@@ -180,6 +203,9 @@ class SourceTopicsKernel(TopicWeightKernel):
     def fast_path(self) -> "SourceTopicsFastPath":
         return SourceTopicsFastPath(self)
 
+    def sparse_path(self) -> "SourceTopicsSparsePath":
+        return SourceTopicsSparsePath(self)
+
 
 class SourceTopicsFastPath(FastKernelPath):
     """Incremental ``nw * C + D`` evaluation of Equation 3.
@@ -230,6 +256,8 @@ class SourceTopicsFastPath(FastKernelPath):
         self._nt_free = np.empty(self.num_free)
         self._dbuf = np.empty(num_source)
         self._out = np.empty(kernel.state.num_topics)
+        self._ratio_buf = np.empty(tables.num_nodes)
+        self._column_buf = np.empty(num_unique + 1)
 
     def begin_sweep(self) -> None:
         state = self.state
@@ -249,8 +277,14 @@ class SourceTopicsFastPath(FastKernelPath):
             self._nt_free[topic] = self.state.nt[topic] + self._beta_sum
             return
         t = topic - k
-        ratio = self._omega / (self.state.nt[topic] + self._sum_delta[t])
-        self._E[:, t] = self._aug[t] @ ratio
+        # Buffered form of ``E[:, t] = aug[t] @ (omega / (nt + sd[t]))``
+        # — same operations and operand order (bit-identical results),
+        # without the two temporary allocations.
+        ratio = self._ratio_buf
+        np.add(self.state.nt[topic], self._sum_delta[t], out=ratio)
+        np.divide(self._omega, ratio, out=ratio)
+        np.matmul(self._aug[t], ratio, out=self._column_buf)
+        self._E[:, t] = self._column_buf
 
     def weights(self, word: int, doc_row: np.ndarray) -> np.ndarray:
         state = self.state
@@ -266,4 +300,486 @@ class SourceTopicsFastPath(FastKernelPath):
             np.multiply(state.nw[word], self._C, out=out)
             out += self._dbuf
         out *= doc_row
+        return out
+
+
+class SourceTopicsSparsePath(SparseKernelPath):
+    """Bucketed Source-LDA draws folding the lambda caches into buckets.
+
+    The integrated weight ``(nw * C + D) * (nd + alpha)`` of the fast
+    path (PR 1's ``nw * C + D`` lambda-integration decomposition) splits
+    into three non-negative buckets per source topic::
+
+        q   nw * C * (nd + alpha)     word bucket: nonzero nw[w] topics
+        r   D * nd                    document bucket: nonzero nd[d]
+        s   alpha * D                 prior bucket: all source topics
+
+    plus the LDA-style ``s + r + q`` of
+    :class:`~repro.models.lda.LdaSparsePath` for the ``K`` free topics.
+
+    Two lanes implement the partition:
+
+    * **bijective lane** (``K == 0`` with non-negative quadrature
+      exponents — the paper-scale configuration).  The document bucket
+      is walked over the document's *token slice* (one entry of weight
+      ``D[z_j]`` per other token ``j`` of the document — an exact
+      reweighting of ``D * nd`` over the nonzero topics that needs no
+      membership bookkeeping, just one position write per step).  The
+      prior bucket uses the unique-value structure: every word absent
+      from topic ``t``'s article shares the epsilon-floor
+      hyperparameter, so ``D[w, t] = E1[t] + corr[w, t]`` with ``corr``
+      nonzero only inside article vocabularies.  The floor mass
+      ``alpha * sum E1`` is one contiguous vector sum, the correction
+      mass an O(|articles containing w|) gather, and the rare floor
+      walk the only O(S) scan left in a draw.  Non-negative exponents
+      keep the powered values ordered like the raw ones, hence every
+      correction non-negative.
+    * **general lane** (mixed layouts, or negative exponents).  Nonzero
+      topic sets are tracked explicitly and the prior bucket reads the
+      full ``D`` row out of the shared ``E`` cache — one O(S) gather
+      with no per-node arithmetic.
+
+    Bucket masses are recomputed from the live caches on every token,
+    so the partition carries no incremental drift at all.
+    """
+
+    def __init__(self, kernel: SourceTopicsKernel) -> None:
+        super().__init__(kernel.state)
+        self.alpha = kernel.alpha
+        self.beta = kernel.beta
+        self.num_free = kernel.num_free
+        self._beta_sum = kernel._beta_sum
+        self._ab = kernel.alpha * kernel.beta
+        self._fast = SourceTopicsFastPath(kernel)
+        num_source = kernel.num_source
+        num_topics = kernel.state.num_topics
+        self._num_source = num_source
+        k = self.num_free
+        self._bijective = (k == 0
+                           and bool(np.all(kernel.tables.exponents >= 0)))
+        self._doc_free = TopicSet(0, k)
+        self._doc_src = TopicSet(k, num_topics)
+        self._inv_free = np.empty(k)
+        self._words: WordTopicLists | None = None
+        self._word_lists: list[list[int]] | None = None
+        self._nd_row: np.ndarray | None = None
+        self._E1 = self._fast._E[1]                        # (S,) view
+        # Reusable per-token gather buffers (sized to the worst case).
+        self._rel_buf = np.empty(num_source, dtype=np.int64)
+        self._d_row = np.empty(num_source)
+        self._nd_buf = np.empty(num_source)
+        self._d_buf = np.empty(num_source)
+        if self._bijective:
+            # CSR (by word) of the correction entries: (t, w) pairs whose
+            # hyperparameter sits above the epsilon floor.
+            inverse = kernel.tables.inverse                # (S, V)
+            topic_idx, word_idx = np.nonzero(inverse)
+            order = np.argsort(word_idx, kind="stable")
+            self._corr_ptr = np.searchsorted(
+                word_idx[order],
+                np.arange(kernel.state.vocab_size + 1)).tolist()
+            topics = topic_idx[order].astype(np.int64)
+            self._corr_topics = topics                     # source-relative
+            self._corr_flat = ((inverse[topic_idx, word_idx][order]
+                                .astype(np.int64) + 1) * num_source
+                               + topics)
+            max_corr = (int(np.diff(self._corr_ptr).max())
+                        if topics.size else 1)
+            self._corr_buf = np.empty(max(max_corr, 1))
+            # Document token slice: topic of every token in the current
+            # document, current position first.
+            lengths = kernel.state.doc_lengths.astype(np.int64)
+            self._doc_starts = np.concatenate(
+                ([0], np.cumsum(lengths))).tolist()
+            self._doc_lengths_int = lengths.tolist()
+            max_len = int(lengths.max()) if lengths.size else 1
+            self._doc_z = np.empty(max(max_len, 1), dtype=np.int64)
+            self._token_idx = np.empty(max(max_len, 1), dtype=np.int64)
+            self._token_d = np.empty(max(max_len, 1))
+            self._token_cum = np.empty(max(max_len, 1))
+            self._corr_cum_buf = np.empty_like(self._corr_buf)
+            # Two-level floor walk: block sums computed fresh on the
+            # (minority of) draws that land in the floor bucket.
+            self._block_starts = np.arange(0, num_source, _BLOCK_SIZE)
+            self._blocks = np.empty(self._block_starts.shape[0])
+            self._doc_len = 0
+            self._pos = 0
+            self._current_doc = -1
+            self.sweep_chunk = self._sweep_chunk_bijective
+
+    def begin_sweep(self) -> None:
+        self._fast.begin_sweep()
+        state = self.state
+        self._words = WordTopicLists(state.words, state.z,
+                                     state.vocab_size)
+        self._word_lists = self._words.lists
+        if self._bijective:
+            # Force a document (re)entry on the first token: the chunk
+            # runner's position counter must restart even when the
+            # corpus has a single document.
+            self._current_doc = -1
+
+    def begin_document(self, doc: int) -> None:
+        state = self.state
+        k = self.num_free
+        if k:
+            np.add(state.nt[:k], self._beta_sum, out=self._inv_free)
+            np.reciprocal(self._inv_free, out=self._inv_free)
+        self._nd_row = state.nd[doc]
+        if self._bijective:
+            length = self._doc_lengths_int[doc]
+            start = self._doc_starts[doc]
+            self._doc_len = length
+            self._doc_z[:length] = state.z[start:start + length]
+            self._pos = 0
+        else:
+            self._doc_free.begin(self._nd_row)
+            self._doc_src.begin(self._nd_row)
+
+    def _topic_changed(self, topic: int) -> None:
+        if topic < self.num_free:
+            self._inv_free[topic] = 1.0 / (self.state.nt[topic]
+                                           + self._beta_sum)
+        else:
+            self._fast.topic_changed(topic)
+
+    def removed(self, word: int, doc: int, topic: int) -> None:
+        self._topic_changed(topic)
+        if not self._bijective:
+            if self._nd_row[topic] == 0.0:
+                if topic < self.num_free:
+                    self._doc_free.discard(topic)
+                else:
+                    self._doc_src.discard(topic)
+        if self.state.nw[word, topic] == 0.0:
+            self._word_lists[word].remove(topic)
+
+    def added(self, word: int, doc: int, topic: int) -> None:
+        self._topic_changed(topic)
+        if not self._bijective:
+            if self._nd_row[topic] == 1.0:
+                if topic < self.num_free:
+                    self._doc_free.add(topic)
+                else:
+                    self._doc_src.add(topic)
+        if self.state.nw[word, topic] == 1.0:
+            self._word_lists[word].append(topic)
+
+    def step(self, word: int, doc: int, old: int, u: float) -> int:
+        if self._bijective:
+            out: list[int] = []
+            self._sweep_chunk_bijective([word], [doc], [old], [u], out)
+            return out[0]
+        # General lane: the base-class step composes removed / draw /
+        # added (no fused fast lane — mixed layouts are not the
+        # benchmarked configuration).
+        return SparseKernelPath.step(self, word, doc, old, u)
+
+    # ------------------------------------------------------------------
+    def _sweep_chunk_bijective(self, words: list, doc_ids: list,
+                               old_topics: list, uniforms: list,
+                               out: list) -> None:
+        """Single-frame chunk loop for the ``K == 0`` lane.
+
+        Everything the per-token work touches — count rows, the shared
+        ``E`` cache and its refresh operands, the gather buffers — is
+        bound to locals once per chunk, and the E-column refresh (same
+        arithmetic as ``SourceTopicsFastPath.topic_changed``) is inlined
+        because it runs twice per token.
+        """
+        state = self.state
+        nw = state.nw
+        nt = state.nt
+        fast = self._fast
+        e_flat = fast._E_flat
+        e1 = self._E1
+        e_matrix = fast._E
+        aug = fast._aug
+        omega = fast._omega
+        sum_delta = fast._sum_delta
+        ratio = fast._ratio_buf
+        column = fast._column_buf
+        c_per_topic = fast._C
+        flat = fast._flat
+        alpha = self.alpha
+        word_lists = self._word_lists
+        corr_ptr = self._corr_ptr
+        corr_flat = self._corr_flat
+        corr_topics = self._corr_topics
+        corr_buf = self._corr_buf
+        corr_cum_buf = self._corr_cum_buf
+        token_idx = self._token_idx
+        token_d = self._token_d
+        token_cum = self._token_cum
+        blocks = self._blocks
+        block_starts = self._block_starts
+        doc_z_full = self._doc_z
+        num_source = self._num_source
+        num_blocks = blocks.shape[0]
+        np_add = np.add
+        np_divide = np.divide
+        np_matmul = np.matmul
+        np_reduceat = np.add.reduceat
+        inf = np.inf
+        append_out = out.append
+        current_doc = self._current_doc
+        nd_row = self._nd_row
+        length = self._doc_len
+        position = self._pos
+        doc_z = doc_z_full[:length]
+        indices = token_idx[:length]
+        r_weights = token_d[:length]
+        r_cum = token_cum[:length]
+        try:
+            for word, doc, old, u in zip(words, doc_ids, old_topics,
+                                         uniforms):
+                if doc != current_doc:
+                    self.begin_document(doc)
+                    current_doc = doc
+                    nd_row = self._nd_row
+                    length = self._doc_len
+                    position = 0
+                    doc_z = doc_z_full[:length]
+                    indices = token_idx[:length]
+                    r_weights = token_d[:length]
+                    r_cum = token_cum[:length]
+                word_list = word_lists[word]
+                nw_row = nw[word]
+                # Decrement and refresh the old topic's caches.
+                nw_row[old] -= 1.0
+                nt[old] -= 1.0
+                nd_row[old] -= 1.0
+                np_add(nt[old], sum_delta[old], out=ratio)
+                np_divide(omega, ratio, out=ratio)
+                np_matmul(aug[old], ratio, out=column)
+                e_matrix[:, old] = column
+                if nw_row[old] == 0.0:
+                    word_list.remove(old)
+                # q: word bucket over the nonzero nw[word] topics.
+                q_weights: list[float] = []
+                q_mass = 0.0
+                for t in word_list:
+                    weight = nw_row[t] * c_per_topic[t] \
+                        * (nd_row[t] + alpha)
+                    q_weights.append(weight)
+                    q_mass += weight
+                # r: document bucket over the document's token slice
+                # (weight D[z_j] per other token j; the current token's
+                # slot is zeroed).
+                flat_row = flat[word]
+                flat_row.take(doc_z, out=indices)
+                e_flat.take(indices, out=r_weights)
+                r_weights[position] = 0.0
+                r_weights.cumsum(out=r_cum)
+                r_mass = float(r_cum[-1])
+                # s (correction): alpha * (D - E1) over this word's
+                # articles.
+                lo = corr_ptr[word]
+                hi = corr_ptr[word + 1]
+                if hi > lo:
+                    corr_weights = corr_buf[:hi - lo]
+                    corr_cum = corr_cum_buf[:hi - lo]
+                    e_flat.take(corr_flat[lo:hi], out=corr_weights)
+                    corr_weights -= e1.take(corr_topics[lo:hi])
+                    corr_weights.cumsum(out=corr_cum)
+                    sc_mass = alpha * float(corr_cum[-1])
+                else:
+                    corr_cum = None
+                    sc_mass = 0.0
+                # s (floor): alpha * E1 over every source topic.
+                sfl_mass = alpha * float(e1.sum())
+                total = q_mass + r_mass + sc_mass + sfl_mass
+                if not (0.0 < total < inf):
+                    raise ValueError(
+                        f"topic weights must have positive finite "
+                        f"mass, got total={total!r}")
+                x = u * total
+                new = -1
+                if x < q_mass:
+                    acc = 0.0
+                    for weight, t in zip(q_weights, word_list):
+                        acc += weight
+                        if x < acc:
+                            new = t
+                            break
+                if new < 0:
+                    x -= q_mass
+                    if x < r_mass:
+                        index = int(r_cum.searchsorted(x, side="right"))
+                        if index >= length:
+                            # Boundary draw over the zeroed current
+                            # slot; take the last token slot with
+                            # positive weight.
+                            index = last_positive_index(r_cum)
+                        new = int(doc_z[index])
+                    else:
+                        x -= r_mass
+                        if corr_cum is not None and x < sc_mass:
+                            index = int(corr_cum.searchsorted(
+                                x / alpha, side="right"))
+                            if index >= corr_cum.shape[0]:
+                                # Corrections may include zeros
+                                # (repeated floor values); clamp to the
+                                # last positive one.
+                                index = last_positive_index(corr_cum)
+                            new = int(corr_topics[lo + index])
+                        else:
+                            x -= sc_mass
+                            # s (floor): E1 is strictly positive.  Two-
+                            # level walk: fresh block sums pick a
+                            # segment, one segment scan picks the
+                            # topic.
+                            target = x / alpha
+                            np_reduceat(e1, block_starts, out=blocks)
+                            block_cum = blocks.cumsum()
+                            block = int(block_cum.searchsorted(
+                                target, side="right"))
+                            if block >= num_blocks:
+                                block = num_blocks - 1
+                            if block:
+                                target -= block_cum[block - 1]
+                            lo_t = block << _BLOCK_SHIFT
+                            segment = e1[lo_t:lo_t + _BLOCK_SIZE]
+                            cumulative = self._inclusive_scan(segment)
+                            index = int(cumulative.searchsorted(
+                                target, side="right"))
+                            if index >= segment.shape[0]:
+                                index = segment.shape[0] - 1
+                            new = lo_t + index
+                # Increment and refresh the new topic's caches.
+                nw_row[new] += 1.0
+                nt[new] += 1.0
+                nd_row[new] += 1.0
+                np_add(nt[new], sum_delta[new], out=ratio)
+                np_divide(omega, ratio, out=ratio)
+                np_matmul(aug[new], ratio, out=column)
+                e_matrix[:, new] = column
+                if nw_row[new] == 1.0:
+                    word_list.append(new)
+                doc_z[position] = new
+                position += 1
+                append_out(new)
+        finally:
+            self._current_doc = current_doc
+            self._pos = position
+
+    # ------------------------------------------------------------------
+    def draw(self, word: int, doc: int, u: float) -> int:
+        """Bucket draw for the already-decremented token (general lane;
+        the bijective lane fuses its draw into :meth:`step`)."""
+        if self._bijective:
+            raise NotImplementedError(
+                "the bijective lane draws inside step(); use step() or "
+                "dense_weights()")
+        return self._draw_general(word, self.state.nw[word], self._nd_row,
+                                  self._word_lists[word], u)
+
+    def _draw_general(self, word: int, nw_row: np.ndarray,
+                      nd_row: np.ndarray, word_list: list,
+                      u: float) -> int:
+        k = self.num_free
+        alpha = self.alpha
+        fast = self._fast
+        c_per_topic = fast._C
+        # D row for this word, straight from the shared E cache.
+        d_row = self._d_row
+        fast._E_flat.take(fast._flat[word], out=d_row)
+        inv_free = self._inv_free
+        # q: word bucket (free and source topics mixed).
+        q_weights: list[float] = []
+        q_mass = 0.0
+        for t in word_list:
+            if t < k:
+                weight = nw_row[t] * (nd_row[t] + alpha) * inv_free[t]
+            else:
+                weight = nw_row[t] * c_per_topic[t - k] \
+                    * (nd_row[t] + alpha)
+            q_weights.append(weight)
+            q_mass += weight
+        # r (free): beta * nd / (nt + V * beta).
+        if k and self._doc_free._n:
+            free_topics = self._doc_free.array()
+            rf_weights = (nd_row.take(free_topics)
+                          * inv_free.take(free_topics))
+            rf_weights *= self.beta
+            rf_mass = float(rf_weights.sum())
+        else:
+            rf_weights = None
+            rf_mass = 0.0
+        # r (source): D * nd over the document's source topics.
+        doc_src = self._doc_src
+        num_src_doc = doc_src._n
+        if num_src_doc:
+            src_topics = doc_src._buf[:num_src_doc]
+            d_values = self._d_buf[:num_src_doc]
+            rs_weights = self._nd_buf[:num_src_doc]
+            relative = self._rel_buf[:num_src_doc]
+            np.subtract(src_topics, k, out=relative)
+            d_row.take(relative, out=d_values)
+            nd_row.take(src_topics, out=rs_weights)
+            np.multiply(rs_weights, d_values, out=rs_weights)
+            rs_mass = float(rs_weights.sum())
+        else:
+            rs_mass = 0.0
+        # s (free): alpha * beta / (nt + V * beta), scalar mass.
+        sf_mass = self._ab * float(inv_free.sum()) if k else 0.0
+        # s (source prior): alpha * D over every source topic.
+        s_mass = alpha * float(d_row.sum())
+        total = q_mass + rf_mass + rs_mass + sf_mass + s_mass
+        if not (0.0 < total < np.inf):
+            raise ValueError(
+                f"topic weights must have positive finite mass, got "
+                f"total={total!r}")
+        x = u * total
+        if x < q_mass:
+            acc = 0.0
+            for weight, t in zip(q_weights, word_list):
+                acc += weight
+                if x < acc:
+                    return t
+        x -= q_mass
+        if rf_weights is not None and x < rf_mass:
+            cumulative = rf_weights.cumsum()
+            index = int(cumulative.searchsorted(x, side="right"))
+            if index >= cumulative.shape[0]:
+                index = cumulative.shape[0] - 1  # weights all positive
+            return int(free_topics[index])
+        x -= rf_mass
+        if num_src_doc and x < rs_mass:
+            cumulative = rs_weights.cumsum()
+            index = int(cumulative.searchsorted(x, side="right"))
+            if index >= num_src_doc:
+                index = num_src_doc - 1  # D and nd are positive here
+            return int(src_topics[index])
+        x -= rs_mass
+        if k and x < sf_mass:
+            cumulative = inv_free.cumsum()
+            index = int(cumulative.searchsorted(x / self._ab,
+                                                side="right"))
+            if index >= k:
+                index = k - 1  # inv_free is all positive
+            return index
+        x -= sf_mass
+        # s (source prior): D is strictly positive everywhere.
+        cumulative = self._inclusive_scan(d_row)
+        index = int(cumulative.searchsorted(x / alpha, side="right"))
+        if index >= self._num_source:
+            index = self._num_source - 1
+        return index + k
+
+    def dense_weights(self, word: int, doc: int) -> np.ndarray:
+        state = self.state
+        k = self.num_free
+        alpha = self.alpha
+        nd_row = state.nd[doc]
+        fast = self._fast
+        out = np.empty(state.num_topics)
+        if k:
+            inv = 1.0 / (state.nt[:k] + self._beta_sum)
+            out[:k] = (state.nw[word, :k] * (nd_row[:k] + alpha)
+                       + self.beta * nd_row[:k] + self._ab) * inv
+        d_values = fast._E_flat.take(fast._flat[word])
+        source_nd = nd_row[k:]
+        out[k:] = (state.nw[word, k:] * fast._C * (source_nd + alpha)
+                   + d_values * source_nd + alpha * d_values)
         return out

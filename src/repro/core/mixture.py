@@ -42,6 +42,11 @@ class MixtureSourceLDA(TopicModel):
         Document-topic prior and the unknown topics' word prior.
     lambda_:
         Fixed exponent on source hyperparameters (1.0 = raw counts).
+    engine:
+        ``"fast"`` (default, draw-identical to the reference),
+        ``"sparse"`` (bucketed O(nnz) draws, statistically equivalent)
+        or ``"reference"``; see
+        :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
     """
 
     def __init__(self, source: KnowledgeSource, num_free_topics: int,

@@ -78,8 +78,11 @@ class SourceLDA(TopicModel):
         Sweep engine: ``"fast"`` (default) uses the incremental
         lambda-integration caches of
         :class:`~repro.core.kernels.SourceTopicsFastPath` (O(S) per
-        token); ``"reference"`` runs the literal Algorithm 1 loop
-        (O(S * A) per token), kept as the exactness oracle.
+        token, draw-identical to the reference); ``"sparse"`` uses the
+        bucketed :class:`~repro.core.kernels.SourceTopicsSparsePath`
+        (O(nnz) per token, statistically equivalent); ``"reference"``
+        runs the literal Algorithm 1 loop (O(S * A) per token), kept as
+        the exactness oracle.
     """
 
     def __init__(self, source: KnowledgeSource,
@@ -186,10 +189,10 @@ class SourceLDA(TopicModel):
         }
         if self.reduce_topics:
             frequencies = topic_document_frequencies_from_counts(
-                state.nd, state.doc_lengths, self.min_proportion)
+                state.nd_view, state.doc_lengths, self.min_proportion)
             metadata["document_frequencies"] = frequencies
             active = reduce_by_count_frequency(
-                state.nd, state.doc_lengths, self.min_documents,
+                state.nd_view, state.doc_lengths, self.min_documents,
                 self.min_proportion)
             if self.final_topics is not None and \
                     active.size > self.final_topics:

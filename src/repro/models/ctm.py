@@ -216,6 +216,12 @@ class CTM(TopicModel):
     top_n_words:
         Bag size per concept; the paper uses the top 10,000 words by
         frequency.
+    engine:
+        ``"fast"`` (default) or ``"reference"``; ``"sparse"`` is
+        accepted but the CTM kernel defines no bucketed path (the
+        out-of-bag fallback does not decompose), so it runs on the fast
+        engine and stays draw-identical to the reference.  See
+        :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
     """
 
     def __init__(self, source: KnowledgeSource, num_free_topics: int = 0,

@@ -1,4 +1,14 @@
-"""Sampling substrate: Gibbs state, scan strategies, lambda quadrature."""
+"""Sampling substrate: Gibbs state, sweep engines, scans, quadrature.
+
+Three sweep engines run the collapsed Gibbs sweeps (selected with the
+``engine=`` argument of :class:`CollapsedGibbsSampler` and every model
+class): ``"reference"`` is the literal Algorithm 1 loop kept as the
+exactness oracle; ``"fast"`` (the default) is the batched loop of
+:mod:`repro.sampling.fast_engine`, draw-for-draw identical to the
+reference; ``"sparse"`` is the SparseLDA-style bucketed sampler of
+:mod:`repro.sampling.sparse_engine`, O(nnz) per token and statistically
+equivalent (kernels without a sparse path fall back to the fast engine).
+"""
 
 from repro.sampling.fast_engine import FastKernelPath, FastSweepEngine
 from repro.sampling.gibbs import (ENGINES, CollapsedGibbsSampler,
@@ -12,6 +22,7 @@ from repro.sampling.rng import categorical, ensure_rng
 from repro.sampling.scans import ScanStrategy, SerialScan
 from repro.sampling.simple_parallel import (SimpleParallelScan,
                                             blocked_inclusive_scan)
+from repro.sampling.sparse_engine import SparseKernelPath, SparseSweepEngine
 from repro.sampling.state import GibbsState
 
 __all__ = [
@@ -26,6 +37,8 @@ __all__ = [
     "ScanStrategy",
     "SerialScan",
     "SimpleParallelScan",
+    "SparseKernelPath",
+    "SparseSweepEngine",
     "TopicWeightKernel",
     "WorkerPool",
     "asymmetric_dirichlet_log_likelihood",

@@ -54,7 +54,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.sampling.scans import ScanStrategy, SerialScan
+from repro.sampling.scans import (ScanStrategy, SerialScan,
+                                  last_positive_index)
 from repro.sampling.state import GibbsState
 
 
@@ -207,7 +208,10 @@ class FastSweepEngine:
                     new = int(cumulative.searchsorted(u * total,
                                                       side="right"))
                     if new == num_topics:
-                        new = num_topics - 1  # u * total rounded to total
+                        # u * total rounded to total; take the last
+                        # positive-weight topic (matches the reference
+                        # scan's boundary clamp).
+                        new = last_positive_index(cumulative)
                     append_new(new)
                     nw[word, new] += 1.0
                     nt[new] += 1.0
@@ -269,7 +273,10 @@ class FastSweepEngine:
                     new = int(cumulative.searchsorted(u * total,
                                                       side="right"))
                     if new == num_topics:
-                        new = num_topics - 1  # u * total rounded to total
+                        # u * total rounded to total; take the last
+                        # positive-weight topic (matches the reference
+                        # scan's boundary clamp).
+                        new = last_positive_index(cumulative)
                     append_new(new)
                     nw[word, new] += 1.0
                     nt[new] += 1.0

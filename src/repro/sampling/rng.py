@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sampling.scans import last_positive_index
+
 
 def ensure_rng(seed_or_rng: int | np.random.Generator | None
                ) -> np.random.Generator:
@@ -37,4 +39,9 @@ def categorical(weights: np.ndarray, rng: np.random.Generator) -> int:
             f"categorical weights must have positive finite mass, "
             f"got total={total!r}")
     u = rng.random() * total
-    return int(np.searchsorted(cumulative, u, side="right"))
+    index = int(np.searchsorted(cumulative, u, side="right"))
+    if index >= cumulative.shape[0]:
+        # u * total rounded up to exactly total; land on the last
+        # positive-weight index rather than one past the end.
+        index = last_positive_index(cumulative)
+    return index

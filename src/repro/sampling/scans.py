@@ -17,6 +17,18 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 
+def last_positive_index(cumulative: np.ndarray) -> int:
+    """Index of the last entry with positive weight in an inclusive scan.
+
+    The boundary guard shared by every sampler in the library: when a
+    uniform draw rounds up to the total mass, right-bisection lands one
+    past the end — and with a zero-weight tail a naive ``n - 1`` clamp
+    would select a topic with no mass.  The first index reaching the
+    total is the last positive-weight entry.
+    """
+    return int(np.searchsorted(cumulative, cumulative[-1], side="left"))
+
+
 class ScanStrategy(ABC):
     """Turns a weight vector into an inclusive cumulative sum."""
 
@@ -39,9 +51,12 @@ class ScanStrategy(ABC):
                 f"total={total!r}")
         u = rng.random() * total
         topic = int(np.searchsorted(cumulative, u, side="right"))
-        # u * total can round up to exactly total, in which case the
-        # right-bisection lands one past the final topic; clamp.
-        return min(topic, cumulative.shape[0] - 1)
+        if topic >= cumulative.shape[0]:
+            # u * total rounded up to exactly total and the
+            # right-bisection landed one past the end; a zero-weight
+            # tail must never be selected.
+            topic = last_positive_index(cumulative)
+        return topic
 
 
 class SerialScan(ScanStrategy):

@@ -56,11 +56,43 @@ class GibbsState:
                            dtype=np.float64)
         self._doc_lengths = np.bincount(
             self.doc_ids, minlength=self.num_documents).astype(np.float64)
+        self._doc_lengths_view = self._read_only_view(self._doc_lengths)
+
+    @staticmethod
+    def _read_only_view(array: np.ndarray) -> np.ndarray:
+        view = array.view()
+        view.flags.writeable = False
+        return view
 
     @property
     def doc_lengths(self) -> np.ndarray:
-        """Tokens per document, shape ``(D,)``."""
-        return self._doc_lengths
+        """Tokens per document, shape ``(D,)`` (read-only view).
+
+        Exposing the internal array directly would let callers corrupt a
+        sufficient statistic the samplers never rebuild; writes through
+        this view raise instead.
+        """
+        return self._doc_lengths_view
+
+    @property
+    def nw_view(self) -> np.ndarray:
+        """Read-only view of the word-topic counts ``(V, T)``.
+
+        Snapshot/metrics code should prefer these views over the raw
+        ``nw``/``nt``/``nd`` attributes, which remain writable because
+        the sweep engines mutate them in place.
+        """
+        return self._read_only_view(self.nw)
+
+    @property
+    def nt_view(self) -> np.ndarray:
+        """Read-only view of the per-topic totals ``(T,)``."""
+        return self._read_only_view(self.nt)
+
+    @property
+    def nd_view(self) -> np.ndarray:
+        """Read-only view of the document-topic counts ``(D, T)``."""
+        return self._read_only_view(self.nd)
 
     def initialize_random(self, rng: np.random.Generator) -> None:
         """Assign every token a uniform random topic and rebuild counts."""

@@ -106,3 +106,57 @@ class TestHeldoutGibbs:
         hg_value = perplexity_heldout_gibbs(phi, corpus, 0.5,
                                             iterations=30, rng=2)
         assert hg_value == pytest.approx(is_value, rel=0.5)
+
+
+class TestHeldoutBurnInRegression:
+    """iterations=1 must accumulate the final sweep, not silently return
+    the prior mean alpha / (length + T * alpha)."""
+
+    def test_single_iteration_accumulates_a_sample(self, phi, corpus):
+        theta = heldout_gibbs_theta(phi, corpus, alpha=0.5,
+                                    iterations=1, rng=0)
+        prior_mean = 0.5  # alpha / (length + T*alpha) normalized = 1/T
+        # doc 0 is "a a b" and phi strongly favors topic 0 for it; a
+        # real sample moves theta off the prior mean.
+        assert theta[0, 0] != pytest.approx(prior_mean, abs=1e-12)
+        assert theta[0, 0] > 0.55
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0)
+
+    def test_two_iterations_unchanged_behavior(self, phi, corpus):
+        # burn_in = min(max(1, 1), 1) = 1 for iterations=2 — identical
+        # to the pre-fix schedule (only the final sweep accumulates).
+        theta = heldout_gibbs_theta(phi, corpus, alpha=0.5,
+                                    iterations=2, rng=0)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0)
+
+    def test_zero_iterations_rejected(self, phi, corpus):
+        with pytest.raises(ValueError, match="iterations"):
+            heldout_gibbs_theta(phi, corpus, 0.5, iterations=0, rng=0)
+
+
+class TestValidatePhiFloat32Drift:
+    """Rows whose sums drift past 1e-6 after a float32 round-trip are
+    renormalized (with a warning) instead of rejected."""
+
+    def _drifted_phi(self):
+        # Row sums of 1 + 4e-6: inside the renormalization band, outside
+        # the strict tolerance.
+        return np.full((2, 4), 0.25 + 1e-6)
+
+    def test_renormalizes_with_warning(self, corpus):
+        with pytest.warns(RuntimeWarning, match="renormaliz"):
+            value = perplexity_importance_sampling(
+                self._drifted_phi(), corpus, alpha=0.5,
+                num_samples=8, rng=0)
+        assert np.isfinite(value) and value > 1.0
+
+    def test_float32_roundtrip_accepted(self, phi, corpus):
+        lean = phi.astype(np.float32).astype(np.float64)
+        value = perplexity_heldout_gibbs(lean, corpus, alpha=0.5,
+                                         iterations=5, rng=0)
+        assert np.isfinite(value) and value > 1.0
+
+    def test_large_drift_still_rejected(self, corpus):
+        bad = np.full((2, 4), 0.3)  # rows sum to 1.2
+        with pytest.raises(ValueError, match="sum to 1"):
+            perplexity_importance_sampling(bad, corpus, 0.5)

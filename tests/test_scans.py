@@ -138,3 +138,49 @@ class TestSamplingEquivalence:
             rng = np.random.default_rng(seed)
             results.add(scan.sample(array, rng))
         assert len(results) == 1
+
+
+class _NearOneRng:
+    """Largest-double-below-1 uniforms: with total < 1 the scaled draw
+    rounds up to exactly the total (the right-bisection boundary)."""
+
+    U = 1.0 - 2.0 ** -53
+
+    def random(self, size=None):
+        if size is None:
+            return self.U
+        return np.full(size, self.U)
+
+
+class TestBoundaryDraws:
+    """u rounding up to the total, with and without zero-weight tails."""
+
+    SCANS = [SerialScan, PrefixSumScan,
+             lambda: SimpleParallelScan(blocks=4)]
+
+    @pytest.mark.parametrize("scan_factory", SCANS)
+    def test_zero_tail_lands_on_last_positive(self, scan_factory):
+        # total = 0.5 < 1, so u * total == total exactly; the zero-
+        # weight tail must never be selected.
+        weights = np.array([0.3, 0.2, 0.0, 0.0])
+        topic = scan_factory().sample(weights, _NearOneRng())
+        assert topic == 1
+
+    @pytest.mark.parametrize("scan_factory", SCANS)
+    def test_positive_tail_lands_on_last_topic(self, scan_factory):
+        weights = np.array([0.2, 0.2, 0.1])
+        topic = scan_factory().sample(weights, _NearOneRng())
+        assert topic == 2
+
+    @pytest.mark.parametrize("scan_factory", SCANS)
+    def test_interior_zeros_never_selected(self, scan_factory):
+        weights = np.array([0.2, 0.0, 0.0, 0.3])
+        scan = scan_factory()
+        rng = np.random.default_rng(5)
+        draws = {scan.sample(weights, rng) for _ in range(200)}
+        draws.add(scan.sample(weights, _NearOneRng()))
+        assert draws <= {0, 3}
+
+    def test_categorical_boundary_clamps_to_last_positive(self):
+        from repro.sampling.rng import categorical
+        assert categorical(np.array([0.3, 0.2, 0.0]), _NearOneRng()) == 1

@@ -1,0 +1,452 @@
+"""Statistical equivalence of the sparse bucketed sweep engine.
+
+The sparse engine (`repro.sampling.sparse_engine`) reassociates the
+per-topic weight sums into buckets, so — unlike the fast engine — it is
+not draw-for-draw identical to the reference.  Its contract is pinned in
+three layers:
+
+* **decomposition oracle**: each sparse path's bucket formulas,
+  assembled into a dense vector, must equal the kernel's weights up to
+  floating-point reassociation (this is the per-token conditional
+  distribution, so it pins correctness of every draw);
+* **chain validity**: sweeps preserve the count-matrix invariants and
+  the RNG stream (chunk boundaries included);
+* **distributional checks**: chains driven by the sparse engine land on
+  the same posterior summaries as reference chains;
+
+plus draw-for-draw equality with the reference for kernels that fall
+back to the fast engine (CTM, custom kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import SourceTopicsKernel
+from repro.core.priors import SourcePrior
+from repro.models.ctm import CtmKernel, concept_word_mask
+from repro.models.eda import EdaKernel
+from repro.models.lda import LdaKernel
+from repro.sampling.gibbs import (ENGINES, CollapsedGibbsSampler,
+                                  TopicWeightKernel)
+from repro.sampling.integration import LambdaGrid
+from repro.sampling.sparse_engine import SparseSweepEngine
+from repro.sampling.state import GibbsState
+
+INIT_SEED = 3
+DRAW_SEED = 11
+
+
+def make_state(corpus, num_topics, seed=INIT_SEED):
+    state = GibbsState(corpus, num_topics)
+    state.initialize_random(np.random.default_rng(seed))
+    return state
+
+
+def eda_phi(source, corpus):
+    from repro.knowledge.distributions import source_hyperparameters
+    counts = source.count_matrix(corpus.vocabulary)
+    smoothed = source_hyperparameters(counts, 0.01)
+    return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+
+def source_kernel_factory(source, corpus, num_free, grid):
+    prior = SourcePrior(source, corpus.vocabulary)
+    tables = prior.grid_tables(grid.nodes)
+    return (lambda s: SourceTopicsKernel(
+        s, num_free=num_free, alpha=0.5, beta=0.1, tables=tables,
+        grid=grid), num_free + prior.num_topics)
+
+
+def assert_decomposition_matches(state, kernel, rtol=1e-9):
+    """The bucket decomposition must reproduce kernel.weights for every
+    distinct (word, doc) pair of the corpus."""
+    path = kernel.sparse_path()
+    path.begin_sweep()
+    seen = set()
+    for token in range(state.num_tokens):
+        pair = (int(state.words[token]), int(state.doc_ids[token]))
+        if pair in seen:
+            continue
+        seen.add(pair)
+        np.testing.assert_allclose(
+            path.dense_weights(*pair), kernel.weights(*pair), rtol=rtol)
+
+
+class TestDecompositionOracle:
+    def test_lda(self, wiki_corpus):
+        state = make_state(wiki_corpus, 6)
+        assert_decomposition_matches(state, LdaKernel(state, 0.5, 0.1))
+
+    def test_eda(self, wiki_source, wiki_corpus):
+        state = make_state(wiki_corpus, len(wiki_source))
+        phi = eda_phi(wiki_source, wiki_corpus)
+        assert_decomposition_matches(state, EdaKernel(state, phi, 0.5))
+
+    def test_source_bijective(self, wiki_source, wiki_corpus):
+        make, num_topics = source_kernel_factory(
+            wiki_source, wiki_corpus, 0, LambdaGrid.from_prior(0.7, 0.3, 5))
+        state = make_state(wiki_corpus, num_topics)
+        assert_decomposition_matches(state, make(state))
+
+    def test_source_mixture(self, wiki_source, wiki_corpus):
+        make, num_topics = source_kernel_factory(
+            wiki_source, wiki_corpus, 3, LambdaGrid.fixed(0.7))
+        state = make_state(wiki_corpus, num_topics)
+        assert_decomposition_matches(state, make(state))
+
+    def test_source_full_grid_small(self, small_source, tiny_corpus):
+        make, num_topics = source_kernel_factory(
+            small_source, tiny_corpus, 1,
+            LambdaGrid.from_prior(0.7, 0.3, 4))
+        state = make_state(tiny_corpus, num_topics)
+        assert_decomposition_matches(state, make(state))
+
+
+class TestChainValidity:
+    def run_sparse(self, corpus, make_kernel, num_topics, sweeps=4):
+        state = make_state(corpus, num_topics)
+        kernel = make_kernel(state)
+        sampler = CollapsedGibbsSampler(
+            state, kernel, np.random.default_rng(DRAW_SEED),
+            engine="sparse")
+        sampler.run(sweeps)
+        assert state.counts_consistent()
+        assert state.z.min() >= 0
+        assert state.z.max() < num_topics
+        return state
+
+    def test_lda(self, wiki_corpus):
+        self.run_sparse(wiki_corpus,
+                        lambda s: LdaKernel(s, 0.5, 0.1), 6)
+
+    def test_eda(self, wiki_source, wiki_corpus):
+        phi = eda_phi(wiki_source, wiki_corpus)
+        self.run_sparse(wiki_corpus,
+                        lambda s: EdaKernel(s, phi, 0.5),
+                        len(wiki_source))
+
+    def test_source_bijective(self, wiki_source, wiki_corpus):
+        make, num_topics = source_kernel_factory(
+            wiki_source, wiki_corpus, 0, LambdaGrid.from_prior(0.7, 0.3, 5))
+        self.run_sparse(wiki_corpus, make, num_topics)
+
+    def test_source_mixture(self, wiki_source, wiki_corpus):
+        make, num_topics = source_kernel_factory(
+            wiki_source, wiki_corpus, 2, LambdaGrid.fixed(1.0))
+        self.run_sparse(wiki_corpus, make, num_topics)
+
+    def test_single_document_corpus(self, small_source):
+        # Exercises the bijective lane's position-counter reset across
+        # sweeps when document boundaries never change.
+        from repro.text.corpus import Corpus
+        corpus = Corpus.from_texts(
+            ["pencil ruler baseball umpire recipe oven pencil bake"],
+            tokenizer=None)
+        make, num_topics = source_kernel_factory(
+            small_source, corpus, 0, LambdaGrid.from_prior(0.7, 0.3, 3))
+        self.run_sparse(corpus, make, num_topics, sweeps=5)
+
+    def test_chunk_boundaries_preserve_chain(self, wiki_source,
+                                             wiki_corpus):
+        # The bijective lane carries per-document state across chunk
+        # boundaries; a tiny chunk size must reproduce the default
+        # chain exactly (the uniform stream is identical by
+        # construction).
+        make, num_topics = source_kernel_factory(
+            wiki_source, wiki_corpus, 0, LambdaGrid.from_prior(0.7, 0.3, 4))
+        states = {}
+        for chunk_size in (7, 65536):
+            state = make_state(wiki_corpus, num_topics)
+            engine = SparseSweepEngine(
+                state, make(state), np.random.default_rng(DRAW_SEED),
+                chunk_size=chunk_size)
+            for _ in range(3):
+                engine.sweep()
+            states[chunk_size] = state
+        np.testing.assert_array_equal(states[7].z, states[65536].z)
+
+    def test_zero_mass_raises(self, tiny_corpus):
+        state = make_state(tiny_corpus, 2)
+        phi = np.zeros((2, tiny_corpus.vocab_size))
+        kernel = EdaKernel(state, phi + 1e-300, alpha=1e-9)
+        kernel._phi_by_word[:] = 0.0
+        path = kernel.sparse_path()
+        sampler = CollapsedGibbsSampler(state, kernel,
+                                        np.random.default_rng(0),
+                                        engine="sparse")
+        assert sampler._sweep_engine._path is not None
+        with pytest.raises(ValueError, match="positive finite mass"):
+            sampler.sweep()
+        del path
+
+
+class PlainKernel(TopicWeightKernel):
+    """No sparse (or fast) path — exercises the fallback chain."""
+
+    def __init__(self, state, alpha=0.5, beta=0.1):
+        super().__init__(state)
+        self.alpha = alpha
+        self.beta = beta
+
+    def weights(self, word, doc):
+        state = self.state
+        return ((state.nw[word] + self.beta)
+                / (state.nt + self.beta * state.vocab_size)
+                * (state.nd[doc] + self.alpha))
+
+    def phi(self):
+        raise NotImplementedError
+
+    def log_likelihood(self):
+        raise NotImplementedError
+
+
+class TestFallback:
+    """Kernels without a sparse path must stay draw-for-draw identical
+    to the reference under engine="sparse"."""
+
+    def run_engines(self, corpus, make_kernel, num_topics, engines,
+                    sweeps=3):
+        states = {}
+        for engine in engines:
+            state = make_state(corpus, num_topics)
+            sampler = CollapsedGibbsSampler(
+                state, make_kernel(state),
+                np.random.default_rng(DRAW_SEED), engine=engine)
+            for _ in range(sweeps):
+                sampler.sweep()
+            states[engine] = state
+        return states
+
+    def test_custom_kernel_matches_reference(self, wiki_corpus):
+        states = self.run_engines(wiki_corpus, PlainKernel, 4,
+                                  ("reference", "sparse"))
+        np.testing.assert_array_equal(states["reference"].z,
+                                      states["sparse"].z)
+
+    def test_ctm_falls_back_to_fast(self, wiki_source, wiki_corpus):
+        mask = concept_word_mask(wiki_source, wiki_corpus.vocabulary,
+                                 top_n_words=20)
+        num_topics = 2 + len(wiki_source)
+        states = self.run_engines(
+            wiki_corpus,
+            lambda s: CtmKernel(s, mask, 2, alpha=0.5, beta=0.1),
+            num_topics, ("reference", "fast", "sparse"))
+        np.testing.assert_array_equal(states["reference"].z,
+                                      states["sparse"].z)
+        np.testing.assert_array_equal(states["fast"].z,
+                                      states["sparse"].z)
+
+    def test_fallback_engine_reports_no_path(self, tiny_corpus, rng):
+        state = make_state(tiny_corpus, 2)
+        engine = SparseSweepEngine(state, PlainKernel(state),
+                                   np.random.default_rng(0))
+        assert engine._path is None
+        assert engine._fallback is not None
+        engine.sweep()
+        assert state.counts_consistent()
+
+
+class TestDistributionalEquivalence:
+    """Sparse chains must land where reference chains land.
+
+    All checks are deterministic given the fixed seeds; tolerances are
+    sized for chain-to-chain Monte Carlo variation, not float error.
+    """
+
+    def test_eda_topic_occupancy(self, wiki_source, wiki_corpus):
+        # EDA topics are anchored by the fixed phi, so per-topic token
+        # shares are comparable across independent chains.
+        phi = eda_phi(wiki_source, wiki_corpus)
+        num_topics = len(wiki_source)
+        shares = {}
+        for engine in ("reference", "sparse"):
+            state = make_state(wiki_corpus, num_topics)
+            kernel = EdaKernel(state, phi, alpha=0.5)
+            CollapsedGibbsSampler(
+                state, kernel, np.random.default_rng(DRAW_SEED),
+                engine=engine).run(15)
+            shares[engine] = state.nt / state.num_tokens
+        np.testing.assert_allclose(shares["sparse"],
+                                   shares["reference"], atol=0.08)
+
+    def test_source_log_likelihood_agrees(self, wiki_source, wiki_corpus):
+        make, num_topics = source_kernel_factory(
+            wiki_source, wiki_corpus, 0, LambdaGrid.from_prior(0.7, 0.3, 5))
+        finals = {}
+        for engine in ("reference", "sparse"):
+            state = make_state(wiki_corpus, num_topics)
+            kernel = make(state)
+            lls = CollapsedGibbsSampler(
+                state, kernel, np.random.default_rng(DRAW_SEED),
+                engine=engine).run(12, track_log_likelihood=True)
+            finals[engine] = np.mean(lls[-4:])
+        assert finals["sparse"] == pytest.approx(finals["reference"],
+                                                 rel=0.02)
+
+    def test_lda_log_likelihood_agrees(self, wiki_corpus):
+        finals = {}
+        for engine in ("reference", "sparse"):
+            state = make_state(wiki_corpus, 6)
+            kernel = LdaKernel(state, 0.5, 0.1)
+            lls = CollapsedGibbsSampler(
+                state, kernel, np.random.default_rng(DRAW_SEED),
+                engine=engine).run(15, track_log_likelihood=True)
+            finals[engine] = np.mean(lls[-5:])
+        assert finals["sparse"] == pytest.approx(finals["reference"],
+                                                 rel=0.02)
+
+
+class TestEngineSelection:
+    def test_engines_tuple(self):
+        assert ENGINES == ("fast", "sparse", "reference")
+
+    def test_invalid_engine_rejected(self, tiny_corpus, rng):
+        state = make_state(tiny_corpus, 2)
+        kernel = LdaKernel(state, 0.5, 0.1)
+        with pytest.raises(ValueError, match="engine"):
+            CollapsedGibbsSampler(state, kernel, rng, engine="warp")
+
+    def test_all_six_models_accept_sparse(self, wiki_source, wiki_corpus):
+        from repro.core.bijective import BijectiveSourceLDA
+        from repro.core.mixture import MixtureSourceLDA
+        from repro.core.source_lda import SourceLDA
+        from repro.models.ctm import CTM
+        from repro.models.eda import EDA
+        from repro.models.lda import LDA
+
+        models = [
+            LDA(4, engine="sparse"),
+            EDA(wiki_source, engine="sparse"),
+            CTM(wiki_source, num_free_topics=1, top_n_words=20,
+                engine="sparse"),
+            BijectiveSourceLDA(wiki_source, engine="sparse"),
+            MixtureSourceLDA(wiki_source, num_free_topics=2,
+                             engine="sparse"),
+            SourceLDA(wiki_source, num_unlabeled_topics=1,
+                      approximation_steps=3, engine="sparse"),
+        ]
+        for model in models:
+            fitted = model.fit(wiki_corpus, iterations=2, seed=5)
+            np.testing.assert_allclose(fitted.theta.sum(axis=1), 1.0)
+            assignments = fitted.flat_assignments()
+            assert assignments.min() >= 0
+            assert assignments.max() < fitted.num_topics
+
+    def test_scan_strategies_on_sparse_engine(self, wiki_corpus):
+        # Scan strategies drive the sparse engine's full-vector bucket
+        # scans; exact parallel scans must reproduce the serial chain.
+        from repro.sampling.prefix_sums import PrefixSumScan
+        from repro.sampling.scans import SerialScan
+        from repro.sampling.simple_parallel import SimpleParallelScan
+        chains = {}
+        for name, scan in (("serial", SerialScan()),
+                           ("prefix", PrefixSumScan()),
+                           ("blocked", SimpleParallelScan(blocks=3))):
+            state = make_state(wiki_corpus, 6)
+            kernel = LdaKernel(state, 0.5, 0.1)
+            CollapsedGibbsSampler(
+                state, kernel, np.random.default_rng(DRAW_SEED),
+                scan=scan, engine="sparse").run(3)
+            assert state.counts_consistent()
+            chains[name] = state.z.copy()
+        np.testing.assert_array_equal(chains["serial"], chains["prefix"])
+        np.testing.assert_array_equal(chains["serial"], chains["blocked"])
+
+
+class FakeNearOneRng:
+    """An rng whose every uniform is the largest double below 1.
+
+    Drives boundary draws: ``u * total`` rounds up to exactly ``total``
+    whenever ``total < 1``, which must select the last positive-weight
+    topic — never a zero-weight tail entry.
+    """
+
+    U = 1.0 - 2.0 ** -53
+
+    def random(self, size=None):
+        if size is None:
+            return self.U
+        return np.full(size, self.U)
+
+
+class TestBoundaryDraws:
+    """Satellite: u rounding up to the total with zero-weight tails, on
+    all three engines (scan-level coverage lives in test_scans.py)."""
+
+    @pytest.fixture
+    def corpus(self):
+        from repro.text.corpus import Corpus
+        return Corpus.from_texts(["a b a b", "b a b a"], tokenizer=None)
+
+    @pytest.fixture
+    def phi(self):
+        # Word "b" has zero mass under topic 1 (a zero-weight tail in
+        # its column) and all weights are small enough that every
+        # u * total rounds to total.
+        return np.array([[0.05, 0.05],
+                         [0.10, 0.00]])
+
+    @pytest.mark.parametrize("engine", ["reference", "fast", "sparse"])
+    def test_zero_tail_never_selected(self, corpus, phi, engine):
+        state = make_state(corpus, 2)
+        with np.errstate(divide="ignore"):  # log of the zero phi entry
+            kernel = EdaKernel(state, phi, alpha=0.5)
+        sampler = CollapsedGibbsSampler(state, kernel, FakeNearOneRng(),
+                                        engine=engine)
+        for _ in range(2):
+            sampler.sweep()
+        assert state.counts_consistent()
+        b_id = corpus.vocabulary.encode(["b"])[0]
+        b_tokens = state.words == b_id
+        # topic 1 has zero weight for word "b": the boundary clamp must
+        # land on the last *positive* topic, which is topic 0.
+        assert np.all(state.z[b_tokens] == 0)
+
+    @pytest.mark.parametrize("engine", ["reference", "fast", "sparse"])
+    def test_positive_tail_boundary_is_last_topic(self, corpus, engine):
+        # Without a zero tail the boundary draw clamps to the final
+        # topic on every engine.
+        phi = np.array([[0.05, 0.05],
+                        [0.04, 0.06]])
+        state = make_state(corpus, 2)
+        kernel = EdaKernel(state, phi, alpha=0.5)
+        sampler = CollapsedGibbsSampler(state, kernel, FakeNearOneRng(),
+                                        engine=engine)
+        sampler.sweep()
+        assert state.counts_consistent()
+        assert np.all(state.z == 1)
+
+
+class TestGeneralLaneNegativeExponents:
+    """Negative quadrature exponents disable the bijective lane's
+    floor/correction split (powered values are no longer ordered like
+    the raw ones); the tracker-based general lane must take over even
+    with no free topics."""
+
+    def _kernel(self, source, corpus, state):
+        prior = SourcePrior(source, corpus.vocabulary)
+        exponents = np.array([-0.3, 0.6])
+        grid = LambdaGrid(nodes=np.array([0.3, 0.6]),
+                          weights=np.array([0.5, 0.5]))
+        tables = prior.grid_tables(exponents)
+        return SourceTopicsKernel(state, num_free=0, alpha=0.5, beta=0.1,
+                                  tables=tables, grid=grid)
+
+    def test_routes_to_general_lane(self, small_source, tiny_corpus):
+        state = make_state(tiny_corpus, len(small_source))
+        path = self._kernel(small_source, tiny_corpus, state).sparse_path()
+        assert not path._bijective
+        assert path.sweep_chunk is None
+
+    def test_decomposition_and_chain(self, small_source, tiny_corpus):
+        state = make_state(tiny_corpus, len(small_source))
+        kernel = self._kernel(small_source, tiny_corpus, state)
+        assert_decomposition_matches(state, kernel)
+        sampler = CollapsedGibbsSampler(
+            state, kernel, np.random.default_rng(DRAW_SEED),
+            engine="sparse")
+        sampler.run(4)
+        assert state.counts_consistent()

@@ -119,3 +119,36 @@ class TestAssignmentsByDocument:
         per_doc = state.assignments_by_document()
         per_doc[0][0] = -99
         assert state.z[0] != -99
+
+
+class TestReadOnlyViews:
+    """State accessors must not hand out mutable sufficient statistics."""
+
+    @pytest.fixture
+    def state(self) -> GibbsState:
+        corpus = Corpus.from_texts(["a b c", "b c d"], tokenizer=None)
+        state = GibbsState(corpus, 2)
+        state.initialize_random(np.random.default_rng(0))
+        return state
+
+    def test_doc_lengths_not_writable(self, state):
+        with pytest.raises(ValueError, match="read-only"):
+            state.doc_lengths[0] = 99.0
+
+    def test_doc_lengths_tracks_internal_values(self, state):
+        np.testing.assert_array_equal(state.doc_lengths, [3.0, 3.0])
+
+    @pytest.mark.parametrize("view_name,raw_name", [
+        ("nw_view", "nw"), ("nt_view", "nt"), ("nd_view", "nd")])
+    def test_count_views_read_only_but_live(self, state, view_name,
+                                            raw_name):
+        view = getattr(state, view_name)
+        raw = getattr(state, raw_name)
+        with pytest.raises(ValueError, match="read-only"):
+            view[(0,) * view.ndim] = 5.0
+        np.testing.assert_array_equal(view, raw)
+        # The view is live: engine mutations through the raw array are
+        # visible without copying.
+        raw[(0,) * raw.ndim] += 1.0
+        np.testing.assert_array_equal(view, raw)
+        raw[(0,) * raw.ndim] -= 1.0
