@@ -58,7 +58,12 @@ def test_bench_ablation_grid(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     record("ablation_grid",
            format_table(["A (steps)", "accuracy %", "s/iteration"], rows,
-                        title="Ablation - lambda quadrature steps"))
+                        title="Ablation - lambda quadrature steps"),
+           metrics={"accuracy_percent": {str(r[0]): r[1] for r in rows},
+                    "seconds_per_iteration": {str(r[0]): r[2]
+                                              for r in rows}},
+           params={"steps_grid": [r[0] for r in rows], "iterations": 25,
+                   "seed": 1})
     accuracies = [row[1] for row in rows]
     # A handful of nodes already captures the integral.
     assert max(accuracies[1:]) - min(accuracies[1:]) < 12.0
@@ -87,7 +92,9 @@ def test_bench_ablation_smoothing(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     record("ablation_smoothing",
            format_table(["smoothing", "accuracy %"], rows,
-                        title="Ablation - g(lambda) smoothing"))
+                        title="Ablation - g(lambda) smoothing"),
+           metrics={"accuracy_percent": {r[0]: r[1] for r in rows}},
+           params={"iterations": 25, "seed": 1})
     assert all(row[1] > 10.0 for row in rows)
 
 
@@ -119,7 +126,11 @@ def test_bench_ablation_reduction(benchmark):
     record("ablation_reduction",
            format_table(["min_documents", "kept topics", "true kept"],
                         rows, title="Ablation - superset reduction "
-                                    "threshold (4 true topics of 12)"))
+                                    "threshold (4 true topics of 12)"),
+           metrics={"kept_topics": {str(r[0]): r[1] for r in rows},
+                    "true_kept": {str(r[0]): r[2] for r in rows}},
+           params={"true_topics": 4, "superset_size": 12,
+                   "min_proportion": 0.1, "iterations": 20, "seed": 2})
     # Stricter thresholds keep fewer topics without losing the true ones.
     kept = [row[1] for row in rows]
     assert kept == sorted(kept, reverse=True)
@@ -147,7 +158,9 @@ def test_bench_ablation_epsilon(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     record("ablation_epsilon",
            format_table(["epsilon", "mean JS to source"], rows,
-                        title="Ablation - Definition 3 epsilon"))
+                        title="Ablation - Definition 3 epsilon"),
+           metrics={"mean_js_to_source": {str(r[0]): r[1] for r in rows}},
+           params={"draws": 60, "seed": 0})
     divergences = [row[1] for row in rows]
     # Larger epsilon leaks more mass to unseen words -> larger divergence.
     assert divergences[-1] > divergences[0]

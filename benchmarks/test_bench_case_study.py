@@ -16,7 +16,13 @@ from repro.experiments import format_case_study, run_case_study
 def test_bench_case_study(benchmark):
     result = benchmark.pedantic(
         lambda: run_case_study(iterations=200), rounds=1, iterations=1)
-    record("case_study", format_case_study(result))
+    record("case_study", format_case_study(result),
+           metrics={"collapsed_techniques":
+                    sorted(result.collapsed_techniques),
+                    "source_lda_separates": result.source_lda_separates,
+                    "source_lda_labels":
+                    sorted(set(result.source_lda_labels))},
+           params={"iterations": 200})
     # The demonstration the table exists for:
     assert result.collapsed_techniques, \
         "at least one post-hoc technique should collapse the topics"

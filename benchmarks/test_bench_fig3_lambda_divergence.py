@@ -22,7 +22,12 @@ def test_bench_fig3(benchmark):
            format_boxplots(result.summaries,
                            title="Fig. 3 - JS divergence vs lambda "
                                  "(no smoothing)", value_label="lambda")
-           + f"\nmedian linearity R^2: {result.median_linearity_r2:.4f}")
+           + f"\nmedian linearity R^2: {result.median_linearity_r2:.4f}",
+           metrics={"median_js": {str(s.label): s.median
+                                  for s in result.summaries},
+                    "median_linearity_r2": result.median_linearity_r2},
+           params={"divergence_draws": 150, "article_length": 2000,
+                   "seed": 0})
     medians = np.array([s.median for s in result.summaries])
     # Monotone decreasing overall, spanning a substantial range.
     assert medians[0] > medians[-1] * 3

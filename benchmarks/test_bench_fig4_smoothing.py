@@ -25,6 +25,11 @@ def test_bench_fig4(benchmark):
                            title="Fig. 4 - JS divergence vs g(lambda)",
                            value_label="g(lambda)")
            + f"\nmedian linearity R^2: raw {raw.median_linearity_r2:.4f}"
-             f" -> smoothed {smoothed.median_linearity_r2:.4f}")
+             f" -> smoothed {smoothed.median_linearity_r2:.4f}",
+           metrics={"raw_median_linearity_r2": raw.median_linearity_r2,
+                    "smoothed_median_linearity_r2":
+                    smoothed.median_linearity_r2},
+           params={"divergence_draws": 150, "article_length": 2000,
+                   "seed": 0})
     assert smoothed.median_linearity_r2 >= raw.median_linearity_r2 - 0.005
     assert smoothed.median_linearity_r2 > 0.97

@@ -21,7 +21,14 @@ def test_bench_fig6(benchmark):
     result = benchmark.pedantic(
         lambda: run_graphical_example(scale, num_runs=4, seed=0),
         rounds=1, iterations=1)
-    record("fig6_graphical", format_graphical_example(result))
+    record("fig6_graphical", format_graphical_example(result),
+           metrics={"avg_js_source_lda": result.avg_js_source_lda,
+                    "avg_js_eda": result.avg_js_eda,
+                    "avg_js_ctm": result.avg_js_ctm,
+                    "final_log_likelihoods":
+                    [trace[-1] for trace in result.log_likelihood_runs]},
+           params={"num_documents": 400, "iterations": 80,
+                   "num_runs": 4, "seed": 0})
 
     for trace in result.log_likelihood_runs:
         assert trace[-1] > trace[0], "log-likelihood should improve"

@@ -27,7 +27,21 @@ def test_bench_fig7(benchmark):
         lambda: run_lambda_integration(scale, seed=2),
         rounds=1, iterations=1)
     record("fig7_lambda_fixed_vs_learned",
-           format_lambda_integration(result))
+           format_lambda_integration(result),
+           metrics={"fixed_classification_percent":
+                    {row.label: row.classification_percent
+                     for row in result.fixed},
+                    "fixed_perplexity":
+                    {row.label: row.perplexity
+                     for row in result.fixed},
+                    "dynamic_classification_percent":
+                    result.baseline.classification_percent,
+                    "dynamic_perplexity": result.baseline.perplexity,
+                    "perplexity_is_misleading":
+                    result.perplexity_is_misleading()},
+           params={"num_documents": 150, "iterations": 40,
+                   "generating_topics": 25, "article_length": 2500,
+                   "avg_document_length": 60, "seed": 2})
 
     assert result.perplexity_is_misleading()
     # Accuracy grows with fixed lambda on this corpus family...

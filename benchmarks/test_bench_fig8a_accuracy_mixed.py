@@ -16,7 +16,10 @@ from repro.experiments import format_condition
 def test_bench_fig8a(benchmark):
     result = benchmark.pedantic(mixed_condition_result, rounds=1,
                                 iterations=1)
-    record("fig8a_accuracy_mixed", format_condition(result))
+    record("fig8a_accuracy_mixed", format_condition(result),
+           metrics={"accuracy": {s.name: s.accuracy
+                                 for s in result.scores}},
+           params={"condition": "mixed", "seed": 3})
     src = result.by_name("SRC-Unk")
     # The paper's labeled-model ordering: SRC > EDA > CTM.
     assert src.accuracy > result.by_name("EDA-Unk").accuracy

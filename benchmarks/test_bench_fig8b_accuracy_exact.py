@@ -16,7 +16,10 @@ from repro.experiments import format_condition
 def test_bench_fig8b(benchmark):
     result = benchmark.pedantic(bijective_condition_result, rounds=1,
                                 iterations=1)
-    record("fig8b_accuracy_exact", format_condition(result))
+    record("fig8b_accuracy_exact", format_condition(result),
+           metrics={"accuracy": {s.name: s.accuracy
+                                 for s in result.scores}},
+           params={"condition": "bijective", "seed": 3})
     src = result.by_name("SRC-Exact")
     assert src.accuracy > result.by_name("LDA-Exact").accuracy
     # The labeled models cluster well above LDA; Source-LDA leads or ties

@@ -24,7 +24,11 @@ def test_bench_fig8c(benchmark):
         rounds=1, iterations=1)
     record("fig8c_pmi",
            format_series("topics", result.topic_counts, result.series,
-                         title="Fig. 8(c) - PMI vs topic count"))
+                         title="Fig. 8(c) - PMI vs topic count"),
+           metrics={"pmi_series": {name: list(values)
+                                   for name, values
+                                   in result.series.items()}},
+           params={"topic_counts": list(result.topic_counts), "seed": 0})
     exact = np.array(result.series["SRC-Exact"])
     lda = np.array(result.series["LDA"])
     # Source-LDA's exact-model coherence matches or beats LDA on average,

@@ -19,7 +19,10 @@ def test_bench_fig8d(benchmark):
     rows = [[s.name, s.theta_js_total] for s in result.scores]
     record("fig8d_theta_js_mixed",
            format_table(["model", "sorted-theta JS total"], rows,
-                        title="Fig. 8(d) - theta divergence (mixed)"))
+                        title="Fig. 8(d) - theta divergence (mixed)"),
+           metrics={"theta_js_total": {name: value
+                                       for name, value in rows}},
+           params={"condition": "mixed", "seed": 3})
     src = result.by_name("SRC-Unk").theta_js_total
     assert src < result.by_name("CTM-Unk").theta_js_total
     assert src < result.by_name("EDA-Unk").theta_js_total * 1.25

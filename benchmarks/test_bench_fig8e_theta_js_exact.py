@@ -18,7 +18,10 @@ def test_bench_fig8e(benchmark):
     rows = [[s.name, s.theta_js_total] for s in result.scores]
     record("fig8e_theta_js_exact",
            format_table(["model", "sorted-theta JS total"], rows,
-                        title="Fig. 8(e) - theta divergence (bijective)"))
+                        title="Fig. 8(e) - theta divergence (bijective)"),
+           metrics={"theta_js_total": {name: value
+                                       for name, value in rows}},
+           params={"condition": "bijective", "seed": 3})
     src = result.by_name("SRC-Exact").theta_js_total
     assert src < result.by_name("LDA-Exact").theta_js_total
     assert src <= min(s.theta_js_total for s in result.scores) * 1.1

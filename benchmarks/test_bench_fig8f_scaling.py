@@ -24,7 +24,21 @@ def test_bench_fig8f(benchmark):
                             thread_counts=(1, 3, 6), num_documents=8,
                             document_length=40, iterations=3, seed=0),
         rounds=1, iterations=1)
-    record("fig8f_scaling", format_scaling(result))
+    record("fig8f_scaling", format_scaling(result),
+           metrics={"measured_seconds_1t":
+                    {str(row.num_topics): row.measured_seconds[1]
+                     for row in result.rows},
+                    "modeled_seconds":
+                    {str(row.num_topics):
+                     {str(t): row.modeled_seconds[t]
+                      for t in result.thread_counts}
+                     for row in result.rows},
+                    "linear_in_topics": result.is_linear_in_topics()},
+           params={"topic_counts": [row.num_topics
+                                    for row in result.rows],
+                   "thread_counts": list(result.thread_counts),
+                   "num_documents": 8, "document_length": 40,
+                   "iterations": 3, "seed": 0})
 
     assert result.is_linear_in_topics()
     # Larger B costs more (endpoints comparison).

@@ -1,0 +1,62 @@
+"""Serving-layer throughput: the save -> load -> serve path.
+
+Regenerates: docs/sec and tokens/sec of a
+:class:`repro.serving.InferenceSession` answering batched theta queries
+for raw unseen text against a persisted-and-reloaded bijective
+Source-LDA model, at several batch sizes — the query-time counterpart of
+the training-engine bench in ``test_bench_sweep_speed.py``.
+
+The workload exercises every stage of the serving subsystem: the fitted
+model round-trips through ``save_model``/``load_model`` (compressed
+``.npz`` + schema-versioned manifest), queries are tokenized and
+vocabulary-mapped with the OOV-drop policy, and fold-in runs on the
+sparse bucketed lane of :class:`repro.serving.FoldInEngine`.
+
+Shape asserted: throughput is finite and positive at every batch size,
+and batching is not a pessimization (the largest batch is at least as
+fast as serving documents one at a time, within noise).  The recorded
+docs/sec give future serving PRs (multi-worker dispatch, snapshot
+sharding, mmap-loaded phi) a trajectory to regress against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _shared import record
+
+from repro.experiments import (format_serving_throughput,
+                               run_serving_throughput)
+
+BATCH_SIZES = (1, 8, 32)
+FOLDIN_ITERATIONS = 20
+
+
+def test_bench_serving(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_serving_throughput(batch_sizes=BATCH_SIZES,
+                                       foldin_iterations=FOLDIN_ITERATIONS,
+                                       seed=0),
+        rounds=1, iterations=1)
+    record(
+        "serving_throughput", format_serving_throughput(result),
+        metrics={
+            "docs_per_second": {str(row.batch_size): row.docs_per_second
+                                for row in result.rows},
+            "tokens_per_second": {str(row.batch_size):
+                                  row.tokens_per_second
+                                  for row in result.rows},
+        },
+        params={
+            "batch_sizes": BATCH_SIZES,
+            "num_topics": result.num_topics,
+            "num_query_documents": result.num_query_documents,
+            "query_document_length": result.query_document_length,
+            "foldin_iterations": result.foldin_iterations,
+            "mode": result.mode,
+            "model_class": result.model_class,
+        })
+
+    rates = [row.docs_per_second for row in result.rows]
+    assert all(np.isfinite(rate) and rate > 0 for rate in rates)
+    # Batched serving must not lose to one-document-at-a-time serving.
+    assert rates[-1] >= rates[0] * 0.8

@@ -26,7 +26,12 @@ def test_bench_table1(benchmark):
     result = benchmark.pedantic(
         lambda: run_reuters_analysis(scale, seed=0),
         rounds=1, iterations=1)
-    record("table1_reuters", format_reuters(result))
+    record("table1_reuters", format_reuters(result),
+           metrics={"mismatch_rates": dict(result.mismatch_rates),
+                    "discovered_labeled_topics":
+                    dict(result.discovered_labeled_topics)},
+           params={"table_labels": list(result.table_labels),
+                   "seed": 0})
 
     # Source-LDA produces a word list for every Table I label.
     for label in result.table_labels:

@@ -17,6 +17,12 @@ Labeling and metrics
     perplexity, accuracy and PMI coherence in :mod:`repro.metrics`.
 Experiments
     One driver per paper table/figure in :mod:`repro.experiments`.
+Serving
+    Model persistence and batched query-time inference in
+    :mod:`repro.serving`: :func:`~repro.serving.save_model` /
+    :func:`~repro.serving.load_model`,
+    :class:`~repro.serving.ModelRegistry` and
+    :class:`~repro.serving.InferenceSession`.
 """
 
 from repro.core import (BijectiveSourceLDA, MixtureSourceLDA,
@@ -26,6 +32,8 @@ from repro.knowledge import (KnowledgeSource, SyntheticReuters,
                              SyntheticWikipedia, medline_knowledge_source,
                              source_distribution, source_hyperparameters)
 from repro.models import CTM, EDA, LDA, FittedTopicModel, TopicModel
+from repro.serving import (InferenceSession, ModelRegistry, load_model,
+                           save_model)
 from repro.text import Corpus, Document, Tokenizer, Vocabulary
 
 __version__ = "1.0.0"
@@ -37,9 +45,11 @@ __all__ = [
     "Document",
     "EDA",
     "FittedTopicModel",
+    "InferenceSession",
     "KnowledgeSource",
     "LDA",
     "MixtureSourceLDA",
+    "ModelRegistry",
     "SmoothingFunction",
     "SourceLDA",
     "SourcePrior",
@@ -50,7 +60,9 @@ __all__ = [
     "Vocabulary",
     "__version__",
     "calibrate_smoothing",
+    "load_model",
     "medline_knowledge_source",
+    "save_model",
     "source_distribution",
     "source_hyperparameters",
 ]

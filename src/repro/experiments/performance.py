@@ -171,6 +171,55 @@ class EngineSpeedup:
                 / self.fast_tokens_per_second)
 
 
+def _time_source_sweeps(corpus: Corpus, prior: SourcePrior,
+                        grid: LambdaGrid, tables, engine: str,
+                        alpha: float, seed: int,
+                        sweeps: int) -> tuple[float, np.ndarray, bool]:
+    """Best-sweep tokens/sec of one engine on a Source-LDA workload.
+
+    All engines run from identical init and draw seeds (one warm-up
+    sweep, then ``sweeps`` timed ones; the fastest is reported because
+    per-sweep work is identical, so the minimum is the least
+    noise-contaminated estimate on a shared machine).  Returns the
+    throughput, the final assignments and the count-matrix consistency
+    flag.
+    """
+    state = GibbsState(corpus, prior.num_topics)
+    state.initialize_random(ensure_rng(seed + 1))
+    kernel = SourceTopicsKernel(state, num_free=0, alpha=alpha,
+                                beta=1.0, tables=tables, grid=grid)
+    sampler = CollapsedGibbsSampler(state, kernel, ensure_rng(seed + 2),
+                                    engine=engine)
+    sampler.sweep()  # warm-up: caches, allocator, branch predictors
+    best = np.inf
+    for _ in range(sweeps):
+        start = perf_counter()
+        sampler.sweep()
+        best = min(best, perf_counter() - start)
+    return (state.num_tokens / best, state.z.copy(),
+            state.counts_consistent())
+
+
+def _source_workload(num_topics: int, vocab_size: int,
+                     num_documents: int, document_length: int,
+                     approximation_steps: int, seed: int
+                     ) -> tuple[Corpus, SourcePrior, LambdaGrid, object]:
+    """The Section IV.E random-topic workload shared by the engine
+    benches."""
+    source = random_topic_source(num_topics, vocab_size=vocab_size,
+                                 article_length=80, seed=seed)
+    vocabulary = source.vocabulary().freeze()
+    rng = ensure_rng(seed)
+    id_lists = [rng.integers(0, len(vocabulary),
+                             size=document_length).tolist()
+                for _ in range(num_documents)]
+    corpus = Corpus.from_word_id_lists(id_lists, vocabulary)
+    prior = SourcePrior(source, vocabulary)
+    grid = LambdaGrid.from_prior(0.7, 0.3, steps=approximation_steps)
+    tables = prior.grid_tables(grid.nodes)
+    return corpus, prior, grid, tables
+
+
 def run_engine_speedup(num_topics: int = 2000,
                        approximation_steps: int = 16,
                        num_documents: int = 30,
@@ -195,44 +244,21 @@ def run_engine_speedup(num_topics: int = 2000,
     """
     if alpha is None:
         alpha = default_alpha(num_topics)
-    source = random_topic_source(num_topics, vocab_size=vocab_size,
-                                 article_length=80, seed=seed)
-    vocabulary = source.vocabulary().freeze()
-    rng = ensure_rng(seed)
-    id_lists = [rng.integers(0, len(vocabulary),
-                             size=document_length).tolist()
-                for _ in range(num_documents)]
-    corpus = Corpus.from_word_id_lists(id_lists, vocabulary)
-    prior = SourcePrior(source, vocabulary)
-    grid = LambdaGrid.from_prior(0.7, 0.3, steps=approximation_steps)
-    tables = prior.grid_tables(grid.nodes)
+    corpus, prior, grid, tables = _source_workload(
+        num_topics, vocab_size, num_documents, document_length,
+        approximation_steps, seed)
 
     throughput: dict[str, float] = {}
     assignments: dict[str, np.ndarray] = {}
-    num_tokens = 0
+    num_tokens = corpus.num_tokens
     sparse_consistent = False
     for engine in ("reference", "fast", "sparse"):
-        state = GibbsState(corpus, prior.num_topics)
-        state.initialize_random(ensure_rng(seed + 1))
-        kernel = SourceTopicsKernel(state, num_free=0, alpha=alpha,
-                                    beta=1.0, tables=tables, grid=grid)
-        sampler = CollapsedGibbsSampler(state, kernel,
-                                        ensure_rng(seed + 2),
-                                        engine=engine)
-        sampler.sweep()  # warm-up: caches, allocator, branch predictors
-        best = np.inf
-        for _ in range(sweeps):
-            start = perf_counter()
-            sampler.sweep()
-            best = min(best, perf_counter() - start)
-        num_tokens = state.num_tokens
-        # Fastest sweep, not the mean: per-sweep work is identical, so
-        # the minimum is the least noise-contaminated estimate on a
-        # shared machine.
-        throughput[engine] = state.num_tokens / best
-        assignments[engine] = state.z.copy()
+        tps, final_z, consistent = _time_source_sweeps(
+            corpus, prior, grid, tables, engine, alpha, seed, sweeps)
+        throughput[engine] = tps
+        assignments[engine] = final_z
         if engine == "sparse":
-            sparse_consistent = state.counts_consistent()
+            sparse_consistent = consistent
     return EngineSpeedup(
         num_topics=num_topics,
         approximation_steps=approximation_steps,
@@ -260,6 +286,185 @@ def format_engine_speedup(result: EngineSpeedup) -> str:
             f"sparse/fast: {result.sparse_vs_fast:.2f}x\n"
             f"fast byte-identical to reference: {result.exact} | "
             f"sparse counts consistent: {result.sparse_consistent}")
+
+
+@dataclass(frozen=True)
+class SparseScalingRow:
+    """Sparse-vs-fast throughput at one knowledge-source size ``B``."""
+
+    num_topics: int
+    fast_tokens_per_second: float
+    sparse_tokens_per_second: float
+    sparse_consistent: bool
+
+    @property
+    def sparse_vs_fast(self) -> float:
+        return (self.sparse_tokens_per_second
+                / self.fast_tokens_per_second)
+
+
+@dataclass
+class SparseScalingResult:
+    rows: list[SparseScalingRow]
+    approximation_steps: int
+    num_tokens: int
+
+
+def run_sparse_scaling(topic_grid: tuple[int, ...] = (500, 2000, 8000),
+                       approximation_steps: int = 16,
+                       num_documents: int = 20,
+                       document_length: int = 50,
+                       vocab_size: int = 1000,
+                       sweeps: int = 2,
+                       seed: int = 0) -> SparseScalingResult:
+    """Sparse-vs-fast tokens/sec across a grid of superset sizes ``B``.
+
+    The fast engine's per-token cost is O(S) (weight pass plus a full
+    cumulative sum); the sparse engine's bucket walks touch only the
+    nonzero count topics, so its advantage should *grow* with ``B`` —
+    the ROADMAP claim this bench pins down.  The reference engine is
+    omitted: at the top of the grid its O(S * A) per-token cost would
+    dominate the bench for no extra information.
+    """
+    if len(topic_grid) < 2:
+        raise ValueError(
+            f"topic_grid needs at least two sizes, got {topic_grid}")
+    rows = []
+    num_tokens = 0
+    for num_topics in topic_grid:
+        alpha = default_alpha(num_topics)
+        corpus, prior, grid, tables = _source_workload(
+            num_topics, vocab_size, num_documents, document_length,
+            approximation_steps, seed)
+        num_tokens = corpus.num_tokens
+        fast_tps, _, _ = _time_source_sweeps(
+            corpus, prior, grid, tables, "fast", alpha, seed, sweeps)
+        sparse_tps, _, consistent = _time_source_sweeps(
+            corpus, prior, grid, tables, "sparse", alpha, seed, sweeps)
+        rows.append(SparseScalingRow(
+            num_topics=num_topics,
+            fast_tokens_per_second=fast_tps,
+            sparse_tokens_per_second=sparse_tps,
+            sparse_consistent=consistent))
+    return SparseScalingResult(rows=rows,
+                               approximation_steps=approximation_steps,
+                               num_tokens=num_tokens)
+
+
+def format_sparse_scaling(result: SparseScalingResult) -> str:
+    table = format_table(
+        ["topics (B)", "fast tok/s", "sparse tok/s", "sparse/fast"],
+        [[row.num_topics, row.fast_tokens_per_second,
+          row.sparse_tokens_per_second, row.sparse_vs_fast]
+         for row in result.rows],
+        title=(f"Sparse engine advantage vs B - "
+               f"A={result.approximation_steps}, "
+               f"{result.num_tokens} tokens"))
+    consistent = all(row.sparse_consistent for row in result.rows)
+    return f"{table}\nsparse counts consistent at every B: {consistent}"
+
+
+@dataclass(frozen=True)
+class ServingThroughputRow:
+    """Fold-in serving throughput at one batch size."""
+
+    batch_size: int
+    docs_per_second: float
+    tokens_per_second: float
+
+
+@dataclass
+class ServingThroughput:
+    rows: list[ServingThroughputRow]
+    num_topics: int
+    num_query_documents: int
+    query_document_length: int
+    foldin_iterations: int
+    mode: str
+    model_class: str
+
+
+def run_serving_throughput(num_source_topics: int = 40,
+                           vocab_size: int = 300,
+                           num_train_documents: int = 40,
+                           train_document_length: int = 80,
+                           train_iterations: int = 15,
+                           num_query_documents: int = 48,
+                           query_document_length: int = 40,
+                           foldin_iterations: int = 20,
+                           batch_sizes: tuple[int, ...] = (1, 8, 32),
+                           mode: str = "sparse",
+                           seed: int = 0) -> ServingThroughput:
+    """Time the full save -> load -> serve path of ``repro.serving``.
+
+    Fits a bijective Source-LDA model on a random-topic workload,
+    persists it through :func:`repro.serving.save_model`, reloads it,
+    and serves batches of raw-text query documents (drawn from the same
+    Zipf lexicon, so a realistic fraction is in-vocabulary) through an
+    :class:`~repro.serving.InferenceSession` at each batch size.
+    """
+    import tempfile
+
+    from repro.serving import InferenceSession, load_model, save_model
+
+    source = random_topic_source(num_source_topics,
+                                 vocab_size=vocab_size,
+                                 article_length=80, seed=seed)
+    vocabulary = source.vocabulary().freeze()
+    rng = ensure_rng(seed)
+    id_lists = [rng.integers(0, len(vocabulary),
+                             size=train_document_length).tolist()
+                for _ in range(num_train_documents)]
+    corpus = Corpus.from_word_id_lists(id_lists, vocabulary)
+    fitted = BijectiveSourceLDA(source, alpha=0.5).fit(
+        corpus, iterations=train_iterations, seed=seed)
+
+    # Query text drawn from the full Zipf lexicon: mostly in-vocabulary,
+    # with the tail words exercising the OOV-drop path.
+    lexicon = make_lexicon(vocab_size, seed=seed)
+    pmf = zipf_probabilities(vocab_size)
+    queries = [" ".join(
+        lexicon[i] for i in rng.choice(vocab_size,
+                                       size=query_document_length, p=pmf))
+        for _ in range(num_query_documents)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        save_model(fitted, f"{tmp}/model", model_class="BijectiveSourceLDA")
+        loaded = load_model(f"{tmp}/model")
+    rows = []
+    for batch_size in batch_sizes:
+        session = InferenceSession(loaded, iterations=foldin_iterations,
+                                   mode=mode, batch_size=batch_size,
+                                   seed=seed)
+        session.theta(queries[:batch_size])  # warm-up: buffers, caches
+        start = perf_counter()
+        result = session.infer(queries)
+        elapsed = perf_counter() - start
+        rows.append(ServingThroughputRow(
+            batch_size=batch_size,
+            docs_per_second=num_query_documents / elapsed,
+            tokens_per_second=float(result.num_tokens.sum()) / elapsed))
+    return ServingThroughput(rows=rows,
+                             num_topics=fitted.num_topics,
+                             num_query_documents=num_query_documents,
+                             query_document_length=query_document_length,
+                             foldin_iterations=foldin_iterations,
+                             mode=mode,
+                             model_class="BijectiveSourceLDA")
+
+
+def format_serving_throughput(result: ServingThroughput) -> str:
+    table = format_table(
+        ["batch size", "docs/sec", "tokens/sec"],
+        [[row.batch_size, row.docs_per_second, row.tokens_per_second]
+         for row in result.rows],
+        title=(f"Serving throughput - {result.model_class}, "
+               f"T={result.num_topics}, "
+               f"{result.num_query_documents} query docs x "
+               f"{result.query_document_length} tokens, "
+               f"{result.foldin_iterations} fold-in sweeps, "
+               f"mode={result.mode}"))
+    return table
 
 
 def format_scaling(result: ScalingResult) -> str:

@@ -16,39 +16,17 @@ Perplexity is ``exp(-sum log p / N_tokens)`` — lower is better.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 from scipy.special import logsumexp
 
-from repro.sampling.rng import categorical, ensure_rng
+from repro.sampling.rng import ensure_rng
+from repro.serving.foldin import FoldInEngine, validate_phi
 from repro.text.corpus import Corpus
 
-#: Row sums within this tolerance of 1 are accepted as exact.
-_PHI_SUM_ATOL = 1e-6
-#: Row sums within this looser tolerance are renormalized with a warning
-#: — the drift signature of phi snapshots stored in float32 and upcast.
-_PHI_RENORM_ATOL = 1e-3
-
-
-def _validate_phi(phi: np.ndarray) -> np.ndarray:
-    phi = np.asarray(phi, dtype=np.float64)
-    if phi.ndim != 2:
-        raise ValueError(f"phi must be 2-d, got shape {phi.shape}")
-    if np.any(phi < 0):
-        raise ValueError("phi has negative entries")
-    sums = phi.sum(axis=1)
-    if not np.allclose(sums, 1.0, rtol=0.0, atol=_PHI_SUM_ATOL):
-        if not np.allclose(sums, 1.0, rtol=0.0, atol=_PHI_RENORM_ATOL):
-            raise ValueError("phi rows must sum to 1")
-        warnings.warn(
-            "phi row sums drift from 1 by more than "
-            f"{_PHI_SUM_ATOL:g} (max |sum - 1| = "
-            f"{float(np.abs(sums - 1.0).max()):.2e}, consistent with a "
-            "float32 round-trip); renormalizing rows",
-            RuntimeWarning, stacklevel=3)
-        phi = phi / sums[:, np.newaxis]
-    return phi
+# The validation helper (and its tolerances) moved to
+# repro.serving.foldin: the serving engine validates phi once per
+# session, and this module shares the same check.
+_validate_phi = validate_phi
 
 
 def log_likelihood_importance_sampling(
@@ -104,46 +82,17 @@ def heldout_gibbs_theta(phi: np.ndarray, corpus: Corpus, alpha: float,
     into phi (the ``n^wi_j + ñ`` numerator divided by its total is exactly
     the training-posterior phi when test counts are small relative to
     training counts — the standard query-sampling treatment).
+
+    Delegates to the exact lane of
+    :class:`~repro.serving.foldin.FoldInEngine` — phi is validated once
+    per call and the per-document gather/weight buffers are reused,
+    while the sampled chain stays bit-identical to the original
+    per-token loop on any fixed seed (pinned by
+    ``tests/test_serving.py``).
     """
-    phi = _validate_phi(phi)
-    if alpha <= 0:
-        raise ValueError(f"alpha must be positive, got {alpha}")
-    if iterations < 1:
-        raise ValueError(f"iterations must be >= 1, got {iterations}")
-    rng = ensure_rng(rng)
-    num_topics = phi.shape[0]
-    theta = np.empty((len(corpus), num_topics))
-    for index, doc in enumerate(corpus):
-        length = len(doc)
-        if length == 0:
-            theta[index] = 1.0 / num_topics
-            continue
-        assignments = rng.integers(0, num_topics, size=length)
-        doc_counts = np.bincount(assignments, minlength=num_topics) \
-            .astype(np.float64)
-        word_probs = phi[:, doc.word_ids].T           # (Nd, T)
-        # Burn in the first half, but always accumulate at least the
-        # final sweep: with iterations == 1 a burn-in of max(1, n // 2)
-        # would exclude every sweep and the function would silently
-        # return the prior mean alpha / (length + T * alpha).
-        burn_in = min(max(1, iterations // 2), iterations - 1)
-        accumulated = np.zeros(num_topics)
-        samples = 0
-        for iteration in range(iterations):
-            for position in range(length):
-                topic = assignments[position]
-                doc_counts[topic] -= 1.0
-                weights = word_probs[position] * (doc_counts + alpha)
-                topic = categorical(weights, rng)
-                assignments[position] = topic
-                doc_counts[topic] += 1.0
-            if iteration >= burn_in:
-                accumulated += doc_counts
-                samples += 1
-        mean_counts = accumulated / max(samples, 1)
-        theta[index] = (mean_counts + alpha) / (length
-                                                + num_topics * alpha)
-    return theta
+    engine = FoldInEngine(phi, alpha, iterations=iterations, mode="exact")
+    return engine.theta([doc.word_ids for doc in corpus],
+                        rng=ensure_rng(rng))
 
 
 def perplexity_heldout_gibbs(phi: np.ndarray, corpus: Corpus, alpha: float,
@@ -155,7 +104,13 @@ def perplexity_heldout_gibbs(phi: np.ndarray, corpus: Corpus, alpha: float,
     if tokens == 0:
         raise ValueError("cannot compute perplexity of an empty corpus")
     phi = _validate_phi(phi)
-    theta = heldout_gibbs_theta(phi, corpus, alpha, iterations, rng)
+    # phi is already validated; build the fold-in engine directly so the
+    # likelihood read-off below shares the same (possibly renormalized)
+    # matrix without a second O(T * V) validation pass.
+    engine = FoldInEngine(phi, alpha, iterations=iterations, mode="exact",
+                          validate=False)
+    theta = engine.theta([doc.word_ids for doc in corpus],
+                        rng=ensure_rng(rng))
     floor = np.finfo(np.float64).tiny
     total = 0.0
     for index, doc in enumerate(corpus):

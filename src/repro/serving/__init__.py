@@ -1,0 +1,52 @@
+"""Model persistence and batched inference serving.
+
+The serving subsystem has two halves:
+
+**Artifacts** — :func:`save_model` / :func:`load_model` persist any
+fitted model (all six model classes) as a schema-versioned directory of
+compressed arrays plus a JSON manifest, and :class:`ModelRegistry`
+resolves named, versioned artifacts with an LRU cache of loaded models.
+
+**Inference** — :class:`InferenceSession` answers theta / top-topics /
+label queries for batches of unseen raw-text documents, tokenizing and
+vocabulary-mapping through :mod:`repro.text` with an explicit OOV
+policy, then folding documents in through the batched
+:class:`FoldInEngine` (which also backs
+:func:`repro.metrics.perplexity.heldout_gibbs_theta`).
+
+Quickstart::
+
+    from repro.serving import ModelRegistry, InferenceSession
+
+    registry = ModelRegistry("artifacts")
+    registry.publish("reuters", fitted, model_class="SourceLDA")
+    session = InferenceSession(registry.load("reuters"), seed=0)
+    result = session.infer(["oil prices rose sharply", ...])
+"""
+
+from repro.serving.artifacts import (ARTIFACT_FORMAT, SCHEMA_VERSION,
+                                     ArtifactError, LoadedModel,
+                                     ManifestError, load_model,
+                                     read_manifest, save_model)
+from repro.serving.foldin import FoldInEngine, validate_phi
+from repro.serving.registry import ModelRecord, ModelRegistry
+from repro.serving.session import (InferenceResult, InferenceSession,
+                                   TopicScore)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ArtifactError",
+    "FoldInEngine",
+    "InferenceResult",
+    "InferenceSession",
+    "LoadedModel",
+    "ManifestError",
+    "ModelRecord",
+    "ModelRegistry",
+    "SCHEMA_VERSION",
+    "TopicScore",
+    "load_model",
+    "read_manifest",
+    "save_model",
+    "validate_phi",
+]

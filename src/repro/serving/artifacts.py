@@ -1,0 +1,308 @@
+"""Versioned on-disk persistence for fitted topic models.
+
+An *artifact* is one directory holding everything needed to reload a
+:class:`~repro.models.base.FittedTopicModel` bit-exactly and serve it:
+
+``manifest.json``
+    Schema-versioned JSON: artifact format tag, model class name, the
+    corpus vocabulary (id order), topic labels (knowledge-source
+    metadata), scalar hyperparameters, and the full fit metadata tree
+    with every array replaced by a pointer into the ``.npz``.
+``arrays.npz``
+    Compressed, lossless NumPy arrays: ``phi``, ``theta``, the flattened
+    per-token assignments plus document lengths, the log-likelihood
+    trace, and every array-valued metadata entry.
+
+The manifest is the compatibility surface: :func:`load_model` refuses
+artifacts whose ``schema_version`` is newer than this build understands
+(and anything that is not an artifact at all), so stale servers fail
+loudly instead of misreading future layouts.  All six model classes
+(LDA, EDA, CTM and the Source-LDA family) round-trip through the same
+two functions — the model class is recorded as a name, not pickled, so
+artifacts stay portable and auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.models.base import FittedTopicModel
+from repro.text.vocabulary import Vocabulary
+
+#: Current artifact schema version; bump on layout changes.
+SCHEMA_VERSION = 1
+#: Format tag distinguishing artifacts from arbitrary JSON + NPZ pairs.
+ARTIFACT_FORMAT = "repro.serving/model-artifact"
+
+MANIFEST_FILENAME = "manifest.json"
+ARRAYS_FILENAME = "arrays.npz"
+
+#: Reserved npz keys for the model's own arrays; metadata arrays get
+#: generated ``meta_<n>`` keys that never collide with these.
+_MODEL_ARRAY_KEYS = ("phi", "theta", "assignments_flat",
+                     "assignment_lengths", "log_likelihoods")
+
+
+class ArtifactError(ValueError):
+    """A model artifact could not be written or read."""
+
+
+class ManifestError(ArtifactError):
+    """The artifact manifest is missing, malformed or unsupported."""
+
+
+# ----------------------------------------------------------------------
+# Metadata tree <-> (JSON tree, npz arrays)
+# ----------------------------------------------------------------------
+def _encode_value(value: Any, arrays: dict[str, np.ndarray],
+                  path: str) -> Any:
+    """JSON-encode one metadata value, externalizing arrays into
+    ``arrays`` under generated keys."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            # np.savez would pickle it, but np.load(allow_pickle=False)
+            # could never read it back — fail at save time, not load.
+            raise ArtifactError(
+                f"cannot serialize object-dtype metadata array at "
+                f"{path}")
+        key = f"meta_{len(arrays)}"
+        arrays[key] = value
+        return {"__kind__": "ndarray", "key": key}
+    if isinstance(value, tuple):
+        return {"__kind__": "tuple",
+                "items": [_encode_value(v, arrays, f"{path}[{i}]")
+                          for i, v in enumerate(value)]}
+    if isinstance(value, list):
+        return [_encode_value(v, arrays, f"{path}[{i}]")
+                for i, v in enumerate(value)]
+    if isinstance(value, dict):
+        # Encoded as pairs because metadata keys are not always strings
+        # (phi snapshots are keyed by iteration number).
+        return {"__kind__": "dict",
+                "items": [[_encode_value(k, arrays, f"{path}<key>"),
+                           _encode_value(v, arrays, f"{path}[{k!r}]")]
+                          for k, v in value.items()]}
+    raise ArtifactError(
+        f"cannot serialize metadata value of type "
+        f"{type(value).__name__} at {path}")
+
+
+def _decode_value(value: Any, arrays: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode_value(v, arrays) for v in value]
+    if isinstance(value, dict):
+        kind = value.get("__kind__")
+        if kind == "ndarray":
+            key = value["key"]
+            if key not in arrays:
+                raise ManifestError(
+                    f"manifest references missing array {key!r}")
+            return arrays[key]
+        if kind == "tuple":
+            return tuple(_decode_value(v, arrays)
+                         for v in value["items"])
+        if kind == "dict":
+            return {_hashable(_decode_value(k, arrays)):
+                    _decode_value(v, arrays)
+                    for k, v in value["items"]}
+        raise ManifestError(f"unknown metadata encoding kind {kind!r}")
+    return value
+
+
+def _hashable(key: Any) -> Any:
+    if isinstance(key, np.ndarray):
+        raise ManifestError("metadata dict keys cannot be arrays")
+    return key
+
+
+def _scalar_hyperparameters(metadata: dict[str, Any]) -> dict[str, Any]:
+    """The JSON-scalar metadata entries — the fit's hyperparameters
+    (alpha, beta, mu, sigma, epsilon, ...) as recorded by every model's
+    ``fit``."""
+    return {key: (bool(value) if isinstance(value, (bool, np.bool_))
+                  else int(value) if isinstance(value, (int, np.integer))
+                  else float(value)
+                  if isinstance(value, (float, np.floating)) else value)
+            for key, value in metadata.items()
+            if isinstance(value, (bool, int, float, str,
+                                  np.bool_, np.integer, np.floating))}
+
+
+# ----------------------------------------------------------------------
+# Save / load
+# ----------------------------------------------------------------------
+def save_model(model: FittedTopicModel, path: str | Path,
+               model_class: str | None = None,
+               overwrite: bool = False) -> Path:
+    """Persist ``model`` as a versioned artifact directory at ``path``.
+
+    Parameters
+    ----------
+    model:
+        Any fitted model — all six model classes produce the same
+        :class:`FittedTopicModel` surface and round-trip identically.
+    model_class:
+        Recorded in the manifest (e.g. ``"SourceLDA"``); purely
+        descriptive, never executed on load.
+    overwrite:
+        Refuse to clobber an existing artifact unless set.
+
+    Returns the artifact directory path.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILENAME
+    if manifest_path.exists() and not overwrite:
+        raise ArtifactError(
+            f"artifact already exists at {path}; pass overwrite=True to "
+            f"replace it")
+    path.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    metadata_tree = _encode_value(dict(model.metadata), arrays, "metadata")
+    flat = model.flat_assignments()
+    lengths = np.asarray([len(a) for a in model.assignments],
+                         dtype=np.int64)
+    vocabulary = model.vocabulary
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "model_class": model_class,
+        "num_topics": model.num_topics,
+        "num_documents": model.num_documents,
+        "vocab_size": model.vocab_size,
+        "num_tokens": int(flat.shape[0]),
+        "topic_labels": list(model.topic_labels),
+        "num_labeled_topics": len(model.labeled_topic_indices()),
+        "vocabulary": list(vocabulary.words),
+        "vocabulary_frozen": vocabulary.frozen,
+        "hyperparameters": _scalar_hyperparameters(model.metadata),
+        "metadata": metadata_tree,
+    }
+    if len(vocabulary) != model.vocab_size:
+        raise ArtifactError(
+            f"vocabulary has {len(vocabulary)} words but phi covers "
+            f"{model.vocab_size}")
+    # Write-then-rename (manifest last) so an overwrite interrupted
+    # mid-save never leaves a new-arrays/old-manifest hybrid that loads
+    # without error.
+    arrays_tmp = path / (ARRAYS_FILENAME + ".tmp")
+    manifest_tmp = path / (MANIFEST_FILENAME + ".tmp")
+    with open(arrays_tmp, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            phi=model.phi,
+            theta=model.theta,
+            assignments_flat=flat.astype(np.int64),
+            assignment_lengths=lengths,
+            log_likelihoods=np.asarray(model.log_likelihoods,
+                                       dtype=np.float64),
+            **arrays)
+    manifest_tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    arrays_tmp.replace(path / ARRAYS_FILENAME)
+    manifest_tmp.replace(manifest_path)
+    return path
+
+
+@dataclass(frozen=True)
+class LoadedModel:
+    """A reloaded artifact: the fitted model plus its manifest facts."""
+
+    model: FittedTopicModel
+    model_class: str | None
+    schema_version: int
+    path: Path
+    manifest: dict[str, Any]
+
+
+def read_manifest(path: str | Path) -> dict[str, Any]:
+    """Read and structurally validate an artifact manifest.
+
+    Raises :class:`ManifestError` for a missing/unparseable manifest, a
+    foreign format tag, or a schema version this build does not support.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILENAME
+    if not manifest_path.is_file():
+        raise ManifestError(f"no artifact manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ManifestError(
+            f"artifact manifest at {manifest_path} is not valid JSON: "
+            f"{error}") from error
+    if not isinstance(manifest, dict) \
+            or manifest.get("format") != ARTIFACT_FORMAT:
+        raise ManifestError(
+            f"{manifest_path} is not a {ARTIFACT_FORMAT} manifest")
+    version = manifest.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise ManifestError(
+            f"artifact manifest has invalid schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise ManifestError(
+            f"artifact schema version {version} is newer than the "
+            f"supported version {SCHEMA_VERSION}; upgrade this library "
+            f"to load it")
+    return manifest
+
+
+def load_model(path: str | Path) -> LoadedModel:
+    """Reload an artifact written by :func:`save_model`.
+
+    ``phi``/``theta``/assignments/labels/metadata are restored bit-exact
+    (float64 arrays round-trip losslessly through the ``.npz``).
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    arrays_path = path / ARRAYS_FILENAME
+    if not arrays_path.is_file():
+        raise ArtifactError(f"artifact arrays missing at {arrays_path}")
+    with np.load(arrays_path) as arrays:
+        missing = [key for key in _MODEL_ARRAY_KEYS if key not in arrays]
+        if missing:
+            raise ArtifactError(
+                f"artifact arrays at {arrays_path} are missing {missing}")
+        phi = arrays["phi"]
+        theta = arrays["theta"]
+        flat = arrays["assignments_flat"]
+        lengths = arrays["assignment_lengths"]
+        log_likelihoods = arrays["log_likelihoods"].tolist()
+        encoded_metadata = manifest.get("metadata")
+        # A missing/empty metadata entry means "no metadata", not an
+        # encoded tree.
+        metadata = (_decode_value(encoded_metadata, arrays)
+                    if encoded_metadata else {})
+    if int(lengths.sum()) != int(flat.shape[0]):
+        raise ArtifactError(
+            "assignment lengths do not sum to the flat assignment count")
+    assignments = []
+    cursor = 0
+    for length in lengths.tolist():
+        assignments.append(flat[cursor:cursor + length].copy())
+        cursor += length
+    vocabulary = Vocabulary(manifest.get("vocabulary", ()))
+    if manifest.get("vocabulary_frozen"):
+        vocabulary.freeze()
+    labels = tuple(manifest.get("topic_labels") or ())
+    model = FittedTopicModel(
+        phi=phi, theta=theta, assignments=assignments,
+        vocabulary=vocabulary, topic_labels=labels,
+        log_likelihoods=log_likelihoods,
+        metadata=metadata if isinstance(metadata, dict) else {})
+    return LoadedModel(model=model,
+                       model_class=manifest.get("model_class"),
+                       schema_version=int(manifest["schema_version"]),
+                       path=path, manifest=manifest)

@@ -1,0 +1,340 @@
+"""Batched fold-in Gibbs inference for unseen documents.
+
+Query-time inference ("fold-in") estimates a document-topic mixture
+``theta`` for documents the model never trained on, by Gibbs-sampling
+token assignments against the *frozen* topic-word distributions ``phi``
+— the paper's held-out treatment where the training counts folded into
+phi stand in for the ``n + ñ`` numerators (see
+:mod:`repro.metrics.perplexity`).
+
+The legacy implementation lived inside ``heldout_gibbs_theta`` as a dense
+per-token Python loop that re-validated ``phi``, re-gathered a
+``(Nd, T)`` probability block and re-drew a scalar uniform per token for
+*every* document of *every* call.  :class:`FoldInEngine` productizes it:
+
+* ``phi`` is validated (and, for float32-drift snapshots, renormalized)
+  **once per engine**, not per call — sessions serving many batches pay
+  the ``O(T * V)`` checks a single time;
+* the per-document ``phi[:, word_ids]`` gather lands in a **reused
+  buffer** sized to the longest document of the current batch, as do the
+  weight, cumulative-sum and accumulator rows;
+* the per-token uniforms are **pre-drawn in chunks** (one
+  ``rng.random(Nd)`` call per document sweep).  NumPy's
+  ``Generator.random`` consumes the bit stream identically whether
+  called ``Nd`` times or once with size ``Nd`` (the same contract the
+  training engines rely on), so the draw stream matches the legacy loop
+  exactly;
+* documents are processed in ``batch_size`` groups — the unit future
+  multi-worker serving shards over, and the scope of the gather buffer.
+
+Two sampling lanes:
+
+``mode="exact"``
+    The legacy dense draw, bit-for-bit: weights
+    ``phi[:, w] * (nd + alpha)`` cumulative-summed over all ``T`` topics
+    with the reference boundary clamp.  ``heldout_gibbs_theta`` now
+    delegates here, and ``tests/test_serving.py`` pins seed-for-seed
+    equality against the legacy loop.
+``mode="sparse"``
+    Bucketed draws in the style of
+    :mod:`repro.sampling.sparse_engine`: because ``phi`` is frozen, the
+    weight splits into a static per-word prior mass
+    (``alpha * sum_t phi[t, w]``, precomputed for the whole vocabulary)
+    plus a document bucket over the nonzero ``nd`` topics — O(nnz) per
+    token instead of O(T), the serving default.  Statistically
+    equivalent to the exact lane (same conditional distribution up to
+    float reassociation), not draw-for-draw identical.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence
+
+import numpy as np
+
+from repro.sampling.rng import ensure_rng
+from repro.sampling.scans import last_positive_index
+from repro.sampling.sparse_engine import TopicSet
+
+#: Fold-in sampling lanes.
+MODES = ("exact", "sparse")
+
+#: Row sums within this tolerance of 1 are accepted as exact.
+PHI_SUM_ATOL = 1e-6
+#: Row sums within this looser tolerance are renormalized with a warning
+#: — the drift signature of phi snapshots stored in float32 and upcast.
+PHI_RENORM_ATOL = 1e-3
+
+
+def validate_phi(phi: np.ndarray) -> np.ndarray:
+    """Check and return ``phi`` as a float64 ``(T, V)`` stochastic matrix.
+
+    Rows must be non-negative and sum to 1 within ``PHI_SUM_ATOL``; rows
+    within the looser ``PHI_RENORM_ATOL`` (a float32 round-trip
+    signature) are renormalized with a warning.  Shared by the fold-in
+    engine and every perplexity estimator in
+    :mod:`repro.metrics.perplexity`.
+    """
+    phi = np.asarray(phi, dtype=np.float64)
+    if phi.ndim != 2:
+        raise ValueError(f"phi must be 2-d, got shape {phi.shape}")
+    if np.any(phi < 0):
+        raise ValueError("phi has negative entries")
+    sums = phi.sum(axis=1)
+    if not np.allclose(sums, 1.0, rtol=0.0, atol=PHI_SUM_ATOL):
+        if not np.allclose(sums, 1.0, rtol=0.0, atol=PHI_RENORM_ATOL):
+            raise ValueError("phi rows must sum to 1")
+        warnings.warn(
+            "phi row sums drift from 1 by more than "
+            f"{PHI_SUM_ATOL:g} (max |sum - 1| = "
+            f"{float(np.abs(sums - 1.0).max()):.2e}, consistent with a "
+            "float32 round-trip); renormalizing rows",
+            RuntimeWarning, stacklevel=3)
+        phi = phi / sums[:, np.newaxis]
+    return phi
+
+
+class FoldInEngine:
+    """Estimates ``theta`` for batches of unseen documents against a
+    frozen ``phi``.
+
+    Parameters
+    ----------
+    phi:
+        Topic-word distributions ``(T, V)``; validated once here (pass
+        ``validate=False`` when the caller already ran
+        :func:`validate_phi`).
+    alpha:
+        Symmetric document-topic prior of the fold-in sampler.
+    iterations:
+        Gibbs sweeps per document; the first half burns in and the rest
+        are averaged (always at least the final sweep).
+    mode:
+        ``"exact"`` (the legacy dense draw, seed-pinned to
+        ``heldout_gibbs_theta``) or ``"sparse"`` (bucketed O(nnz)
+        draws, the serving default through
+        :class:`~repro.serving.session.InferenceSession`).
+    batch_size:
+        Documents per buffer-sizing group in :meth:`theta`.
+    """
+
+    def __init__(self, phi: np.ndarray, alpha: float,
+                 iterations: int = 30, mode: str = "exact",
+                 batch_size: int = 64,
+                 validate: bool = True) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if iterations < 1:
+            raise ValueError(
+                f"iterations must be >= 1, got {iterations}")
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {batch_size}")
+        phi = validate_phi(phi) if validate \
+            else np.asarray(phi, dtype=np.float64)
+        self.alpha = float(alpha)
+        self.iterations = int(iterations)
+        self.mode = mode
+        self.batch_size = int(batch_size)
+        self.num_topics = int(phi.shape[0])
+        self.vocab_size = int(phi.shape[1])
+        #: ``(V, T)`` layout for per-word row gathers.
+        self._phi_by_word = np.ascontiguousarray(phi.T)
+        # Persistent per-token work buffers (length T); the (Nd, T)
+        # gather buffer grows to the longest document seen.
+        self._work = np.empty(self.num_topics)
+        self._cumulative = np.empty(self.num_topics)
+        self._accumulated = np.empty(self.num_topics)
+        self._gather = np.empty((0, self.num_topics))
+        if mode == "sparse":
+            #: Static prior-bucket mass per word: ``alpha * sum_t phi``.
+            self._prior_mass = self.alpha * self._phi_by_word.sum(axis=1)
+            #: phi is frozen, so the prior-bucket cumulative sums are
+            #: computed once per engine (costs one extra (V, T) copy;
+            #: makes a prior-bucket draw a binary search instead of an
+            #: O(T) scan per hit).
+            self._prior_cumsum = np.cumsum(self._phi_by_word, axis=1)
+            # Reused across documents; begin() re-seeds it per document.
+            self._doc_topics = TopicSet(0, self.num_topics)
+
+    # ------------------------------------------------------------------
+    def theta(self, documents: Sequence[np.ndarray],
+              rng: int | np.random.Generator | None = None) -> np.ndarray:
+        """Fold-in ``theta`` rows, shape ``(len(documents), T)``.
+
+        ``documents`` are word-id arrays over the model vocabulary.
+        Empty documents get the uniform row ``1 / T`` without consuming
+        any randomness (matching the legacy loop).
+        """
+        rng = ensure_rng(rng)
+        documents = [np.asarray(doc, dtype=np.int64) for doc in documents]
+        for index, doc in enumerate(documents):
+            if doc.ndim != 1:
+                raise ValueError(
+                    f"document {index} word ids must be 1-d, got shape "
+                    f"{doc.shape}")
+            if doc.size and (int(doc.min()) < 0
+                             or int(doc.max()) >= self.vocab_size):
+                raise ValueError(
+                    f"document {index} references word ids outside the "
+                    f"model vocabulary (size {self.vocab_size})")
+        theta = np.empty((len(documents), self.num_topics))
+        sample_doc = (self._theta_exact if self.mode == "exact"
+                      else self._theta_sparse)
+        for start in range(0, len(documents), self.batch_size):
+            batch = documents[start:start + self.batch_size]
+            if self.mode == "exact":
+                # Only the exact lane gathers (Nd, T) probability
+                # blocks; sizing the buffer in sparse mode would pin
+                # longest-doc * T floats nothing reads.
+                longest = max((doc.shape[0] for doc in batch), default=0)
+                if longest > self._gather.shape[0]:
+                    self._gather = np.empty((longest, self.num_topics))
+            for offset, doc in enumerate(batch):
+                if doc.shape[0] == 0:
+                    theta[start + offset] = 1.0 / self.num_topics
+                else:
+                    theta[start + offset] = sample_doc(doc, rng)
+        return theta
+
+    # ------------------------------------------------------------------
+    def _theta_exact(self, word_ids: np.ndarray,
+                     rng: np.random.Generator) -> np.ndarray:
+        """The legacy dense sampler with hoisted buffers.
+
+        Arithmetic, draw order and RNG consumption match the original
+        ``heldout_gibbs_theta`` loop bit-for-bit: same initialization
+        call, the same ``phi_w * (nd + alpha)`` product, the same
+        float64 cumulative sum, and the same ``searchsorted`` +
+        last-positive-topic boundary clamp as ``rng.categorical``'s
+        reference draw.
+        """
+        length = int(word_ids.shape[0])
+        num_topics = self.num_topics
+        alpha = self.alpha
+        iterations = self.iterations
+        work = self._work
+        cumulative = self._cumulative
+        accumulated = self._accumulated
+        word_probs = np.take(self._phi_by_word, word_ids, axis=0,
+                             out=self._gather[:length])
+        assignments = rng.integers(0, num_topics, size=length)
+        doc_counts = np.bincount(assignments, minlength=num_topics) \
+            .astype(np.float64)
+        assignments = assignments.tolist()
+        # Burn in the first half, but always accumulate at least the
+        # final sweep (iterations == 1 would otherwise return the prior
+        # mean).
+        burn_in = min(max(1, iterations // 2), iterations - 1)
+        accumulated.fill(0.0)
+        samples = 0
+        inf = np.inf
+        rng_random = rng.random
+        for iteration in range(iterations):
+            uniforms = rng_random(length).tolist()
+            for position in range(length):
+                doc_counts[assignments[position]] -= 1.0
+                np.add(doc_counts, alpha, out=work)
+                np.multiply(word_probs[position], work, out=work)
+                np.cumsum(work, out=cumulative)
+                total = cumulative[-1]
+                if not (0.0 < total < inf):
+                    raise ValueError(
+                        f"categorical weights must have positive finite "
+                        f"mass, got total={total!r}")
+                topic = int(cumulative.searchsorted(
+                    uniforms[position] * total, side="right"))
+                if topic >= num_topics:
+                    # u * total rounded up to exactly total; land on the
+                    # last positive-weight topic.
+                    topic = last_positive_index(cumulative)
+                assignments[position] = topic
+                doc_counts[topic] += 1.0
+            if iteration >= burn_in:
+                accumulated += doc_counts
+                samples += 1
+        mean_counts = accumulated / max(samples, 1)
+        return (mean_counts + alpha) / (length + num_topics * alpha)
+
+    # ------------------------------------------------------------------
+    def _theta_sparse(self, word_ids: np.ndarray,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Bucketed draws: static per-word prior mass + O(nnz) document
+        bucket.
+
+        The fold-in weight ``phi_w[t] * (nd[t] + alpha)`` splits into
+
+            alpha * phi_w[t]      [prior bucket, mass precomputed]
+            phi_w[t] * nd[t]      [document bucket, nonzero nd only]
+
+        exactly as the fixed-phi EDA kernel decomposes in
+        :mod:`repro.sampling.sparse_engine`.  A document touches at most
+        ``Nd`` distinct topics, so the common draw walks ``O(nnz)``
+        entries; only prior-bucket draws (mass ``alpha`` out of
+        ``Nd + T * alpha``) pay an ``O(T)`` scan.
+        """
+        length = int(word_ids.shape[0])
+        num_topics = self.num_topics
+        alpha = self.alpha
+        iterations = self.iterations
+        phi_by_word = self._phi_by_word
+        prior_mass = self._prior_mass
+        prior_cumsum = self._prior_cumsum
+        accumulated = self._accumulated
+        assignments = rng.integers(0, num_topics, size=length)
+        doc_counts = np.bincount(assignments, minlength=num_topics) \
+            .astype(np.float64)
+        assignments = assignments.tolist()
+        words = word_ids.tolist()
+        doc_topics = self._doc_topics
+        doc_topics.begin(doc_counts)
+        burn_in = min(max(1, iterations // 2), iterations - 1)
+        accumulated.fill(0.0)
+        samples = 0
+        inf = np.inf
+        rng_random = rng.random
+        for iteration in range(iterations):
+            uniforms = rng_random(length).tolist()
+            for position in range(length):
+                old = assignments[position]
+                doc_counts[old] -= 1.0
+                if doc_counts[old] == 0.0:
+                    doc_topics.discard(old)
+                word = words[position]
+                phi_row = phi_by_word[word]
+                members = doc_topics.array()
+                r_weights = doc_counts.take(members) * phi_row.take(members)
+                r_mass = float(r_weights.sum())
+                s_mass = prior_mass[word]
+                total = r_mass + s_mass
+                if not (0.0 < total < inf):
+                    raise ValueError(
+                        f"categorical weights must have positive finite "
+                        f"mass, got total={total!r}")
+                x = uniforms[position] * total
+                if x < r_mass:
+                    cumulative = np.cumsum(r_weights)
+                    index = int(cumulative.searchsorted(x, side="right"))
+                    if index >= cumulative.shape[0]:
+                        index = last_positive_index(cumulative)
+                    topic = int(members[index])
+                else:
+                    # Prior bucket: proportional to phi_w over all topics.
+                    cumulative = prior_cumsum[word]
+                    index = int(cumulative.searchsorted(
+                        (x - r_mass) / alpha, side="right"))
+                    if index >= num_topics:
+                        index = last_positive_index(cumulative)
+                    topic = index
+                assignments[position] = topic
+                if doc_counts[topic] == 0.0:
+                    doc_topics.add(topic)
+                doc_counts[topic] += 1.0
+            if iteration >= burn_in:
+                accumulated += doc_counts
+                samples += 1
+        mean_counts = accumulated / max(samples, 1)
+        return (mean_counts + alpha) / (length + num_topics * alpha)

@@ -1,0 +1,169 @@
+"""Named, versioned model storage with an LRU cache of loaded models.
+
+A :class:`ModelRegistry` owns one directory tree::
+
+    <root>/<name>/v<version>/manifest.json
+                            /arrays.npz
+
+``publish`` assigns monotonically increasing versions per name;
+``resolve`` maps ``(name, version-or-latest)`` to a concrete artifact;
+``load`` memoizes deserialized models in a bounded LRU so a serving
+process answering queries for a handful of hot models never re-reads
+their ``.npz`` blobs from disk.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.models.base import FittedTopicModel
+from repro.serving.artifacts import (ArtifactError, LoadedModel,
+                                     load_model, read_manifest,
+                                     save_model)
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_DIR_RE = re.compile(r"^v(\d+)$")
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One resolved (name, version) → artifact directory mapping."""
+
+    name: str
+    version: int
+    path: Path
+
+
+class ModelRegistry:
+    """Resolves named/versioned model artifacts under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Registry directory (created on first publish).
+    cache_size:
+        Maximum number of loaded models kept in memory; least recently
+        used artifacts are evicted first.  ``0`` disables caching.
+    """
+
+    def __init__(self, root: str | Path, cache_size: int = 4) -> None:
+        if cache_size < 0:
+            raise ValueError(
+                f"cache_size must be >= 0, got {cache_size}")
+        self.root = Path(root)
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[tuple[str, int], LoadedModel] \
+            = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, "
+                f"'.', '_' and '-', starting with a letter or digit")
+        return name
+
+    def names(self) -> list[str]:
+        """All model names with at least one published version.
+
+        Directories that are not valid model names (editor droppings,
+        ``.cache``-style clutter) are skipped, not errors.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(entry.name for entry in self.root.iterdir()
+                      if entry.is_dir() and _NAME_RE.match(entry.name)
+                      and self.versions(entry.name))
+
+    def versions(self, name: str) -> list[int]:
+        """Published versions of ``name``, ascending."""
+        self._check_name(name)
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for entry in model_dir.iterdir():
+            match = _VERSION_DIR_RE.match(entry.name)
+            if match and (entry / "manifest.json").is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def resolve(self, name: str, version: int | None = None) -> ModelRecord:
+        """Map ``name`` (and optional ``version``; latest otherwise) to
+        its artifact directory."""
+        self._check_name(name)
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"no versions of model {name!r} in registry "
+                           f"at {self.root}")
+        if version is None:
+            version = versions[-1]
+        elif version not in versions:
+            raise KeyError(
+                f"model {name!r} has no version {version}; published "
+                f"versions: {versions}")
+        return ModelRecord(name=name, version=int(version),
+                           path=self.root / name / f"v{int(version)}")
+
+    # ------------------------------------------------------------------
+    def publish(self, name: str, model: FittedTopicModel,
+                model_class: str | None = None,
+                version: int | None = None) -> ModelRecord:
+        """Save ``model`` as the next (or an explicit new) version of
+        ``name``."""
+        self._check_name(name)
+        existing = self.versions(name)
+        if version is None:
+            version = (existing[-1] + 1) if existing else 1
+        elif version in existing:
+            raise ArtifactError(
+                f"model {name!r} version {version} is already published; "
+                f"versions are immutable")
+        elif version < 1:
+            raise ValueError(f"version must be >= 1, got {version}")
+        record = ModelRecord(name=name, version=int(version),
+                             path=self.root / name / f"v{int(version)}")
+        save_model(model, record.path, model_class=model_class)
+        return record
+
+    def load(self, name: str, version: int | None = None) -> LoadedModel:
+        """Load a published model, memoized through the LRU cache.
+
+        Resolving ``version=None`` re-checks the directory for the
+        latest version on every call, so freshly published models are
+        picked up; the cache key is the concrete resolved version.
+        """
+        record = self.resolve(name, version)
+        key = (record.name, record.version)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return cached
+        loaded = load_model(record.path)
+        if self.cache_size > 0:
+            self._cache[key] = loaded
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return loaded
+
+    def manifest(self, name: str, version: int | None = None) -> dict:
+        """The manifest of a published model, without loading arrays."""
+        return read_manifest(self.resolve(name, version).path)
+
+    @property
+    def cached_keys(self) -> tuple[tuple[str, int], ...]:
+        """Current cache contents, least recently used first (for tests
+        and monitoring)."""
+        return tuple(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return (f"ModelRegistry(root={str(self.root)!r}, "
+                f"models={len(self.names())}, "
+                f"cached={len(self._cache)})")

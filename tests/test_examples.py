@@ -12,7 +12,8 @@ EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 
 @pytest.mark.parametrize("script", ["quickstart.py",
-                                    "discover_new_topics.py"])
+                                    "discover_new_topics.py",
+                                    "save_load_serve.py"])
 def test_example_runs(script, capsys):
     """Fast examples execute without error and produce output."""
     runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
@@ -37,7 +38,8 @@ def test_discover_new_topics_finds_hidden_subject(capsys):
 
 def test_all_examples_exist():
     expected = {"quickstart.py", "reuters_labeling.py",
-                "medical_topics.py", "discover_new_topics.py"}
+                "medical_topics.py", "discover_new_topics.py",
+                "save_load_serve.py"}
     present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert expected <= present
 

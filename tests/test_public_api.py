@@ -31,10 +31,12 @@ class TestTopLevelExports:
         import repro.metrics
         import repro.models
         import repro.sampling
+        import repro.serving
         import repro.text
         for module in (repro.core, repro.datasets, repro.experiments,
                        repro.knowledge, repro.labeling, repro.metrics,
-                       repro.models, repro.sampling, repro.text):
+                       repro.models, repro.sampling, repro.serving,
+                       repro.text):
             for name in module.__all__:
                 assert getattr(module, name) is not None, \
                     f"{module.__name__}.{name}"

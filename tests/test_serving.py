@@ -1,0 +1,506 @@
+"""Tests for the serving subsystem (persistence, registry, fold-in,
+sessions)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.bijective import BijectiveSourceLDA
+from repro.core.mixture import MixtureSourceLDA
+from repro.core.source_lda import SourceLDA
+from repro.metrics.perplexity import heldout_gibbs_theta
+from repro.models.base import FittedTopicModel
+from repro.models.ctm import CTM
+from repro.models.eda import EDA
+from repro.models.lda import LDA
+from repro.sampling.rng import categorical, ensure_rng
+from repro.serving import (ARTIFACT_FORMAT, SCHEMA_VERSION, ArtifactError,
+                           FoldInEngine, InferenceSession, ManifestError,
+                           ModelRegistry, load_model, read_manifest,
+                           save_model, validate_phi)
+from repro.text.corpus import Corpus
+from repro.text.vocabulary import Vocabulary
+
+# ----------------------------------------------------------------------
+# Fitted models of all six classes (module-scoped: fitting is the
+# expensive part, round-trip assertions are cheap).
+# ----------------------------------------------------------------------
+MODEL_CLASSES = ("LDA", "EDA", "CTM", "BijectiveSourceLDA",
+                 "MixtureSourceLDA", "SourceLDA")
+
+
+@pytest.fixture(scope="module")
+def serving_corpus_and_source():
+    from repro.knowledge.source import KnowledgeSource
+    from repro.knowledge.wikipedia import SyntheticWikipedia
+    wiki = SyntheticWikipedia([f"Topic {i}" for i in range(4)],
+                              article_length=100, core_vocab_size=8,
+                              background_vocab_size=30, seed=5)
+    source = wiki.knowledge_source()
+    rng = np.random.default_rng(3)
+    labels = source.labels
+    texts = [" ".join(rng.choice(source.tokens(labels[i % 4]), size=25))
+             for i in range(16)]
+    corpus = Corpus.from_texts(texts, tokenizer=None)
+    assert isinstance(source, KnowledgeSource)
+    return corpus, source
+
+
+@pytest.fixture(scope="module")
+def fitted_models(serving_corpus_and_source):
+    corpus, source = serving_corpus_and_source
+    fits = {
+        "LDA": LDA(num_topics=4).fit(
+            corpus, iterations=4, seed=0, track_log_likelihood=True),
+        "EDA": EDA(source).fit(corpus, iterations=4, seed=0),
+        "CTM": CTM(source, num_free_topics=1, top_n_words=20).fit(
+            corpus, iterations=4, seed=0),
+        "BijectiveSourceLDA": BijectiveSourceLDA(source).fit(
+            corpus, iterations=4, seed=0),
+        "MixtureSourceLDA": MixtureSourceLDA(source, num_free_topics=1)
+        .fit(corpus, iterations=4, seed=0),
+        "SourceLDA": SourceLDA(source, num_unlabeled_topics=1,
+                               calibration_draws=3).fit(
+            corpus, iterations=4, seed=0,
+            snapshot_iterations=(1, 3)),
+    }
+    assert set(fits) == set(MODEL_CLASSES)
+    return fits
+
+
+def _assert_metadata_equal(left, right, path="metadata"):
+    assert type(left) is type(right), path
+    if isinstance(left, dict):
+        assert set(left) == set(right), path
+        for key in left:
+            _assert_metadata_equal(left[key], right[key],
+                                   f"{path}[{key!r}]")
+    elif isinstance(left, (list, tuple)):
+        assert len(left) == len(right), path
+        for index, (a, b) in enumerate(zip(left, right)):
+            _assert_metadata_equal(a, b, f"{path}[{index}]")
+    elif isinstance(left, np.ndarray):
+        assert left.dtype == right.dtype, path
+        assert np.array_equal(left, right), path
+    else:
+        assert left == right, path
+
+
+class TestArtifactRoundTrip:
+    @pytest.mark.parametrize("model_class", MODEL_CLASSES)
+    def test_round_trip_bit_exact(self, model_class, fitted_models,
+                                  tmp_path):
+        fitted = fitted_models[model_class]
+        path = save_model(fitted, tmp_path / model_class,
+                          model_class=model_class)
+        loaded = load_model(path)
+        assert loaded.model_class == model_class
+        assert loaded.schema_version == SCHEMA_VERSION
+        model = loaded.model
+        assert model.phi.dtype == np.float64
+        assert np.array_equal(model.phi, fitted.phi)
+        assert np.array_equal(model.theta, fitted.theta)
+        assert model.topic_labels == fitted.topic_labels
+        assert model.vocabulary == fitted.vocabulary
+        assert model.log_likelihoods == fitted.log_likelihoods
+        assert len(model.assignments) == len(fitted.assignments)
+        for a, b in zip(model.assignments, fitted.assignments):
+            assert np.array_equal(a, b)
+        _assert_metadata_equal(model.metadata, fitted.metadata)
+
+    @pytest.mark.parametrize("model_class", MODEL_CLASSES)
+    def test_manifest_hyperparameters(self, model_class, fitted_models,
+                                      tmp_path):
+        fitted = fitted_models[model_class]
+        path = save_model(fitted, tmp_path / model_class)
+        manifest = read_manifest(path)
+        hyper = manifest["hyperparameters"]
+        assert hyper["alpha"] == fitted.metadata["alpha"]
+        for key, value in fitted.metadata.items():
+            if isinstance(value, (bool, int, float, str)):
+                assert hyper[key] == value, key
+        assert manifest["num_topics"] == fitted.num_topics
+        assert manifest["vocabulary"] == list(fitted.vocabulary.words)
+        assert manifest["topic_labels"] == list(fitted.topic_labels)
+
+    def test_snapshot_metadata_round_trips_int_keys(self, fitted_models,
+                                                    tmp_path):
+        fitted = fitted_models["SourceLDA"]
+        loaded = load_model(save_model(fitted, tmp_path / "m"))
+        snapshots = loaded.model.metadata["snapshots"]
+        assert set(snapshots) == {1, 3}
+        assert np.array_equal(snapshots[3],
+                              fitted.metadata["snapshots"][3])
+
+    def test_refuses_overwrite(self, fitted_models, tmp_path):
+        fitted = fitted_models["LDA"]
+        save_model(fitted, tmp_path / "m")
+        with pytest.raises(ArtifactError, match="already exists"):
+            save_model(fitted, tmp_path / "m")
+        save_model(fitted, tmp_path / "m", overwrite=True)
+
+    def test_rejects_unserializable_metadata(self, fitted_models,
+                                             tmp_path):
+        fitted = fitted_models["LDA"]
+        bad = FittedTopicModel(
+            phi=fitted.phi, theta=fitted.theta,
+            assignments=fitted.assignments,
+            vocabulary=fitted.vocabulary,
+            metadata={"callback": lambda: None})
+        with pytest.raises(ArtifactError, match="cannot serialize"):
+            save_model(bad, tmp_path / "bad")
+
+    def test_rejects_object_dtype_metadata_array(self, fitted_models,
+                                                 tmp_path):
+        """An object array would pickle on save but be unloadable."""
+        fitted = fitted_models["LDA"]
+        bad = FittedTopicModel(
+            phi=fitted.phi, theta=fitted.theta,
+            assignments=fitted.assignments,
+            vocabulary=fitted.vocabulary,
+            metadata={"ragged": np.asarray([[1, 2], [3]], dtype=object)})
+        with pytest.raises(ArtifactError, match="object-dtype"):
+            save_model(bad, tmp_path / "bad")
+
+
+class TestManifestValidation:
+    def _saved(self, fitted_models, tmp_path):
+        return save_model(fitted_models["LDA"], tmp_path / "m")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ManifestError, match="no artifact manifest"):
+            load_model(tmp_path / "nowhere")
+
+    def test_rejects_newer_schema_version(self, fitted_models, tmp_path):
+        path = self._saved(fitted_models, tmp_path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 999
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ManifestError, match="newer than"):
+            load_model(path)
+
+    def test_rejects_invalid_schema_version(self, fitted_models,
+                                            tmp_path):
+        path = self._saved(fitted_models, tmp_path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["schema_version"] = "one"
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ManifestError, match="invalid schema_version"):
+            load_model(path)
+
+    def test_rejects_foreign_format(self, fitted_models, tmp_path):
+        path = self._saved(fitted_models, tmp_path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format"] = "someone/else"
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ManifestError,
+                           match=ARTIFACT_FORMAT.replace("/", ".")):
+            load_model(path)
+
+    def test_rejects_unparseable_manifest(self, fitted_models, tmp_path):
+        path = self._saved(fitted_models, tmp_path)
+        (path / "manifest.json").write_text("{not json")
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            load_model(path)
+
+    def test_missing_metadata_entry_loads_empty(self, fitted_models,
+                                                tmp_path):
+        path = self._saved(fitted_models, tmp_path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        del manifest["metadata"]
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        assert load_model(path).model.metadata == {}
+
+
+class TestModelRegistry:
+    def test_publish_resolve_versions(self, fitted_models, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        record1 = registry.publish("demo", fitted_models["LDA"],
+                                   model_class="LDA")
+        record2 = registry.publish("demo", fitted_models["EDA"],
+                                   model_class="EDA")
+        assert (record1.version, record2.version) == (1, 2)
+        assert registry.versions("demo") == [1, 2]
+        assert registry.names() == ["demo"]
+        assert registry.resolve("demo").version == 2
+        assert registry.resolve("demo", 1).path == record1.path
+        assert registry.load("demo").model_class == "EDA"
+        assert registry.load("demo", 1).model_class == "LDA"
+
+    def test_unknown_name_and_version(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        with pytest.raises(KeyError, match="no versions"):
+            registry.resolve("ghost")
+        with pytest.raises(ValueError, match="invalid model name"):
+            registry.publish("../escape", None)
+
+    def test_missing_version(self, fitted_models, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("demo", fitted_models["LDA"])
+        with pytest.raises(KeyError, match="no version 9"):
+            registry.resolve("demo", 9)
+
+    def test_republish_version_is_immutable(self, fitted_models,
+                                            tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("demo", fitted_models["LDA"])
+        with pytest.raises(ArtifactError, match="immutable"):
+            registry.publish("demo", fitted_models["LDA"], version=1)
+
+    def test_lru_cache_hits_and_eviction(self, fitted_models, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry", cache_size=2)
+        for name in ("a", "b", "c"):
+            registry.publish(name, fitted_models["LDA"])
+        first = registry.load("a")
+        assert registry.load("a") is first          # cache hit
+        registry.load("b")
+        registry.load("c")                          # evicts "a"
+        assert registry.cached_keys == (("b", 1), ("c", 1))
+        assert registry.load("a") is not first      # reloaded from disk
+        registry.clear_cache()
+        assert registry.cached_keys == ()
+
+    def test_cache_disabled(self, fitted_models, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry", cache_size=0)
+        registry.publish("demo", fitted_models["LDA"])
+        assert registry.load("demo") is not registry.load("demo")
+
+    def test_names_skips_clutter_directories(self, fitted_models,
+                                             tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("demo", fitted_models["LDA"])
+        (tmp_path / "registry" / ".cache").mkdir()
+        (tmp_path / "registry" / "not a model!").mkdir()
+        assert registry.names() == ["demo"]
+
+
+# ----------------------------------------------------------------------
+# Fold-in engine
+# ----------------------------------------------------------------------
+def _legacy_heldout_gibbs_theta(phi, corpus, alpha, iterations=30,
+                                rng=None):
+    """The pre-serving per-token loop, verbatim — the seed-pin oracle."""
+    phi = validate_phi(phi)
+    rng = ensure_rng(rng)
+    num_topics = phi.shape[0]
+    theta = np.empty((len(corpus), num_topics))
+    for index, doc in enumerate(corpus):
+        length = len(doc)
+        if length == 0:
+            theta[index] = 1.0 / num_topics
+            continue
+        assignments = rng.integers(0, num_topics, size=length)
+        doc_counts = np.bincount(assignments, minlength=num_topics) \
+            .astype(np.float64)
+        word_probs = phi[:, doc.word_ids].T
+        burn_in = min(max(1, iterations // 2), iterations - 1)
+        accumulated = np.zeros(num_topics)
+        samples = 0
+        for iteration in range(iterations):
+            for position in range(length):
+                topic = assignments[position]
+                doc_counts[topic] -= 1.0
+                weights = word_probs[position] * (doc_counts + alpha)
+                topic = categorical(weights, rng)
+                assignments[position] = topic
+                doc_counts[topic] += 1.0
+            if iteration >= burn_in:
+                accumulated += doc_counts
+                samples += 1
+        mean_counts = accumulated / max(samples, 1)
+        theta[index] = (mean_counts + alpha) / (length
+                                                + num_topics * alpha)
+    return theta
+
+
+@pytest.fixture
+def foldin_phi_and_corpus():
+    rng = np.random.default_rng(11)
+    num_topics, vocab_size = 6, 30
+    phi = rng.dirichlet(np.full(vocab_size, 0.4), size=num_topics)
+    vocab = Vocabulary(f"w{i}" for i in range(vocab_size))
+    id_lists = [rng.integers(0, vocab_size, size=n).tolist()
+                for n in (14, 0, 25, 1, 9)]
+    return phi, Corpus.from_word_id_lists(id_lists, vocab)
+
+
+class TestFoldInEngine:
+    @pytest.mark.parametrize("iterations", [1, 2, 7, 30])
+    def test_exact_lane_seed_pinned_to_legacy(self, iterations,
+                                              foldin_phi_and_corpus):
+        phi, corpus = foldin_phi_and_corpus
+        expected = _legacy_heldout_gibbs_theta(
+            phi, corpus, alpha=0.4, iterations=iterations, rng=99)
+        via_metric = heldout_gibbs_theta(
+            phi, corpus, alpha=0.4, iterations=iterations, rng=99)
+        engine = FoldInEngine(phi, alpha=0.4, iterations=iterations)
+        direct = engine.theta([doc.word_ids for doc in corpus], rng=99)
+        assert np.array_equal(expected, via_metric)
+        assert np.array_equal(expected, direct)
+
+    def test_batch_size_does_not_change_draws(self,
+                                              foldin_phi_and_corpus):
+        phi, corpus = foldin_phi_and_corpus
+        docs = [doc.word_ids for doc in corpus]
+        small = FoldInEngine(phi, 0.4, iterations=5, batch_size=1)
+        large = FoldInEngine(phi, 0.4, iterations=5, batch_size=64)
+        assert np.array_equal(small.theta(docs, rng=5),
+                              large.theta(docs, rng=5))
+
+    def test_engine_reuse_matches_fresh_engine(self,
+                                               foldin_phi_and_corpus):
+        """Buffer reuse across calls must not leak state between them."""
+        phi, corpus = foldin_phi_and_corpus
+        docs = [doc.word_ids for doc in corpus]
+        engine = FoldInEngine(phi, 0.4, iterations=5)
+        first = engine.theta(docs, rng=5)
+        again = engine.theta(docs, rng=5)
+        assert np.array_equal(first, again)
+
+    def test_sparse_lane_valid_and_close_to_exact(self,
+                                                  foldin_phi_and_corpus):
+        phi, corpus = foldin_phi_and_corpus
+        docs = [doc.word_ids for doc in corpus]
+        sparse = FoldInEngine(phi, 0.4, iterations=200, mode="sparse")
+        exact = FoldInEngine(phi, 0.4, iterations=200, mode="exact")
+        theta_sparse = sparse.theta(docs, rng=1)
+        theta_exact = exact.theta(docs, rng=1)
+        np.testing.assert_allclose(theta_sparse.sum(axis=1), 1.0)
+        assert np.all(theta_sparse > 0)
+        # Same conditional distribution, different draw association: the
+        # long-run averages agree to sampling noise.
+        assert np.abs(theta_sparse - theta_exact).max() < 0.12
+
+    def test_empty_document_is_uniform_prior(self,
+                                             foldin_phi_and_corpus):
+        phi, corpus = foldin_phi_and_corpus
+        for mode in ("exact", "sparse"):
+            engine = FoldInEngine(phi, 0.4, mode=mode)
+            theta = engine.theta([np.empty(0, dtype=np.int64)], rng=0)
+            np.testing.assert_allclose(theta[0], 1.0 / phi.shape[0])
+
+    def test_validation_errors(self, foldin_phi_and_corpus):
+        phi, _ = foldin_phi_and_corpus
+        with pytest.raises(ValueError, match="alpha"):
+            FoldInEngine(phi, alpha=0.0)
+        with pytest.raises(ValueError, match="iterations"):
+            FoldInEngine(phi, 0.4, iterations=0)
+        with pytest.raises(ValueError, match="mode"):
+            FoldInEngine(phi, 0.4, mode="warp")
+        with pytest.raises(ValueError, match="batch_size"):
+            FoldInEngine(phi, 0.4, batch_size=0)
+        with pytest.raises(ValueError, match="rows must sum"):
+            FoldInEngine(np.full((2, 4), 0.5), 0.4)
+        engine = FoldInEngine(phi, 0.4)
+        with pytest.raises(ValueError, match="outside the model"):
+            engine.theta([np.asarray([10_000])], rng=0)
+
+
+# ----------------------------------------------------------------------
+# Inference sessions
+# ----------------------------------------------------------------------
+class TestInferenceSession:
+    @pytest.fixture(scope="class")
+    def session_model(self, fitted_models):
+        return fitted_models["BijectiveSourceLDA"]
+
+    def test_serves_raw_text_batches(self, session_model):
+        session = InferenceSession(session_model, iterations=20, seed=0)
+        vocab_words = session.vocabulary.words
+        queries = [" ".join(vocab_words[:6]),
+                   " ".join(vocab_words[6:10])]
+        result = session.infer(queries)
+        assert result.theta.shape == (2, session.num_topics)
+        np.testing.assert_allclose(result.theta.sum(axis=1), 1.0)
+        assert result.num_tokens.tolist() == [6, 4]
+        assert result.num_oov.tolist() == [0, 0]
+
+    def test_oov_ignore_counts_and_uniform_fallback(self, session_model):
+        session = InferenceSession(session_model, seed=0)
+        known = session.vocabulary.words[0]
+        result = session.infer([f"{known} zzz-unknown qqq-unknown",
+                                "zzz-unknown qqq-unknown",
+                                ""])
+        assert result.num_oov.tolist() == [2, 2, 0]
+        assert result.num_tokens.tolist() == [1, 0, 0]
+        # OOV-only and empty documents fall back to the uniform prior.
+        np.testing.assert_allclose(result.theta[1],
+                                   1.0 / session.num_topics)
+        np.testing.assert_allclose(result.theta[2],
+                                   1.0 / session.num_topics)
+
+    def test_oov_error_policy(self, session_model):
+        session = InferenceSession(session_model, oov="error", seed=0)
+        with pytest.raises(KeyError, match="zzz-unknown"):
+            session.infer(["zzz-unknown"])
+
+    def test_pretokenized_input(self, session_model):
+        session = InferenceSession(session_model, seed=0)
+        tokens = list(session.vocabulary.words[:5])
+        result = session.infer([tokens])
+        assert result.num_tokens.tolist() == [5]
+
+    def test_top_topics_and_labels(self, session_model):
+        session = InferenceSession(session_model, iterations=20, seed=0)
+        labels = session_model.topic_labels
+        # Query text drawn from one topic's most probable words should
+        # rank that topic first.
+        topic = 2
+        words = [session.vocabulary.word(int(i))
+                 for i in session_model.top_word_ids(topic, 8)]
+        scores = session.top_topics([" ".join(words * 3)], top_n=3)[0]
+        assert len(scores) == 3
+        assert scores[0].topic == topic
+        assert scores[0].label == labels[topic]
+        assert scores[0].probability >= scores[1].probability
+        assert session.top_labels([" ".join(words * 3)]) \
+            == [labels[topic]]
+
+    def test_ranking_from_result_reuses_theta(self, session_model):
+        """Passing an InferenceResult ranks without re-sampling, so the
+        labels are consistent with the theta the caller holds."""
+        session = InferenceSession(session_model, iterations=10, seed=0)
+        words = session.vocabulary.words
+        result = session.infer([" ".join(words[:6]),
+                                " ".join(words[6:12])])
+        scores = session.top_topics(result, top_n=1)
+        for row, (top,) in zip(result.theta, scores):
+            assert top.topic == int(np.argmax(row))
+            assert top.probability == float(row.max())
+        # Same via a bare theta array, and stable across repeat calls.
+        assert session.top_topics(result.theta, top_n=1) == scores
+        assert session.top_topics(result, top_n=1) == scores
+        with pytest.raises(ValueError, match="theta must have shape"):
+            session.top_topics(np.zeros((2, 3)))
+
+    def test_top_labels_none_for_unlabeled_model(self, fitted_models):
+        session = InferenceSession(fitted_models["LDA"], seed=0)
+        word = session.vocabulary.words[0]
+        assert session.top_labels([word]) == [None]
+
+    def test_session_from_loaded_model_matches_fitted(self, fitted_models,
+                                                      tmp_path):
+        fitted = fitted_models["BijectiveSourceLDA"]
+        loaded = load_model(save_model(fitted, tmp_path / "m"))
+        queries = [" ".join(fitted.vocabulary.words[:8])]
+        theta_fitted = InferenceSession(fitted, seed=4).theta(queries)
+        theta_loaded = InferenceSession(loaded, seed=4).theta(queries)
+        assert np.array_equal(theta_fitted, theta_loaded)
+
+    def test_alpha_defaults_to_fit_metadata(self, session_model):
+        session = InferenceSession(session_model)
+        assert session.alpha == session_model.metadata["alpha"]
+
+    def test_invalid_arguments(self, session_model):
+        with pytest.raises(ValueError, match="oov"):
+            InferenceSession(session_model, oov="explode")
+        with pytest.raises(TypeError, match="FittedTopicModel"):
+            InferenceSession("not a model")
+
+    def test_bare_string_batch_rejected(self, session_model):
+        session = InferenceSession(session_model, seed=0)
+        with pytest.raises(TypeError, match="bare string"):
+            session.infer("a single query passed without a list")
