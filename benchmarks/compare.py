@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Gate the perf job: diff fresh bench results against committed ones.
+
+Every bench writes a machine-readable ``benchmarks/results/<name>.json``
+(schema ``repro.benchmarks/result``: ``metrics`` + ``params``).  This
+tool compares a freshly generated results directory against the
+committed baseline and **exits nonzero when any throughput metric
+regressed by more than the threshold** — turning
+``pytest benchmarks -m bench`` from a log into a gate::
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench \
+        --benchmark-disable -q    # writes fresh results in place, or
+                                  # copy baselines aside first
+    python benchmarks/compare.py <fresh-dir> \
+        --baseline benchmarks/results --threshold 0.3
+
+Only throughput-shaped metrics gate (key paths containing
+``per_second`` / ``per_sec`` — docs/sec, tokens/sec), where *lower is
+worse* is unambiguous; quality metrics (accuracy, divergence,
+perplexity) have their own asserts inside the benches.  Fresh files
+missing a committed counterpart (new benches) and vice versa (retired
+benches) are reported but never fail the gate; having **no**
+comparable metric at all exits 2, so a misconfigured CI path cannot
+masquerade as a pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Metric key-path fragments treated as higher-is-better throughput.
+THROUGHPUT_MARKERS = ("per_second", "per_sec")
+
+#: Default tolerated fractional drop (bench timings are noisy on
+#: shared CI machines; sustained regressions larger than this are real).
+DEFAULT_THRESHOLD = 0.30
+
+
+def throughput_metrics(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten ``payload["metrics"]`` to ``path -> value`` rows, keeping
+    only finite numeric leaves on a throughput-marked path."""
+    tree = payload.get("metrics", {}) if not prefix else payload
+    flat: dict[str, float] = {}
+    if not isinstance(tree, dict):
+        return flat
+    for key, value in tree.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(throughput_metrics(value, path))
+        elif isinstance(value, (int, float)) \
+                and not isinstance(value, bool) \
+                and any(marker in path for marker in THROUGHPUT_MARKERS):
+            flat[path] = float(value)
+    return flat
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One baseline-vs-fresh throughput metric."""
+
+    bench: str
+    metric: str
+    baseline: float
+    fresh: float
+
+    @property
+    def ratio(self) -> float:
+        return self.fresh / self.baseline if self.baseline else float("inf")
+
+    def regressed(self, threshold: float) -> bool:
+        return self.baseline > 0 and self.ratio < 1.0 - threshold
+
+
+def load_result(path: Path) -> dict | None:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def compare_dirs(baseline_dir: Path, fresh_dir: Path
+                 ) -> tuple[list[Comparison], list[str]]:
+    """All throughput comparisons between two results directories, plus
+    the names skipped because one side is missing/unreadable."""
+    comparisons: list[Comparison] = []
+    skipped: list[str] = []
+    for baseline_path in sorted(baseline_dir.glob("*.json")):
+        name = baseline_path.stem
+        fresh_path = fresh_dir / baseline_path.name
+        baseline = load_result(baseline_path)
+        fresh = load_result(fresh_path) if fresh_path.is_file() else None
+        if baseline is None or fresh is None:
+            skipped.append(name)
+            continue
+        base_metrics = throughput_metrics(baseline)
+        fresh_metrics = throughput_metrics(fresh)
+        for metric, value in sorted(base_metrics.items()):
+            if metric in fresh_metrics:
+                comparisons.append(Comparison(
+                    bench=name, metric=metric, baseline=value,
+                    fresh=fresh_metrics[metric]))
+    return comparisons, skipped
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when fresh bench throughput regresses vs the "
+                    "committed baseline.")
+    parser.add_argument("fresh", type=Path,
+                        help="directory of freshly generated *.json "
+                             "bench results")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).parent / "results",
+                        help="committed results directory "
+                             "(default: benchmarks/results)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="tolerated fractional throughput drop "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+    if not args.baseline.is_dir():
+        print(f"baseline directory {args.baseline} does not exist",
+              file=sys.stderr)
+        return 2
+    if not args.fresh.is_dir():
+        print(f"fresh directory {args.fresh} does not exist",
+              file=sys.stderr)
+        return 2
+    comparisons, skipped = compare_dirs(args.baseline, args.fresh)
+    if not comparisons:
+        print("no comparable throughput metrics found — check the "
+              "directories", file=sys.stderr)
+        return 2
+    regressions = [c for c in comparisons
+                   if c.regressed(args.threshold)]
+    width = max(len(f"{c.bench}:{c.metric}") for c in comparisons)
+    for comparison in comparisons:
+        flag = "REGRESSED" if comparison in regressions else "ok"
+        print(f"{comparison.bench + ':' + comparison.metric:<{width}}  "
+              f"base {comparison.baseline:>12.3f}  "
+              f"fresh {comparison.fresh:>12.3f}  "
+              f"x{comparison.ratio:.3f}  {flag}")
+    for name in skipped:
+        print(f"{name}: skipped (missing or unreadable on one side)")
+    if regressions:
+        print(f"\n{len(regressions)} throughput metric(s) regressed "
+              f"more than {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(comparisons)} throughput metrics within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,13 @@
 """Serve a trained model: fit -> save -> load -> batched inference.
 
 Fits Source-LDA on a tiny corpus, publishes the fitted model into a
-versioned registry, reloads it in a "serving process", and answers
+versioned registry as a schema-v2 artifact (uncompressed, mappable
+phi), reloads it memory-mapped in a "serving process", and answers
 batched topic queries for raw, unseen text — including out-of-vocabulary
-words, which the session drops and reports.
+words, which the session drops and reports.  The worker-sharded session
+(`num_workers`) answers bit-identically at every worker count, so the
+single-worker run below is exactly what a multi-process deployment
+would serve.
 
 Run:  python examples/save_load_serve.py
 """
@@ -46,19 +50,25 @@ def main() -> None:
         corpus, iterations=150, seed=7)
 
     with tempfile.TemporaryDirectory() as root:
-        # Training process: publish the fitted model.
+        # Training process: publish the fitted model.  mmap_phi writes
+        # the schema-v2 artifact whose phi serving workers can share.
         registry = ModelRegistry(root)
         record = registry.publish("everyday-topics", fitted,
-                                  model_class="SourceLDA")
+                                  model_class="SourceLDA",
+                                  mmap_phi=True)
         print(f"published {record.name} v{record.version} "
               f"-> {record.path.name}/")
 
-        # Serving process: resolve latest, reload, answer queries.
-        loaded = ModelRegistry(root).load("everyday-topics")
-        session = InferenceSession(loaded, iterations=40, seed=0)
-        result = session.infer(QUERIES)
-        # Rank from the result we already have — no second fold-in.
-        top = session.top_topics(result, top_n=1)
+        # Serving process: resolve latest, reload with a memory-mapped
+        # phi, answer queries.  num_workers > 1 shards the batch over
+        # processes that map the same phi file — same bits, more cores.
+        loaded = ModelRegistry(root).load("everyday-topics",
+                                          mmap_phi=True)
+        with InferenceSession(loaded, iterations=40, seed=0,
+                              num_workers=1) as session:
+            result = session.infer(QUERIES)
+            # Rank from the result we already have — no second fold-in.
+            top = session.top_topics(result, top_n=1)
 
         print("\nquery -> dominant topic (in-vocab/OOV tokens):")
         for i, query in enumerate(QUERIES):

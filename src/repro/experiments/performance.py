@@ -453,6 +453,138 @@ def run_serving_throughput(num_source_topics: int = 40,
                              model_class="BijectiveSourceLDA")
 
 
+@dataclass(frozen=True)
+class ParallelServingRow:
+    """Serving throughput at one worker count."""
+
+    num_workers: int
+    docs_per_second: float
+    tokens_per_second: float
+
+
+@dataclass
+class ParallelServing:
+    rows: list[ParallelServingRow]
+    deterministic: bool
+    """Same seed ⇒ bit-identical theta across every worker count AND
+    across a v1 (in-memory) vs v2 (mmap) artifact load."""
+    phi_mmapped: bool
+    num_cores: int
+    num_topics: int
+    num_query_documents: int
+    query_document_length: int
+    foldin_iterations: int
+    mode: str
+
+
+def run_parallel_serving(num_source_topics: int = 40,
+                         vocab_size: int = 300,
+                         num_train_documents: int = 40,
+                         train_document_length: int = 80,
+                         train_iterations: int = 15,
+                         num_query_documents: int = 64,
+                         query_document_length: int = 40,
+                         foldin_iterations: int = 20,
+                         worker_counts: tuple[int, ...] = (1, 2, 4),
+                         mode: str = "sparse",
+                         seed: int = 0) -> ParallelServing:
+    """Worker-sharded serving: docs/sec at several worker counts, plus
+    the determinism contract of :mod:`repro.serving.parallel`.
+
+    The model is persisted twice — a v1 artifact (phi inside the
+    compressed npz) and a schema-v2 artifact whose uncompressed phi
+    member is memory-mapped — and both must serve bit-identical theta
+    on a fixed seed at *every* worker count (per-document RNG streams
+    make shard boundaries invisible).  Throughput rows time the v2/mmap
+    path end to end, worker pool spin-up excluded (a warm-up batch
+    spawns it, as a long-lived server would).
+    """
+    import tempfile
+
+    from repro.serving import (InferenceSession, available_cpus,
+                               load_model, save_model)
+
+    source = random_topic_source(num_source_topics,
+                                 vocab_size=vocab_size,
+                                 article_length=80, seed=seed)
+    vocabulary = source.vocabulary().freeze()
+    rng = ensure_rng(seed)
+    id_lists = [rng.integers(0, len(vocabulary),
+                             size=train_document_length).tolist()
+                for _ in range(num_train_documents)]
+    corpus = Corpus.from_word_id_lists(id_lists, vocabulary)
+    fitted = BijectiveSourceLDA(source, alpha=0.5).fit(
+        corpus, iterations=train_iterations, seed=seed)
+
+    lexicon = make_lexicon(vocab_size, seed=seed)
+    pmf = zipf_probabilities(vocab_size)
+    queries = [" ".join(
+        lexicon[i] for i in rng.choice(vocab_size,
+                                       size=query_document_length, p=pmf))
+        for _ in range(num_query_documents)]
+
+    rows = []
+    deterministic = True
+    reference_theta = None
+    with tempfile.TemporaryDirectory() as tmp:
+        save_model(fitted, f"{tmp}/v1", model_class="BijectiveSourceLDA")
+        save_model(fitted, f"{tmp}/v2", model_class="BijectiveSourceLDA",
+                   mmap_phi=True)
+        loaded_v1 = load_model(f"{tmp}/v1")
+        loaded_v2 = load_model(f"{tmp}/v2", mmap_phi=True)
+        for workers in worker_counts:
+            with InferenceSession(loaded_v2,
+                                  iterations=foldin_iterations,
+                                  mode=mode, seed=seed,
+                                  num_workers=workers) as session:
+                session.theta(queries[:4])  # warm-up: pool + buffers
+                start = perf_counter()
+                result = session.infer(queries)
+                elapsed = perf_counter() - start
+            rows.append(ParallelServingRow(
+                num_workers=workers,
+                docs_per_second=num_query_documents / elapsed,
+                tokens_per_second=float(result.num_tokens.sum())
+                / elapsed))
+            # Determinism probe at this worker count: fixed seed 123,
+            # both artifact flavors.
+            for loaded in (loaded_v1, loaded_v2):
+                with InferenceSession(loaded,
+                                      iterations=foldin_iterations,
+                                      mode=mode, seed=123,
+                                      num_workers=workers) as probe:
+                    theta = probe.theta(queries)
+                if reference_theta is None:
+                    reference_theta = theta
+                elif not np.array_equal(reference_theta, theta):
+                    deterministic = False
+        phi_mmapped = loaded_v2.phi_mmapped
+    return ParallelServing(rows=rows, deterministic=deterministic,
+                           phi_mmapped=phi_mmapped,
+                           num_cores=available_cpus(),
+                           num_topics=fitted.num_topics,
+                           num_query_documents=num_query_documents,
+                           query_document_length=query_document_length,
+                           foldin_iterations=foldin_iterations,
+                           mode=mode)
+
+
+def format_parallel_serving(result: ParallelServing) -> str:
+    table = format_table(
+        ["workers", "docs/sec", "tokens/sec"],
+        [[row.num_workers, row.docs_per_second, row.tokens_per_second]
+         for row in result.rows],
+        title=(f"Parallel serving - T={result.num_topics}, "
+               f"{result.num_query_documents} query docs x "
+               f"{result.query_document_length} tokens, "
+               f"{result.foldin_iterations} fold-in sweeps, "
+               f"mode={result.mode}, {result.num_cores} core(s)"))
+    return (f"{table}\n"
+            f"theta bit-identical across workers and v1-vs-mmap-v2: "
+            f"{result.deterministic}\n"
+            f"v2 phi served from mmap: {result.phi_mmapped}")
+
+
 def format_serving_throughput(result: ServingThroughput) -> str:
     table = format_table(
         ["batch size", "docs/sec", "tokens/sec"],

@@ -10,6 +10,8 @@ reference; ``"sparse"`` is the SparseLDA-style bucketed sampler of
 equivalent (kernels without a sparse path fall back to the fast engine).
 """
 
+from repro.sampling.alias import (alias_draw, build_alias_rows,
+                                  build_alias_table)
 from repro.sampling.fast_engine import FastKernelPath, FastSweepEngine
 from repro.sampling.gibbs import (ENGINES, CollapsedGibbsSampler,
                                   TopicWeightKernel,
@@ -18,7 +20,9 @@ from repro.sampling.gibbs import (ENGINES, CollapsedGibbsSampler,
 from repro.sampling.integration import DEFAULT_STEPS, LambdaGrid
 from repro.sampling.parallel import WorkerPool, chunk_bounds
 from repro.sampling.prefix_sums import PrefixSumScan, blelloch_exclusive_scan
-from repro.sampling.rng import categorical, ensure_rng
+from repro.sampling.rng import (categorical, document_rng,
+                                document_seed_sequence, ensure_rng,
+                                ensure_seed_sequence)
 from repro.sampling.scans import ScanStrategy, SerialScan
 from repro.sampling.simple_parallel import (SimpleParallelScan,
                                             blocked_inclusive_scan)
@@ -41,11 +45,17 @@ __all__ = [
     "SparseSweepEngine",
     "TopicWeightKernel",
     "WorkerPool",
+    "alias_draw",
     "asymmetric_dirichlet_log_likelihood",
     "blelloch_exclusive_scan",
     "blocked_inclusive_scan",
+    "build_alias_rows",
+    "build_alias_table",
     "categorical",
     "chunk_bounds",
+    "document_rng",
+    "document_seed_sequence",
     "ensure_rng",
+    "ensure_seed_sequence",
     "symmetric_dirichlet_log_likelihood",
 ]

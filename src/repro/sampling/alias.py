@@ -1,0 +1,116 @@
+"""Walker alias tables for O(1) categorical draws from frozen weights.
+
+A categorical draw over ``n`` fixed weights normally costs a cumulative
+sum plus a binary search — O(n) to build per draw, O(log n) to search.
+When the weights never change (a frozen ``phi`` column at serving time,
+a static prior), Walker's alias method precomputes two length-``n``
+tables once and answers every subsequent draw in O(1) from a single
+uniform: split ``u * n`` into a cell index and an in-cell fraction,
+keep the cell if the fraction clears its acceptance probability, else
+take the cell's alias.
+
+The split trick (one uniform providing both the cell and the coin)
+keeps RNG consumption identical to the cumulative-sum draw it replaces
+— one uniform per draw — so swapping the two lanes never shifts a
+shared random stream.
+
+Construction is Vose's stable O(n) two-stack variant.  Zero-weight
+entries are valid (they end up with zero acceptance mass); an all-zero
+row yields a table that never gets sampled by a correct caller, marked
+so :func:`alias_draw` can fail loudly instead of returning garbage.
+
+The pairing loop is interpreted Python (its surplus bookkeeping is
+data-dependent, unlike the single ``np.cumsum`` a binary-search lane
+precomputes), so building tables for a whole vocabulary costs a larger
+constant than the cumulative sums they replace — a one-time engine
+(cold-start) cost, paid once per process and inherited copy-on-write
+by forked serving workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["build_alias_table", "build_alias_rows", "alias_draw"]
+
+
+def build_alias_table(weights: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Alias tables ``(accept, alias)`` for one non-negative weight row.
+
+    ``accept[j]`` is the probability of keeping cell ``j`` when the
+    scaled uniform lands in it; ``alias[j]`` the index drawn otherwise.
+    All-zero rows return ``accept`` of all ``-1`` — a poison marker
+    that makes :func:`alias_draw` raise rather than silently draw from
+    a distribution with no mass.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1:
+        raise ValueError(f"weights must be 1-d, got shape {weights.shape}")
+    if weights.shape[0] == 0:
+        raise ValueError("weights must be non-empty")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ValueError("weights must be finite and non-negative")
+    n = weights.shape[0]
+    total = float(weights.sum())
+    alias = np.arange(n, dtype=np.int64)
+    if total <= 0.0:
+        return np.full(n, -1.0), alias
+    # Vose: scale to mean 1, then repeatedly pair a deficient cell with
+    # a surplus one; each pairing finalizes the deficient cell.
+    scaled = weights * (n / total)
+    accept = np.ones(n)
+    small = [j for j in range(n) if scaled[j] < 1.0]
+    large = [j for j in range(n) if scaled[j] >= 1.0]
+    scaled = scaled.tolist()
+    while small and large:
+        lo = small.pop()
+        hi = large.pop()
+        accept[lo] = scaled[lo]
+        alias[lo] = hi
+        scaled[hi] -= 1.0 - scaled[lo]
+        (small if scaled[hi] < 1.0 else large).append(hi)
+    # Float residue: whatever is left keeps its full cell.
+    for j in small:
+        accept[j] = 1.0
+    for j in large:
+        accept[j] = 1.0
+    return accept, alias
+
+
+def build_alias_rows(weight_rows: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked alias tables for a ``(rows, n)`` weight matrix.
+
+    Returns ``(accept, alias)`` of the same shape — one table per row,
+    e.g. one per vocabulary word over the topics of a frozen ``phi``.
+    """
+    weight_rows = np.asarray(weight_rows, dtype=np.float64)
+    if weight_rows.ndim != 2:
+        raise ValueError(
+            f"weight_rows must be 2-d, got shape {weight_rows.shape}")
+    accept = np.empty_like(weight_rows)
+    alias = np.empty(weight_rows.shape, dtype=np.int64)
+    for row in range(weight_rows.shape[0]):
+        accept[row], alias[row] = build_alias_table(weight_rows[row])
+    return accept, alias
+
+
+def alias_draw(accept: np.ndarray, alias: np.ndarray, u: float) -> int:
+    """O(1) categorical draw from one alias table and a uniform ``u``.
+
+    ``u`` must lie in ``[0, 1)``; both the cell index and the
+    keep-or-alias coin come out of it, so the caller spends exactly one
+    uniform per draw.
+    """
+    n = accept.shape[0]
+    scaled = u * n
+    j = int(scaled)
+    if j >= n:  # u rounded up to 1.0 by float error
+        j = n - 1
+    threshold = accept[j]
+    if threshold < 0.0:
+        raise ValueError(
+            "alias table was built from all-zero weights; the caller "
+            "should never route a draw here")
+    return j if (scaled - j) < threshold else int(alias[j])

@@ -24,6 +24,48 @@ def ensure_rng(seed_or_rng: int | np.random.Generator | None
     return np.random.default_rng(seed_or_rng)
 
 
+def ensure_seed_sequence(seed: int | np.random.SeedSequence
+                         | np.random.Generator | None
+                         ) -> np.random.SeedSequence:
+    """Return a ``SeedSequence`` for spawning independent child streams.
+
+    Accepts an integer seed, an existing ``SeedSequence`` (returned
+    unchanged), a ``Generator`` (one integer is drawn from it as the
+    entropy, advancing the generator once), or ``None`` for fresh OS
+    entropy.  The result is the root that :func:`document_rng` derives
+    per-document streams from.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(2**63)))
+    return np.random.SeedSequence(seed)
+
+
+def document_seed_sequence(root: np.random.SeedSequence,
+                           index: int) -> np.random.SeedSequence:
+    """The child ``SeedSequence`` for document ``index`` under ``root``.
+
+    Equivalent to ``root.spawn(index + 1)[index]`` but stateless and
+    order-independent: the child is keyed by ``root.spawn_key + (index,)``
+    alone, so any worker can derive any document's stream without
+    coordinating spawn order — the property that makes worker-sharded
+    fold-in bit-identical at every worker count.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=tuple(root.spawn_key) + (index,),
+        pool_size=root.pool_size)
+
+
+def document_rng(root: np.random.SeedSequence,
+                 index: int) -> np.random.Generator:
+    """A ``Generator`` on document ``index``'s independent stream."""
+    return np.random.default_rng(document_seed_sequence(root, index))
+
+
 def categorical(weights: np.ndarray, rng: np.random.Generator) -> int:
     """Draw an index proportional to non-negative ``weights``.
 

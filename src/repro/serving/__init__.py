@@ -24,11 +24,17 @@ Quickstart::
     result = session.infer(["oil prices rose sharply", ...])
 """
 
-from repro.serving.artifacts import (ARTIFACT_FORMAT, SCHEMA_VERSION,
-                                     ArtifactError, LoadedModel,
-                                     ManifestError, load_model,
-                                     read_manifest, save_model)
-from repro.serving.foldin import FoldInEngine, validate_phi
+from repro.serving.artifacts import (ARTIFACT_FORMAT,
+                                     PHI_MEMBER_FILENAME,
+                                     SCHEMA_VERSION, ArtifactError,
+                                     LoadedModel, ManifestError,
+                                     load_model, read_manifest,
+                                     save_model)
+from repro.serving.foldin import (FoldInEngine, FoldInScratch,
+                                  validate_phi)
+from repro.serving.parallel import (EngineSpec, ParallelFoldIn,
+                                    available_cpus,
+                                    default_num_workers)
 from repro.serving.registry import ModelRecord, ModelRegistry
 from repro.serving.session import (InferenceResult, InferenceSession,
                                    TopicScore)
@@ -36,15 +42,21 @@ from repro.serving.session import (InferenceResult, InferenceSession,
 __all__ = [
     "ARTIFACT_FORMAT",
     "ArtifactError",
+    "EngineSpec",
     "FoldInEngine",
+    "FoldInScratch",
     "InferenceResult",
     "InferenceSession",
     "LoadedModel",
     "ManifestError",
     "ModelRecord",
     "ModelRegistry",
+    "PHI_MEMBER_FILENAME",
+    "ParallelFoldIn",
     "SCHEMA_VERSION",
     "TopicScore",
+    "available_cpus",
+    "default_num_workers",
     "load_model",
     "read_manifest",
     "save_model",

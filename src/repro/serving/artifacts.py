@@ -12,11 +12,24 @@ An *artifact* is one directory holding everything needed to reload a
     Compressed, lossless NumPy arrays: ``phi``, ``theta``, the flattened
     per-token assignments plus document lengths, the log-likelihood
     trace, and every array-valued metadata entry.
+``phi_word_major.npy`` (schema v2, optional)
+    ``save_model(..., mmap_phi=True)`` externalizes ``phi`` out of the
+    compressed archive into an **uncompressed** ``.npy`` holding its
+    word-major ``(V, T)`` transpose.  Zip members can never be
+    memory-mapped, but a bare ``.npy`` can: serving workers
+    ``np.load(..., mmap_mode="r")`` it and the OS page cache keeps one
+    physical copy of a large model for the whole worker fleet.  The
+    word-major layout is exactly what the fold-in engine gathers from,
+    so serving from the map is copy-free; ``.T`` restores the canonical
+    ``(T, V)`` phi as a zero-copy view, bit-identical to what was saved.
 
 The manifest is the compatibility surface: :func:`load_model` refuses
 artifacts whose ``schema_version`` is newer than this build understands
 (and anything that is not an artifact at all), so stale servers fail
-loudly instead of misreading future layouts.  All six model classes
+loudly instead of misreading future layouts.  Writers record the
+*minimum* version their layout needs — v1 when everything lives in the
+``.npz`` (readable by every release of this library), v2 only when phi
+is externalized — and this build reads both.  All six model classes
 (LDA, EDA, CTM and the Source-LDA family) round-trip through the same
 two functions — the model class is recorded as a name, not pickled, so
 artifacts stay portable and auditable.
@@ -25,6 +38,7 @@ artifacts stay portable and auditable.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -34,13 +48,18 @@ import numpy as np
 from repro.models.base import FittedTopicModel
 from repro.text.vocabulary import Vocabulary
 
-#: Current artifact schema version; bump on layout changes.
-SCHEMA_VERSION = 1
+#: Newest artifact schema version this build reads; bump on layout
+#: changes.  Writers stamp the minimum version their layout needs
+#: (1 = everything in the npz, 2 = phi externalized for mmap).
+SCHEMA_VERSION = 2
 #: Format tag distinguishing artifacts from arbitrary JSON + NPZ pairs.
 ARTIFACT_FORMAT = "repro.serving/model-artifact"
 
 MANIFEST_FILENAME = "manifest.json"
 ARRAYS_FILENAME = "arrays.npz"
+#: The v2 uncompressed phi member — ``phi.T`` as a contiguous ``(V, T)``
+#: array, written by ``save_model(..., mmap_phi=True)``.
+PHI_MEMBER_FILENAME = "phi_word_major.npy"
 
 #: Reserved npz keys for the model's own arrays; metadata arrays get
 #: generated ``meta_<n>`` keys that never collide with these.
@@ -146,7 +165,8 @@ def _scalar_hyperparameters(metadata: dict[str, Any]) -> dict[str, Any]:
 # ----------------------------------------------------------------------
 def save_model(model: FittedTopicModel, path: str | Path,
                model_class: str | None = None,
-               overwrite: bool = False) -> Path:
+               overwrite: bool = False,
+               mmap_phi: bool = False) -> Path:
     """Persist ``model`` as a versioned artifact directory at ``path``.
 
     Parameters
@@ -159,6 +179,12 @@ def save_model(model: FittedTopicModel, path: str | Path,
         descriptive, never executed on load.
     overwrite:
         Refuse to clobber an existing artifact unless set.
+    mmap_phi:
+        Externalize ``phi`` as the uncompressed word-major
+        ``phi_word_major.npy`` member (schema v2) so serving workers
+        can memory-map one shared copy; everything else stays in the
+        compressed ``.npz``.  Costs disk (phi no longer compresses)
+        and buys zero-copy multi-process loading.
 
     Returns the artifact directory path.
     """
@@ -178,7 +204,9 @@ def save_model(model: FittedTopicModel, path: str | Path,
     vocabulary = model.vocabulary
     manifest = {
         "format": ARTIFACT_FORMAT,
-        "schema_version": SCHEMA_VERSION,
+        # The minimum version that can describe this layout, so v1-only
+        # readers keep loading artifacts that never asked for mmap.
+        "schema_version": 2 if mmap_phi else 1,
         "model_class": model_class,
         "num_topics": model.num_topics,
         "num_documents": model.num_documents,
@@ -191,26 +219,50 @@ def save_model(model: FittedTopicModel, path: str | Path,
         "hyperparameters": _scalar_hyperparameters(model.metadata),
         "metadata": metadata_tree,
     }
+    if mmap_phi:
+        manifest["phi_storage"] = {"member": PHI_MEMBER_FILENAME,
+                                   "layout": "word_major"}
     if len(vocabulary) != model.vocab_size:
         raise ArtifactError(
             f"vocabulary has {len(vocabulary)} words but phi covers "
             f"{model.vocab_size}")
-    # Write-then-rename (manifest last) so an overwrite interrupted
-    # mid-save never leaves a new-arrays/old-manifest hybrid that loads
-    # without error.
+    # Crash discipline: stage everything in tmp files first, then — only
+    # when overwriting — unlink the old manifest *before* swapping data
+    # files in, and write the new manifest *last*.  A crash anywhere in
+    # the swap window leaves a manifest-less directory that fails loudly
+    # ("no artifact manifest"), never a loadable hybrid mixing one
+    # model's phi with another's theta/arrays.  The invalid window spans
+    # only the final renames; readers of the *old* artifact are the
+    # accepted casualty of overwrite=True.
     arrays_tmp = path / (ARRAYS_FILENAME + ".tmp")
     manifest_tmp = path / (MANIFEST_FILENAME + ".tmp")
+    phi_member = path / PHI_MEMBER_FILENAME
+    model_arrays = {
+        "theta": model.theta,
+        "assignments_flat": flat.astype(np.int64),
+        "assignment_lengths": lengths,
+        "log_likelihoods": np.asarray(model.log_likelihoods,
+                                      dtype=np.float64),
+    }
+    if not mmap_phi:
+        model_arrays["phi"] = model.phi
     with open(arrays_tmp, "wb") as handle:
-        np.savez_compressed(
-            handle,
-            phi=model.phi,
-            theta=model.theta,
-            assignments_flat=flat.astype(np.int64),
-            assignment_lengths=lengths,
-            log_likelihoods=np.asarray(model.log_likelihoods,
-                                       dtype=np.float64),
-            **arrays)
+        np.savez_compressed(handle, **model_arrays, **arrays)
+    phi_tmp = path / (PHI_MEMBER_FILENAME + ".tmp")
+    if mmap_phi:
+        with open(phi_tmp, "wb") as handle:
+            np.save(handle, np.ascontiguousarray(
+                np.asarray(model.phi, dtype=np.float64).T))
     manifest_tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    # --- swap window: old manifest gone first, new manifest last ---
+    if manifest_path.exists():
+        manifest_path.unlink()
+    if mmap_phi:
+        phi_tmp.replace(phi_member)
+    elif phi_member.exists():
+        # Overwriting a v2 artifact with a v1 layout: drop the stale
+        # member so nothing can ever mmap an outdated phi.
+        phi_member.unlink()
     arrays_tmp.replace(path / ARRAYS_FILENAME)
     manifest_tmp.replace(manifest_path)
     return path
@@ -218,13 +270,23 @@ def save_model(model: FittedTopicModel, path: str | Path,
 
 @dataclass(frozen=True)
 class LoadedModel:
-    """A reloaded artifact: the fitted model plus its manifest facts."""
+    """A reloaded artifact: the fitted model plus its manifest facts.
+
+    ``phi_path`` points at the artifact's uncompressed word-major phi
+    member when the artifact has one (schema v2); serving layers hand
+    it to worker processes so each can map the same file.
+    ``phi_mmapped`` records whether this load actually mapped it
+    (``load_model(..., mmap_phi=True)``) rather than reading it into
+    memory.
+    """
 
     model: FittedTopicModel
     model_class: str | None
     schema_version: int
     path: Path
     manifest: dict[str, Any]
+    phi_path: Path | None = None
+    phi_mmapped: bool = False
 
 
 def read_manifest(path: str | Path) -> dict[str, Any]:
@@ -259,23 +321,59 @@ def read_manifest(path: str | Path) -> dict[str, Any]:
     return manifest
 
 
-def load_model(path: str | Path) -> LoadedModel:
+def load_model(path: str | Path, mmap_phi: bool = False) -> LoadedModel:
     """Reload an artifact written by :func:`save_model`.
 
     ``phi``/``theta``/assignments/labels/metadata are restored bit-exact
-    (float64 arrays round-trip losslessly through the ``.npz``).
+    (float64 arrays round-trip losslessly through the ``.npz``; the v2
+    uncompressed phi member is lossless by construction).
+
+    With ``mmap_phi=True`` and a schema-v2 artifact, ``model.phi``
+    becomes a read-only zero-copy view of the memory-mapped member, so
+    any number of processes loading the same artifact share one
+    physical copy.  v1 artifacts (phi inside the ``.npz``, which can
+    never be mapped) still load, falling back to an in-memory phi with
+    a warning.
     """
     path = Path(path)
     manifest = read_manifest(path)
     arrays_path = path / ARRAYS_FILENAME
     if not arrays_path.is_file():
         raise ArtifactError(f"artifact arrays missing at {arrays_path}")
+    phi_storage = manifest.get("phi_storage")
+    phi_path: Path | None = None
+    if phi_storage is not None:
+        if not isinstance(phi_storage, dict) \
+                or phi_storage.get("layout") != "word_major" \
+                or not isinstance(phi_storage.get("member"), str):
+            raise ManifestError(
+                f"artifact manifest has unsupported phi_storage "
+                f"{phi_storage!r}")
+        phi_path = path / phi_storage["member"]
+        if not phi_path.is_file():
+            raise ArtifactError(
+                f"artifact phi member missing at {phi_path}")
+    elif mmap_phi:
+        warnings.warn(
+            f"artifact at {path} stores phi inside the compressed "
+            f"archive (schema v1), which cannot be memory-mapped; "
+            f"loading phi into memory instead — re-save with "
+            f"mmap_phi=True for a mappable artifact",
+            RuntimeWarning, stacklevel=2)
+        mmap_phi = False
+    required = tuple(key for key in _MODEL_ARRAY_KEYS
+                     if key != "phi" or phi_path is None)
     with np.load(arrays_path) as arrays:
-        missing = [key for key in _MODEL_ARRAY_KEYS if key not in arrays]
+        missing = [key for key in required if key not in arrays]
         if missing:
             raise ArtifactError(
                 f"artifact arrays at {arrays_path} are missing {missing}")
-        phi = arrays["phi"]
+        if phi_path is None:
+            phi = arrays["phi"]
+        else:
+            word_major = np.load(
+                phi_path, mmap_mode="r" if mmap_phi else None)
+            phi = word_major.T  # canonical (T, V); zero-copy view
         theta = arrays["theta"]
         flat = arrays["assignments_flat"]
         lengths = arrays["assignment_lengths"]
@@ -305,4 +403,6 @@ def load_model(path: str | Path) -> LoadedModel:
     return LoadedModel(model=model,
                        model_class=manifest.get("model_class"),
                        schema_version=int(manifest["schema_version"]),
-                       path=path, manifest=manifest)
+                       path=path, manifest=manifest,
+                       phi_path=phi_path,
+                       phi_mmapped=bool(mmap_phi and phi_path is not None))

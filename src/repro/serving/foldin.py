@@ -16,16 +16,25 @@ per-token Python loop that re-validated ``phi``, re-gathered a
   **once per engine**, not per call — sessions serving many batches pay
   the ``O(T * V)`` checks a single time;
 * the per-document ``phi[:, word_ids]`` gather lands in a **reused
-  buffer** sized to the longest document of the current batch, as do the
-  weight, cumulative-sum and accumulator rows;
+  buffer** sized to the longest document seen by the current scratch,
+  as do the weight, cumulative-sum and accumulator rows;
 * the per-token uniforms are **pre-drawn in chunks** (one
   ``rng.random(Nd)`` call per document sweep).  NumPy's
   ``Generator.random`` consumes the bit stream identically whether
   called ``Nd`` times or once with size ``Nd`` (the same contract the
   training engines rely on), so the draw stream matches the legacy loop
   exactly;
-* documents are processed in ``batch_size`` groups — the unit future
-  multi-worker serving shards over, and the scope of the gather buffer.
+* documents are processed in ``batch_size`` groups — the unit
+  :mod:`repro.serving.parallel` shards over workers.
+
+Concurrency contract: the engine itself holds **only frozen state**
+(the validated ``phi`` layouts, the sparse lane's prior masses and
+alias tables) and is therefore shareable — many threads, or forked
+worker processes, may call :meth:`FoldInEngine.theta` /
+:meth:`FoldInEngine.theta_document` on one engine concurrently.  All
+mutable sampling buffers live in a :class:`FoldInScratch`, created per
+call by default or passed explicitly by callers (workers) that want to
+reuse one across documents.
 
 Two sampling lanes:
 
@@ -41,9 +50,12 @@ Two sampling lanes:
     weight splits into a static per-word prior mass
     (``alpha * sum_t phi[t, w]``, precomputed for the whole vocabulary)
     plus a document bucket over the nonzero ``nd`` topics — O(nnz) per
-    token instead of O(T), the serving default.  Statistically
-    equivalent to the exact lane (same conditional distribution up to
-    float reassociation), not draw-for-draw identical.
+    token instead of O(T), the serving default.  Prior-bucket hits are
+    answered in O(1) by per-word Walker alias tables
+    (:mod:`repro.sampling.alias`), precomputed once per engine;
+    previously each hit paid a binary search over a per-word cumulative
+    sum.  Statistically equivalent to the exact lane (same conditional
+    distribution), not draw-for-draw identical.
 """
 
 from __future__ import annotations
@@ -53,6 +65,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.sampling.alias import build_alias_rows
 from repro.sampling.rng import ensure_rng
 from repro.sampling.scans import last_positive_index
 from repro.sampling.sparse_engine import TopicSet
@@ -95,16 +108,51 @@ def validate_phi(phi: np.ndarray) -> np.ndarray:
     return phi
 
 
+class FoldInScratch:
+    """The mutable sampling state of one fold-in caller.
+
+    Everything a fold-in draw writes lives here — the per-token weight,
+    cumulative-sum and accumulator rows, the grow-only ``(Nd, T)``
+    gather buffer of the exact lane, and the sparse lane's
+    :class:`~repro.sampling.sparse_engine.TopicSet` of nonzero document
+    topics.  One scratch belongs to exactly one thread of execution at
+    a time; the engine it pairs with stays immutable and shared.
+    """
+
+    __slots__ = ("work", "cumulative", "accumulated", "gather",
+                 "doc_topics")
+
+    def __init__(self, num_topics: int, sparse: bool) -> None:
+        self.work = np.empty(num_topics)
+        self.cumulative = np.empty(num_topics)
+        self.accumulated = np.empty(num_topics)
+        self.gather = np.empty((0, num_topics))
+        self.doc_topics = TopicSet(0, num_topics) if sparse else None
+
+    def ensure_gather(self, length: int) -> np.ndarray:
+        """The ``(>= length, T)`` gather buffer, grown if needed."""
+        if length > self.gather.shape[0]:
+            self.gather = np.empty((length, self.work.shape[0]))
+        return self.gather
+
+
 class FoldInEngine:
     """Estimates ``theta`` for batches of unseen documents against a
     frozen ``phi``.
+
+    The engine holds only immutable state after construction and is
+    safe to share across threads and forked worker processes; see the
+    module docstring's concurrency contract.
 
     Parameters
     ----------
     phi:
         Topic-word distributions ``(T, V)``; validated once here (pass
         ``validate=False`` when the caller already ran
-        :func:`validate_phi`).
+        :func:`validate_phi`).  A read-only memory-map (from
+        ``load_model(..., mmap_phi=True)``, whose word-major layout
+        transposes to ``(T, V)`` as a zero-copy view) is kept as-is, so
+        many worker processes share one physical copy.
     alpha:
         Symmetric document-topic prior of the fold-in sampler.
     iterations:
@@ -113,8 +161,8 @@ class FoldInEngine:
     mode:
         ``"exact"`` (the legacy dense draw, seed-pinned to
         ``heldout_gibbs_theta``) or ``"sparse"`` (bucketed O(nnz)
-        draws, the serving default through
-        :class:`~repro.serving.session.InferenceSession`).
+        draws with O(1) alias-table prior hits, the serving default
+        through :class:`~repro.serving.session.InferenceSession`).
     batch_size:
         Documents per buffer-sizing group in :meth:`theta`.
     """
@@ -141,35 +189,29 @@ class FoldInEngine:
         self.batch_size = int(batch_size)
         self.num_topics = int(phi.shape[0])
         self.vocab_size = int(phi.shape[1])
-        #: ``(V, T)`` layout for per-word row gathers.
+        #: ``(V, T)`` layout for per-word row gathers.  When ``phi`` is
+        #: the transpose view of an already word-major array (the mmap
+        #: artifact layout), this is that array itself — no copy.
         self._phi_by_word = np.ascontiguousarray(phi.T)
-        # Persistent per-token work buffers (length T); the (Nd, T)
-        # gather buffer grows to the longest document seen.
-        self._work = np.empty(self.num_topics)
-        self._cumulative = np.empty(self.num_topics)
-        self._accumulated = np.empty(self.num_topics)
-        self._gather = np.empty((0, self.num_topics))
         if mode == "sparse":
             #: Static prior-bucket mass per word: ``alpha * sum_t phi``.
             self._prior_mass = self.alpha * self._phi_by_word.sum(axis=1)
-            #: phi is frozen, so the prior-bucket cumulative sums are
-            #: computed once per engine (costs one extra (V, T) copy;
-            #: makes a prior-bucket draw a binary search instead of an
-            #: O(T) scan per hit).
-            self._prior_cumsum = np.cumsum(self._phi_by_word, axis=1)
-            # Reused across documents; begin() re-seeds it per document.
-            self._doc_topics = TopicSet(0, self.num_topics)
+            #: Per-word Walker alias tables over ``phi[:, w]`` — a
+            #: prior-bucket hit costs one table lookup instead of a
+            #: binary search over a per-word cumulative sum.  Built once
+            #: per engine (O(V * T), same as the cumulative sums they
+            #: replace) and frozen thereafter.
+            self._alias_accept, self._alias_topic = \
+                build_alias_rows(self._phi_by_word)
 
     # ------------------------------------------------------------------
-    def theta(self, documents: Sequence[np.ndarray],
-              rng: int | np.random.Generator | None = None) -> np.ndarray:
-        """Fold-in ``theta`` rows, shape ``(len(documents), T)``.
+    def new_scratch(self) -> FoldInScratch:
+        """A fresh mutable-state object for one caller of this engine."""
+        return FoldInScratch(self.num_topics, sparse=self.mode == "sparse")
 
-        ``documents`` are word-id arrays over the model vocabulary.
-        Empty documents get the uniform row ``1 / T`` without consuming
-        any randomness (matching the legacy loop).
-        """
-        rng = ensure_rng(rng)
+    def check_documents(self, documents: Sequence[np.ndarray]
+                        ) -> list[np.ndarray]:
+        """Coerce word-id documents to int64 and bounds-check them."""
         documents = [np.asarray(doc, dtype=np.int64) for doc in documents]
         for index, doc in enumerate(documents):
             if doc.ndim != 1:
@@ -181,9 +223,29 @@ class FoldInEngine:
                 raise ValueError(
                     f"document {index} references word ids outside the "
                     f"model vocabulary (size {self.vocab_size})")
+        return documents
+
+    # ------------------------------------------------------------------
+    def theta(self, documents: Sequence[np.ndarray],
+              rng: int | np.random.Generator | None = None,
+              scratch: FoldInScratch | None = None) -> np.ndarray:
+        """Fold-in ``theta`` rows, shape ``(len(documents), T)``.
+
+        ``documents`` are word-id arrays over the model vocabulary.
+        Empty documents get the uniform row ``1 / T`` without consuming
+        any randomness (matching the legacy loop).  All documents share
+        the single sequential ``rng`` stream (the legacy contract that
+        ``heldout_gibbs_theta`` is seed-pinned to); worker-shardable
+        per-document streams live in :mod:`repro.serving.parallel`.
+
+        Each call uses its own :class:`FoldInScratch` unless one is
+        passed, so one engine can serve concurrent callers.
+        """
+        rng = ensure_rng(rng)
+        documents = self.check_documents(documents)
+        if scratch is None:
+            scratch = self.new_scratch()
         theta = np.empty((len(documents), self.num_topics))
-        sample_doc = (self._theta_exact if self.mode == "exact"
-                      else self._theta_sparse)
         for start in range(0, len(documents), self.batch_size):
             batch = documents[start:start + self.batch_size]
             if self.mode == "exact":
@@ -191,18 +253,44 @@ class FoldInEngine:
                 # blocks; sizing the buffer in sparse mode would pin
                 # longest-doc * T floats nothing reads.
                 longest = max((doc.shape[0] for doc in batch), default=0)
-                if longest > self._gather.shape[0]:
-                    self._gather = np.empty((longest, self.num_topics))
+                scratch.ensure_gather(longest)
             for offset, doc in enumerate(batch):
                 if doc.shape[0] == 0:
                     theta[start + offset] = 1.0 / self.num_topics
+                elif self.mode == "exact":
+                    theta[start + offset] = \
+                        self._theta_exact(doc, rng, scratch)
                 else:
-                    theta[start + offset] = sample_doc(doc, rng)
+                    theta[start + offset] = \
+                        self._theta_sparse(doc, rng, scratch)
         return theta
+
+    def theta_document(self, word_ids: np.ndarray,
+                       rng: int | np.random.Generator | None,
+                       scratch: FoldInScratch | None = None) -> np.ndarray:
+        """Fold in one document on its own RNG stream; returns its
+        ``theta`` row.
+
+        The per-document entry point of worker-sharded serving
+        (:mod:`repro.serving.parallel`): each document arrives with a
+        stream derived from its index, so results do not depend on how
+        documents are grouped over workers or batches.
+        """
+        rng = ensure_rng(rng)
+        (word_ids,) = self.check_documents([word_ids])
+        if word_ids.shape[0] == 0:
+            return np.full(self.num_topics, 1.0 / self.num_topics)
+        if scratch is None:
+            scratch = self.new_scratch()
+        if self.mode == "exact":
+            scratch.ensure_gather(word_ids.shape[0])
+            return self._theta_exact(word_ids, rng, scratch)
+        return self._theta_sparse(word_ids, rng, scratch)
 
     # ------------------------------------------------------------------
     def _theta_exact(self, word_ids: np.ndarray,
-                     rng: np.random.Generator) -> np.ndarray:
+                     rng: np.random.Generator,
+                     scratch: FoldInScratch) -> np.ndarray:
         """The legacy dense sampler with hoisted buffers.
 
         Arithmetic, draw order and RNG consumption match the original
@@ -216,11 +304,11 @@ class FoldInEngine:
         num_topics = self.num_topics
         alpha = self.alpha
         iterations = self.iterations
-        work = self._work
-        cumulative = self._cumulative
-        accumulated = self._accumulated
+        work = scratch.work
+        cumulative = scratch.cumulative
+        accumulated = scratch.accumulated
         word_probs = np.take(self._phi_by_word, word_ids, axis=0,
-                             out=self._gather[:length])
+                             out=scratch.gather[:length])
         assignments = rng.integers(0, num_topics, size=length)
         doc_counts = np.bincount(assignments, minlength=num_topics) \
             .astype(np.float64)
@@ -261,9 +349,10 @@ class FoldInEngine:
 
     # ------------------------------------------------------------------
     def _theta_sparse(self, word_ids: np.ndarray,
-                      rng: np.random.Generator) -> np.ndarray:
+                      rng: np.random.Generator,
+                      scratch: FoldInScratch) -> np.ndarray:
         """Bucketed draws: static per-word prior mass + O(nnz) document
-        bucket.
+        bucket, with O(1) alias-table prior hits.
 
         The fold-in weight ``phi_w[t] * (nd[t] + alpha)`` splits into
 
@@ -273,8 +362,11 @@ class FoldInEngine:
         exactly as the fixed-phi EDA kernel decomposes in
         :mod:`repro.sampling.sparse_engine`.  A document touches at most
         ``Nd`` distinct topics, so the common draw walks ``O(nnz)``
-        entries; only prior-bucket draws (mass ``alpha`` out of
-        ``Nd + T * alpha``) pay an ``O(T)`` scan.
+        entries; prior-bucket hits (mass ``alpha`` out of
+        ``Nd + T * alpha``) resolve through the per-word Walker alias
+        table in O(1) — the residual uniform that landed the draw in
+        the bucket is recycled as the alias draw, so RNG consumption
+        stays one uniform per token.
         """
         length = int(word_ids.shape[0])
         num_topics = self.num_topics
@@ -282,14 +374,15 @@ class FoldInEngine:
         iterations = self.iterations
         phi_by_word = self._phi_by_word
         prior_mass = self._prior_mass
-        prior_cumsum = self._prior_cumsum
-        accumulated = self._accumulated
+        alias_accept = self._alias_accept
+        alias_topic = self._alias_topic
+        accumulated = scratch.accumulated
         assignments = rng.integers(0, num_topics, size=length)
         doc_counts = np.bincount(assignments, minlength=num_topics) \
             .astype(np.float64)
         assignments = assignments.tolist()
         words = word_ids.tolist()
-        doc_topics = self._doc_topics
+        doc_topics = scratch.doc_topics
         doc_topics.begin(doc_counts)
         burn_in = min(max(1, iterations // 2), iterations - 1)
         accumulated.fill(0.0)
@@ -322,13 +415,23 @@ class FoldInEngine:
                         index = last_positive_index(cumulative)
                     topic = int(members[index])
                 else:
-                    # Prior bucket: proportional to phi_w over all topics.
-                    cumulative = prior_cumsum[word]
-                    index = int(cumulative.searchsorted(
-                        (x - r_mass) / alpha, side="right"))
-                    if index >= num_topics:
-                        index = last_positive_index(cumulative)
-                    topic = index
+                    # Prior bucket: proportional to phi_w over all
+                    # topics.  The leftover fraction of the uniform is
+                    # itself uniform on [0, 1); one alias lookup turns
+                    # it into the topic.  This inlines
+                    # repro.sampling.alias.alias_draw (per-token call
+                    # overhead matters here) minus its all-zero poison
+                    # check, which is unreachable: reaching this branch
+                    # requires x >= r_mass with total > 0, impossible
+                    # when s_mass == 0.
+                    v = (x - r_mass) / s_mass
+                    scaled = v * num_topics
+                    cell = int(scaled)
+                    if cell >= num_topics:
+                        cell = num_topics - 1
+                    accept = alias_accept[word]
+                    topic = (cell if (scaled - cell) < accept[cell]
+                             else int(alias_topic[word, cell]))
                 assignments[position] = topic
                 if doc_counts[topic] == 0.0:
                     doc_topics.add(topic)

@@ -1,0 +1,295 @@
+"""Worker-sharded fold-in: answer query batches with N processes,
+bit-identical at every worker count.
+
+The per-document fold-in of :class:`~repro.serving.foldin.FoldInEngine`
+is embarrassingly parallel — documents share only the frozen ``phi`` —
+but the engine's legacy :meth:`~repro.serving.foldin.FoldInEngine.theta`
+runs every document on **one sequential RNG stream**, so each document's
+draws depend on every document before it.  Sharding that over workers
+would change results with the worker count, and re-running a batch in a
+different order would change them again.
+
+:class:`ParallelFoldIn` removes the coupling at the RNG layer: every
+document gets its **own stream**, derived from the call's
+``SeedSequence`` and the document's index alone
+(:func:`repro.sampling.rng.document_rng` — the stateless equivalent of
+``SeedSequence.spawn`` keyed by index).  A document's draws are then a
+pure function of ``(call seed, document index, document words)``, so
+
+* ``num_workers=1`` inline, 2 processes, or 8 processes produce the
+  **same bits**;
+* shard boundaries, ``batch_size`` grouping and completion order are
+  free scheduling choices;
+* a worker crash can be retried anywhere without replaying the batch.
+
+Workers are OS processes (the per-token loop is Python, so threads
+would serialize on the GIL).  Each worker builds one engine and one
+:class:`~repro.serving.foldin.FoldInScratch` at pool start from an
+:class:`EngineSpec`; when the spec points at a schema-v2 artifact's
+uncompressed phi member, workers ``np.load(..., mmap_mode="r")`` it and
+the OS page cache shares one physical copy of the model across the
+whole pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import multiprocessing
+
+import numpy as np
+
+from repro.sampling.rng import document_rng, ensure_seed_sequence
+from repro.serving.foldin import MODES, FoldInEngine, FoldInScratch
+
+
+def _fork_context():
+    """The cheapest available multiprocessing context.
+
+    ``fork`` inherits the parent's memory (no spec pickling beyond the
+    executor's own plumbing) and is available on the Linux targets this
+    serves on; elsewhere the default context is used.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything a worker needs to rebuild the fold-in engine.
+
+    Exactly one of ``phi`` / ``phi_path`` is set — both in the
+    word-major ``(V, T)`` layout the engine gathers from, so rebuilding
+    an engine from either is copy-free.  ``phi`` ships the validated
+    array to the worker (pickled once at pool start); ``phi_path``
+    names the uncompressed ``.npy`` member written by
+    ``save_model(..., mmap_phi=True)``, which every worker maps
+    read-only so a large model exists once in physical memory.
+    ``phi`` is stored pre-validated, so workers skip re-validation (and
+    can never renormalize differently than the parent did).
+    """
+
+    alpha: float
+    iterations: int
+    mode: str
+    phi: np.ndarray | None = None
+    phi_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.phi is None) == (self.phi_path is None):
+            raise ValueError(
+                "exactly one of phi / phi_path must be provided")
+        if self.mode not in MODES:
+            raise ValueError(
+                f"mode must be one of {MODES}, got {self.mode!r}")
+
+    def build_engine(self) -> FoldInEngine:
+        word_major = (np.load(self.phi_path, mmap_mode="r")
+                      if self.phi_path is not None else self.phi)
+        # The engine re-transposes to word-major internally; handing it
+        # the (T, V) transpose view makes that a no-op, not a copy.
+        return FoldInEngine(word_major.T, self.alpha,
+                            iterations=self.iterations,
+                            mode=self.mode, validate=False)
+
+
+# Per-process worker state, installed by the pool initializer.  One
+# engine + one scratch per worker process; documents are independent,
+# so that is the entire worker-side state.
+_WORKER_ENGINE: FoldInEngine | None = None
+_WORKER_SCRATCH: FoldInScratch | None = None
+
+
+def _init_worker(engine_or_spec: FoldInEngine | EngineSpec) -> None:
+    """Install the worker's engine.
+
+    Under the ``fork`` context the parent passes its *engine object*,
+    which the worker inherits copy-on-write — phi, prior masses and the
+    O(V * T) alias tables exist once in physical memory across the
+    whole pool and are never rebuilt.  Non-fork contexts receive the
+    picklable :class:`EngineSpec` and rebuild (paying the alias
+    construction per worker, but keeping mmap'd phi shared via the
+    file).
+    """
+    global _WORKER_ENGINE, _WORKER_SCRATCH
+    _WORKER_ENGINE = (engine_or_spec if isinstance(engine_or_spec,
+                                                   FoldInEngine)
+                      else engine_or_spec.build_engine())
+    _WORKER_SCRATCH = _WORKER_ENGINE.new_scratch()
+
+
+def _fold_shard(documents: list[np.ndarray], indices: list[int],
+                call_seed: np.random.SeedSequence) -> np.ndarray:
+    """Fold one shard of (already validated) documents in a worker.
+
+    ``indices`` are the documents' positions in the full batch — the
+    only thing their RNG streams are keyed by, which is what makes the
+    shard assignment irrelevant to the result.
+    """
+    rows = np.empty((len(documents), _WORKER_ENGINE.num_topics))
+    for row, (doc, index) in enumerate(zip(documents, indices)):
+        rows[row] = _WORKER_ENGINE.theta_document(
+            doc, document_rng(call_seed, index), _WORKER_SCRATCH)
+    return rows
+
+
+class ParallelFoldIn:
+    """Shards fold-in batches over ``num_workers`` processes.
+
+    Parameters
+    ----------
+    engine:
+        The parent-side :class:`FoldInEngine` (already validated).  With
+        ``num_workers=1`` it does all the work inline; with more, each
+        worker process rebuilds an identical engine from the spec.
+    num_workers:
+        Process count.  Results are bit-identical for every value; the
+        right number is roughly the machine's core count.
+    phi_path:
+        Optional path to the artifact's uncompressed word-major phi
+        member.  When given (and the engine's phi actually is that
+        mapping — renormalized copies disqualify), workers re-map the
+        file instead of receiving a pickled copy.
+    """
+
+    def __init__(self, engine: FoldInEngine, num_workers: int = 1,
+                 phi_path: str | Path | None = None) -> None:
+        if num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {num_workers}")
+        self.engine = engine
+        self.num_workers = int(num_workers)
+        phi_by_word = engine._phi_by_word
+        share_file = False
+        if phi_path is not None:
+            # Only hand workers the file if the parent engine is really
+            # serving from it; validate_phi may have renormalized into
+            # a private copy, which the file would not reflect.
+            base = phi_by_word
+            while base is not None and not share_file:
+                share_file = isinstance(base, np.memmap)
+                base = getattr(base, "base", None)
+        self._spec = EngineSpec(
+            alpha=engine.alpha, iterations=engine.iterations,
+            mode=engine.mode,
+            phi=None if share_file else phi_by_word,
+            phi_path=str(phi_path) if share_file else None)
+        self._pool: ProcessPoolExecutor | None = None
+        self._scratch = engine.new_scratch()
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = _fork_context()
+            # fork: hand workers the parent engine itself (inherited
+            # copy-on-write, alias tables and all); otherwise ship the
+            # picklable spec and let workers rebuild.
+            payload = (self.engine
+                       if context.get_start_method() == "fork"
+                       else self._spec)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.num_workers, mp_context=context,
+                initializer=_init_worker, initargs=(payload,))
+        return self._pool
+
+    def theta(self, documents: Sequence[np.ndarray],
+              seed: int | np.random.SeedSequence
+              | np.random.Generator | None = None) -> np.ndarray:
+        """Fold-in ``theta`` rows, shape ``(len(documents), T)``.
+
+        ``seed`` names the call's root ``SeedSequence``; document ``i``
+        samples on the stream keyed ``(seed, i)`` regardless of which
+        worker runs it, so the result is a pure function of the seed
+        and the documents — not of ``num_workers``, shard boundaries or
+        scheduling.  Empty documents get the uniform row and are never
+        shipped to a worker.
+        """
+        call_seed = ensure_seed_sequence(seed)
+        documents = self.engine.check_documents(documents)
+        theta = np.empty((len(documents), self.engine.num_topics))
+        pending: list[int] = []
+        for index, doc in enumerate(documents):
+            if doc.shape[0] == 0:
+                theta[index] = 1.0 / self.engine.num_topics
+            else:
+                pending.append(index)
+        if not pending:
+            return theta
+        workers = min(self.num_workers, len(pending))
+        if workers == 1:
+            for index in pending:
+                theta[index] = self.engine.theta_document(
+                    documents[index], document_rng(call_seed, index),
+                    self._scratch)
+            return theta
+        pool = self._ensure_pool()
+        # Task granularity: one near-equal shard per worker, but never
+        # more than the engine's batch_size documents per task — small
+        # batch_size buys finer load balancing when document lengths
+        # are skewed, at more submission overhead.  Results cannot
+        # depend on the split (per-document streams).
+        task_size = max(1, min(self.engine.batch_size,
+                               -(-len(pending) // workers)))
+        shards = [pending[start:start + task_size]
+                  for start in range(0, len(pending), task_size)]
+        futures = [pool.submit(_fold_shard,
+                               [documents[i] for i in indices], indices,
+                               call_seed)
+                   for indices in shards]
+        for indices, future in zip(shards, futures):
+            theta[indices] = future.result()
+        return theta
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelFoldIn":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ParallelFoldIn(num_workers={self.num_workers}, "
+                f"mode={self.engine.mode!r}, "
+                f"mmap={self._spec.phi_path is not None}, "
+                f"pool={'up' if self._pool is not None else 'down'})")
+
+
+def available_cpus() -> int:
+    """CPUs this process can actually use.
+
+    ``os.cpu_count()`` reports the host's cores; a pinned or
+    container-throttled process may be allowed far fewer.  Honors the
+    scheduler affinity mask and (best-effort) a cgroup-v2 CPU quota, so
+    worker-count decisions and benchmark speedup gates reflect reality
+    in CI containers.
+    """
+    try:
+        count = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        count = os.cpu_count()
+    count = count or 1
+    try:
+        quota, period = Path("/sys/fs/cgroup/cpu.max") \
+            .read_text().split()[:2]
+        if quota != "max":
+            count = min(count, max(1, int(int(quota) / int(period))))
+    except (OSError, ValueError):
+        pass
+    return max(1, count)
+
+
+def default_num_workers() -> int:
+    """A sensible worker count for this machine: its usable CPUs."""
+    return available_cpus()

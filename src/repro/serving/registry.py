@@ -10,11 +10,23 @@ A :class:`ModelRegistry` owns one directory tree::
 ``load`` memoizes deserialized models in a bounded LRU so a serving
 process answering queries for a handful of hot models never re-reads
 their ``.npz`` blobs from disk.
+
+Versions are **claimed atomically**: ``publish`` creates the ``v<N>/``
+directory with an exclusive ``mkdir`` before writing anything into it,
+retrying on the next number when a concurrent publisher wins the race.
+The previous scan-then-write scheme let two publishers both pick
+``v(N+1)`` and silently overwrite each other — a violation of the
+immutability contract this layer exists to provide.  A claim directory
+only becomes a *version* once its manifest lands (``versions`` /
+``resolve`` ignore manifest-less directories), so a publisher that
+crashes mid-save leaves a dead claim that blocks nothing but its own
+number.
 """
 
 from __future__ import annotations
 
 import re
+import shutil
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -55,7 +67,7 @@ class ModelRegistry:
                 f"cache_size must be >= 0, got {cache_size}")
         self.root = Path(root)
         self.cache_size = int(cache_size)
-        self._cache: OrderedDict[tuple[str, int], LoadedModel] \
+        self._cache: OrderedDict[tuple[str, int, bool], LoadedModel] \
             = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -92,6 +104,18 @@ class ModelRegistry:
                 found.append(int(match.group(1)))
         return sorted(found)
 
+    def _claimed_versions(self, name: str) -> list[int]:
+        """Every version *directory* of ``name`` — published or merely
+        claimed by an in-flight (or crashed) publisher.  Fresh claims
+        must clear all of these, not just the published ones, or a
+        publisher would retry the same contested number forever."""
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        return sorted(int(match.group(1))
+                      for entry in model_dir.iterdir()
+                      if (match := _VERSION_DIR_RE.match(entry.name)))
+
     def resolve(self, name: str, version: int | None = None) -> ModelRecord:
         """Map ``name`` (and optional ``version``; latest otherwise) to
         its artifact directory."""
@@ -110,40 +134,85 @@ class ModelRegistry:
                            path=self.root / name / f"v{int(version)}")
 
     # ------------------------------------------------------------------
+    #: Publish retry bound; each retry means a concurrent publisher won
+    #: one race, so the bound is only ever reached under pathological
+    #: contention (or a filesystem that lies about mkdir exclusivity).
+    _PUBLISH_ATTEMPTS = 100
+
     def publish(self, name: str, model: FittedTopicModel,
                 model_class: str | None = None,
-                version: int | None = None) -> ModelRecord:
+                version: int | None = None,
+                mmap_phi: bool = False) -> ModelRecord:
         """Save ``model`` as the next (or an explicit new) version of
-        ``name``."""
+        ``name``.
+
+        The version number is claimed with an exclusive ``mkdir`` of
+        the ``v<N>/`` directory *before* the artifact is written, so
+        concurrent publishers can never both write the same version:
+        the loser of a ``mkdir`` race rescans and takes the next free
+        number (auto-versioning) or fails loudly (explicit version).
+        ``mmap_phi`` is forwarded to :func:`save_model` (schema-v2
+        artifact with a mappable phi member).
+        """
         self._check_name(name)
-        existing = self.versions(name)
-        if version is None:
-            version = (existing[-1] + 1) if existing else 1
-        elif version in existing:
-            raise ArtifactError(
-                f"model {name!r} version {version} is already published; "
-                f"versions are immutable")
-        elif version < 1:
-            raise ValueError(f"version must be >= 1, got {version}")
-        record = ModelRecord(name=name, version=int(version),
-                             path=self.root / name / f"v{int(version)}")
-        save_model(model, record.path, model_class=model_class)
+        (self.root / name).mkdir(parents=True, exist_ok=True)
+        if version is not None:
+            if version < 1:
+                raise ValueError(f"version must be >= 1, got {version}")
+            version = int(version)
+            try:
+                (self.root / name / f"v{version}").mkdir()
+            except FileExistsError:
+                raise ArtifactError(
+                    f"model {name!r} version {version} is already "
+                    f"published (or claimed by a concurrent publisher); "
+                    f"versions are immutable") from None
+        else:
+            for _ in range(self._PUBLISH_ATTEMPTS):
+                claimed = self._claimed_versions(name)
+                version = (claimed[-1] + 1) if claimed else 1
+                try:
+                    (self.root / name / f"v{version}").mkdir()
+                    break
+                except FileExistsError:
+                    # A concurrent publisher claimed this number between
+                    # the scan and the mkdir; rescan and go higher.
+                    continue
+            else:
+                raise ArtifactError(
+                    f"could not claim a version of model {name!r} after "
+                    f"{self._PUBLISH_ATTEMPTS} attempts")
+        record = ModelRecord(name=name, version=version,
+                             path=self.root / name / f"v{version}")
+        try:
+            save_model(model, record.path, model_class=model_class,
+                       mmap_phi=mmap_phi)
+        except BaseException:
+            # The claim is ours (exclusive mkdir) and no manifest landed,
+            # so nothing can be reading it: release the version number
+            # instead of wedging it on a junk directory.  Only a crash
+            # leaves a dead claim behind.
+            shutil.rmtree(record.path, ignore_errors=True)
+            raise
         return record
 
-    def load(self, name: str, version: int | None = None) -> LoadedModel:
+    def load(self, name: str, version: int | None = None,
+             mmap_phi: bool = False) -> LoadedModel:
         """Load a published model, memoized through the LRU cache.
 
         Resolving ``version=None`` re-checks the directory for the
         latest version on every call, so freshly published models are
-        picked up; the cache key is the concrete resolved version.
+        picked up; the cache key is the concrete resolved version plus
+        the load flavor (a memory-mapped and an in-memory load of the
+        same version are distinct cache entries).
         """
         record = self.resolve(name, version)
-        key = (record.name, record.version)
+        key = (record.name, record.version, bool(mmap_phi))
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             return cached
-        loaded = load_model(record.path)
+        loaded = load_model(record.path, mmap_phi=mmap_phi)
         if self.cache_size > 0:
             self._cache[key] = loaded
             while len(self._cache) > self.cache_size:
@@ -155,9 +224,9 @@ class ModelRegistry:
         return read_manifest(self.resolve(name, version).path)
 
     @property
-    def cached_keys(self) -> tuple[tuple[str, int], ...]:
-        """Current cache contents, least recently used first (for tests
-        and monitoring)."""
+    def cached_keys(self) -> tuple[tuple[str, int, bool], ...]:
+        """Current cache contents as ``(name, version, mmap)`` keys,
+        least recently used first (for tests and monitoring)."""
         return tuple(self._cache)
 
     def clear_cache(self) -> None:

@@ -26,19 +26,50 @@ uniform prior row ``1 / T``.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.models.base import FittedTopicModel, default_alpha
-from repro.sampling.rng import ensure_rng
+from repro.sampling.rng import ensure_seed_sequence
 from repro.serving.foldin import MODES, FoldInEngine
+from repro.serving.parallel import ParallelFoldIn
 from repro.text.tokenizer import Tokenizer
 from repro.text.vocabulary import Vocabulary
 
 #: Out-of-vocabulary policies for query documents.
 OOV_POLICIES = ("ignore", "error")
+
+
+def _alpha_from_metadata(recorded: object, num_topics: int) -> float:
+    """Recover the fold-in prior from ``metadata["alpha"]``.
+
+    Bools are rejected outright (``True`` satisfies
+    ``isinstance(..., int)`` and used to silently become ``alpha=1.0``);
+    Python and NumPy real scalars are accepted when positive and
+    finite; anything else falls back to the paper default ``50 / T``
+    **with a warning** — the fallback used to be silent, hiding
+    corrupted metadata from operators.
+    """
+    if recorded is None:
+        return default_alpha(num_topics)
+    valid = (isinstance(recorded, (int, float, np.integer, np.floating))
+             and not isinstance(recorded, (bool, np.bool_)))
+    if valid:
+        value = float(recorded)
+        if math.isfinite(value) and value > 0:
+            return value
+    fallback = default_alpha(num_topics)
+    warnings.warn(
+        f"fitted model metadata records an unusable alpha "
+        f"{recorded!r} ({type(recorded).__name__}); falling back to "
+        f"the paper default 50/T = {fallback:g} — pass alpha= "
+        f"explicitly to silence this",
+        RuntimeWarning, stacklevel=3)
+    return fallback
 
 
 @dataclass(frozen=True)
@@ -94,7 +125,10 @@ class InferenceSession:
         default) or ``"exact"`` (the legacy dense draw); see
         :class:`~repro.serving.foldin.FoldInEngine`.
     batch_size:
-        Documents per fold-in buffer group.
+        Documents per fold-in worker task (and per buffer-sizing group
+        in the engine's legacy sequential API).  A scheduling knob
+        only — results never depend on it, because documents sample on
+        index-keyed streams.
     oov:
         ``"ignore"`` (drop unknown tokens, reported per document) or
         ``"error"`` (raise on the first unknown token).
@@ -102,9 +136,20 @@ class InferenceSession:
         Tokenizer for raw-text queries; ``None`` splits on whitespace.
         Pre-tokenized queries (lists of tokens) skip it entirely.
     seed:
-        Seed or generator for the session's RNG stream; successive
-        calls continue the stream, so a seeded session is reproducible
-        end to end.
+        Seed, ``SeedSequence`` or generator naming the session's root
+        random stream.  Every ``infer`` call spawns a child sequence,
+        and every document samples on a stream keyed by that child and
+        its index in the batch — so a seeded session is reproducible
+        end to end *and* its results are independent of
+        ``num_workers`` and ``batch_size``.
+    num_workers:
+        Worker processes for fold-in (see
+        :class:`~repro.serving.parallel.ParallelFoldIn`); ``1`` (the
+        default) runs inline.  Results are bit-identical for every
+        value.  Sessions built from
+        ``load_model(..., mmap_phi=True)`` artifacts hand workers the
+        artifact's phi member path, so the whole pool shares one
+        physical phi.
     """
 
     def __init__(self, model: FittedTopicModel, *,
@@ -114,7 +159,10 @@ class InferenceSession:
                  batch_size: int = 64,
                  oov: str = "ignore",
                  tokenizer: Tokenizer | None = None,
-                 seed: int | np.random.Generator | None = None) -> None:
+                 seed: int | np.random.SeedSequence
+                 | np.random.Generator | None = None,
+                 num_workers: int = 1) -> None:
+        wrapper = model
         model = getattr(model, "model", model)
         if not isinstance(model, FittedTopicModel):
             raise TypeError(
@@ -126,17 +174,21 @@ class InferenceSession:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         if alpha is None:
-            recorded = model.metadata.get("alpha")
-            alpha = (float(recorded)
-                     if isinstance(recorded, (int, float)) and recorded > 0
-                     else default_alpha(model.num_topics))
+            alpha = _alpha_from_metadata(model.metadata.get("alpha"),
+                                         model.num_topics)
         self.model = model
         self.oov = oov
         self.tokenizer = tokenizer
-        self._rng = ensure_rng(seed)
+        self._seed = ensure_seed_sequence(seed)
         self._engine = FoldInEngine(model.phi, alpha,
                                     iterations=iterations, mode=mode,
                                     batch_size=batch_size)
+        # LoadedModel wrappers of v2 artifacts carry the mappable phi
+        # member path; worker processes re-map it instead of receiving
+        # a pickled copy.
+        self._foldin = ParallelFoldIn(
+            self._engine, num_workers=num_workers,
+            phi_path=getattr(wrapper, "phi_path", None))
 
     # ------------------------------------------------------------------
     @property
@@ -150,6 +202,21 @@ class InferenceSession:
     @property
     def vocabulary(self) -> Vocabulary:
         return self.model.vocabulary
+
+    @property
+    def num_workers(self) -> int:
+        return self._foldin.num_workers
+
+    def close(self) -> None:
+        """Shut down the fold-in worker pool (idempotent; the session
+        keeps working afterwards, respawning workers on demand)."""
+        self._foldin.close()
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def encode(self, documents: Iterable[str | Sequence[str]]
@@ -191,7 +258,10 @@ class InferenceSession:
               ) -> InferenceResult:
         """Fold in a batch of raw documents; returns theta + OOV stats."""
         encoded, num_oov = self.encode(documents)
-        theta = self._engine.theta(encoded, rng=self._rng)
+        # One spawned child per call keeps successive calls on fresh,
+        # reproducible streams; within the call, documents are keyed by
+        # index, so num_workers/batch_size never change the bits.
+        theta = self._foldin.theta(encoded, seed=self._seed.spawn(1)[0])
         lengths = np.asarray([doc.shape[0] for doc in encoded],
                              dtype=np.int64)
         return InferenceResult(theta=theta, num_tokens=lengths,

@@ -1,0 +1,111 @@
+"""Tests for the bench regression gate (``benchmarks/compare.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_COMPARE_PATH = (Path(__file__).parent.parent / "benchmarks"
+                 / "compare.py")
+
+
+@pytest.fixture(scope="module")
+def compare():
+    spec = importlib.util.spec_from_file_location("bench_compare",
+                                                  _COMPARE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves the defining module through sys.modules.
+    sys.modules["bench_compare"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_result(directory: Path, name: str, metrics: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.json").write_text(json.dumps({
+        "schema": "repro.benchmarks/result",
+        "schema_version": 1,
+        "name": name,
+        "metrics": metrics,
+        "params": {},
+    }))
+
+
+class TestThroughputMetrics:
+    def test_flattens_nested_throughput_only(self, compare):
+        payload = {"metrics": {
+            "docs_per_second": {"1": 100.0, "8": 250.0},
+            "tokens_per_second": 4000,
+            "accuracy": 0.93,                 # not throughput: ignored
+            "flags": {"docs_per_second_ok": True},  # bool: ignored
+            "ratio": None,
+        }}
+        flat = compare.throughput_metrics(payload)
+        assert flat == {"docs_per_second.1": 100.0,
+                        "docs_per_second.8": 250.0,
+                        "tokens_per_second": 4000.0}
+
+
+class TestCompareDirs:
+    def test_detects_regression_beyond_threshold(self, compare,
+                                                 tmp_path):
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": {"1": 100.0, "8": 200.0}})
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": {"1": 60.0, "8": 190.0}})
+        comparisons, skipped = compare.compare_dirs(tmp_path / "base",
+                                                    tmp_path / "fresh")
+        assert skipped == []
+        by_metric = {c.metric: c for c in comparisons}
+        assert by_metric["docs_per_second.1"].regressed(0.3)
+        assert not by_metric["docs_per_second.8"].regressed(0.3)
+        # A looser gate tolerates the same drop.
+        assert not by_metric["docs_per_second.1"].regressed(0.5)
+
+    def test_improvements_and_noise_pass(self, compare, tmp_path):
+        _write_result(tmp_path / "base", "sweep",
+                      {"tokens_per_second": 1000.0})
+        _write_result(tmp_path / "fresh", "sweep",
+                      {"tokens_per_second": 1400.0})
+        comparisons, _ = compare.compare_dirs(tmp_path / "base",
+                                              tmp_path / "fresh")
+        assert not any(c.regressed(0.3) for c in comparisons)
+
+    def test_missing_fresh_file_is_skipped_not_fatal(self, compare,
+                                                     tmp_path):
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": 10.0})
+        _write_result(tmp_path / "base", "retired",
+                      {"docs_per_second": 5.0})
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": 11.0})
+        comparisons, skipped = compare.compare_dirs(tmp_path / "base",
+                                                    tmp_path / "fresh")
+        assert [c.bench for c in comparisons] == ["serving"]
+        assert skipped == ["retired"]
+
+
+class TestMain:
+    def test_exit_codes(self, compare, tmp_path, capsys):
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": 100.0})
+        _write_result(tmp_path / "fresh_ok", "serving",
+                      {"docs_per_second": 95.0})
+        _write_result(tmp_path / "fresh_bad", "serving",
+                      {"docs_per_second": 40.0})
+        base = ["--baseline", str(tmp_path / "base")]
+        assert compare.main([str(tmp_path / "fresh_ok")] + base) == 0
+        assert compare.main([str(tmp_path / "fresh_bad")] + base) == 1
+        # A custom threshold can wave the same drop through.
+        assert compare.main([str(tmp_path / "fresh_bad"),
+                             "--threshold", "0.7"] + base) == 0
+        # Nothing comparable (or missing dirs) exits 2, not 0.
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert compare.main([str(empty)] + base) == 2
+        assert compare.main([str(tmp_path / "nowhere")] + base) == 2
+        capsys.readouterr()  # swallow table output

@@ -1,0 +1,294 @@
+"""Tests for worker-sharded serving: per-document RNG streams, the
+process pool, alias-table prior draws, and end-to-end determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.sampling.alias import (alias_draw, build_alias_rows,
+                                  build_alias_table)
+from repro.sampling.rng import (document_rng, document_seed_sequence,
+                                ensure_seed_sequence)
+from repro.serving import (EngineSpec, FoldInEngine, InferenceSession,
+                           ParallelFoldIn, load_model, save_model)
+from repro.text.vocabulary import Vocabulary
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def frozen_phi():
+    rng = np.random.default_rng(11)
+    return rng.dirichlet(np.full(30, 0.4), size=6)
+
+
+@pytest.fixture(scope="module")
+def query_docs():
+    rng = np.random.default_rng(3)
+    return [rng.integers(0, 30, size=n)
+            for n in (14, 0, 25, 1, 9, 17, 0, 6)]
+
+
+# ----------------------------------------------------------------------
+# Per-document seed sequences
+# ----------------------------------------------------------------------
+class TestDocumentStreams:
+    def test_matches_seed_sequence_spawn(self):
+        """`document_seed_sequence` is the stateless twin of
+        `SeedSequence.spawn`: same children, any derivation order."""
+        root = np.random.SeedSequence(42)
+        spawned = np.random.SeedSequence(42).spawn(5)
+        for index in (4, 0, 2, 3, 1):  # deliberately out of order
+            direct = document_seed_sequence(root, index)
+            assert direct.entropy == spawned[index].entropy
+            assert direct.spawn_key == spawned[index].spawn_key
+            assert np.array_equal(
+                np.random.default_rng(direct).random(8),
+                np.random.default_rng(spawned[index]).random(8))
+
+    def test_streams_are_distinct_per_document(self):
+        root = ensure_seed_sequence(7)
+        draws = [document_rng(root, i).random(4) for i in range(6)]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_ensure_seed_sequence_flavors(self):
+        sequence = np.random.SeedSequence(1)
+        assert ensure_seed_sequence(sequence) is sequence
+        assert ensure_seed_sequence(5).entropy == 5
+        # A Generator is consumed for entropy — deterministically.
+        a = ensure_seed_sequence(np.random.default_rng(3))
+        b = ensure_seed_sequence(np.random.default_rng(3))
+        assert a.entropy == b.entropy
+        assert ensure_seed_sequence(None).entropy is not None
+        with pytest.raises(ValueError, match="non-negative"):
+            document_seed_sequence(sequence, -1)
+
+
+# ----------------------------------------------------------------------
+# Walker alias tables
+# ----------------------------------------------------------------------
+class TestAliasTables:
+    def test_table_reproduces_weights_exactly(self):
+        """Cell acceptance masses must reassemble the normalized
+        weights: p[k] = (accept[k] + sum of alias mass pointed at k)/n."""
+        rng = np.random.default_rng(0)
+        weights = rng.random(17) * np.asarray(
+            [0, 1] * 8 + [1])  # include zeros
+        accept, alias = build_alias_table(weights)
+        n = weights.shape[0]
+        rebuilt = accept.copy()
+        for cell in range(n):
+            rebuilt[alias[cell]] += 1.0 - accept[cell]
+        np.testing.assert_allclose(rebuilt / n,
+                                   weights / weights.sum(), atol=1e-12)
+
+    def test_zero_row_is_poisoned(self):
+        accept, alias = build_alias_table(np.zeros(4))
+        assert np.all(accept == -1.0)
+        with pytest.raises(ValueError, match="all-zero"):
+            alias_draw(accept, alias, 0.5)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            build_alias_table(np.asarray([1.0, -0.5]))
+        with pytest.raises(ValueError, match="non-empty"):
+            build_alias_table(np.empty(0))
+        with pytest.raises(ValueError, match="2-d"):
+            build_alias_rows(np.ones(3))
+
+    def test_draws_match_binary_search_lane_chi_squared(self, frozen_phi):
+        """Alias-table prior draws follow the same distribution as the
+        binary search over the per-word cumulative sum they replaced."""
+        word_major = np.ascontiguousarray(frozen_phi.T)
+        accept, alias = build_alias_rows(word_major)
+        cumsums = np.cumsum(word_major, axis=1)
+        rng = np.random.default_rng(99)
+        num_draws = 20_000
+        num_topics = frozen_phi.shape[0]
+        for word in (0, 7, 29):
+            uniforms = rng.random(num_draws)
+            alias_topics = np.asarray(
+                [alias_draw(accept[word], alias[word], u)
+                 for u in uniforms])
+            search_topics = np.searchsorted(
+                cumsums[word], uniforms * cumsums[word, -1],
+                side="right")
+            expected = word_major[word] / word_major[word].sum()
+            alias_counts = np.bincount(alias_topics,
+                                       minlength=num_topics)
+            search_counts = np.bincount(search_topics,
+                                        minlength=num_topics)
+            keep = expected * num_draws >= 5  # chi-squared validity
+            for counts in (alias_counts, search_counts):
+                result = stats.chisquare(
+                    counts[keep],
+                    expected[keep] / expected[keep].sum()
+                    * counts[keep].sum())
+                assert result.pvalue > 1e-3, (word, result)
+
+
+# ----------------------------------------------------------------------
+# Worker-sharded fold-in
+# ----------------------------------------------------------------------
+class TestParallelFoldIn:
+    @pytest.mark.parametrize("mode", ["exact", "sparse"])
+    def test_bit_identical_at_every_worker_count(self, mode, frozen_phi,
+                                                 query_docs):
+        engine = FoldInEngine(frozen_phi, 0.4, iterations=6, mode=mode)
+        reference = None
+        for workers in WORKER_COUNTS:
+            with ParallelFoldIn(engine, num_workers=workers) as foldin:
+                theta = foldin.theta(query_docs, seed=17)
+            if reference is None:
+                reference = theta
+            else:
+                assert np.array_equal(reference, theta), \
+                    f"{mode} diverged at num_workers={workers}"
+        np.testing.assert_allclose(reference.sum(axis=1), 1.0)
+        # Empty documents got the uniform row.
+        np.testing.assert_allclose(reference[1],
+                                   1.0 / frozen_phi.shape[0])
+
+    def test_independent_of_document_order_coupling(self, frozen_phi,
+                                                    query_docs):
+        """Each document's row depends only on (seed, index, words):
+        repeating a call never perturbs it, unlike the legacy
+        sequential stream where every document shifted its successors."""
+        engine = FoldInEngine(frozen_phi, 0.4, iterations=5,
+                              mode="sparse")
+        foldin = ParallelFoldIn(engine, num_workers=1)
+        full = foldin.theta(query_docs, seed=8)
+        again = foldin.theta(query_docs, seed=8)
+        assert np.array_equal(full, again)
+
+    def test_seed_flavors_agree(self, frozen_phi, query_docs):
+        engine = FoldInEngine(frozen_phi, 0.4, iterations=4,
+                              mode="sparse")
+        foldin = ParallelFoldIn(engine, num_workers=1)
+        by_int = foldin.theta(query_docs, seed=23)
+        by_sequence = foldin.theta(query_docs,
+                                   seed=np.random.SeedSequence(23))
+        assert np.array_equal(by_int, by_sequence)
+
+    def test_invalid_arguments(self, frozen_phi):
+        engine = FoldInEngine(frozen_phi, 0.4)
+        with pytest.raises(ValueError, match="num_workers"):
+            ParallelFoldIn(engine, num_workers=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            EngineSpec(alpha=0.4, iterations=5, mode="sparse")
+        with pytest.raises(ValueError, match="exactly one"):
+            EngineSpec(alpha=0.4, iterations=5, mode="sparse",
+                       phi=np.ones((2, 2)), phi_path="somewhere.npy")
+
+    def test_engine_spec_rebuilds_identical_engine(self, frozen_phi,
+                                                   query_docs):
+        """What a worker builds from the spec answers exactly like the
+        parent engine."""
+        engine = FoldInEngine(frozen_phi, 0.4, iterations=5,
+                              mode="sparse")
+        spec = EngineSpec(alpha=engine.alpha,
+                          iterations=engine.iterations,
+                          mode=engine.mode, phi=engine._phi_by_word)
+        rebuilt = spec.build_engine()
+        root = ensure_seed_sequence(5)
+        for index, doc in enumerate(query_docs):
+            assert np.array_equal(
+                engine.theta_document(doc, document_rng(root, index)),
+                rebuilt.theta_document(doc, document_rng(root, index)))
+
+
+# ----------------------------------------------------------------------
+# End-to-end serving determinism
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served_model(frozen_phi):
+    """A minimal fitted model wrapping the frozen phi."""
+    from repro.models.base import FittedTopicModel
+    num_topics, vocab_size = frozen_phi.shape
+    vocab = Vocabulary(f"w{i}" for i in range(vocab_size))
+    vocab.freeze()
+    rng = np.random.default_rng(1)
+    return FittedTopicModel(
+        phi=frozen_phi,
+        theta=rng.dirichlet(np.full(num_topics, 0.5), size=3),
+        assignments=[rng.integers(0, num_topics, size=6)
+                     for _ in range(3)],
+        vocabulary=vocab,
+        metadata={"alpha": 0.4})
+
+
+@pytest.fixture(scope="module")
+def raw_queries(served_model):
+    words = served_model.vocabulary.words
+    rng = np.random.default_rng(2)
+    return [" ".join(words[i] for i in rng.integers(0, len(words),
+                                                    size=12))
+            for _ in range(7)] + [""]
+
+
+class TestServingDeterminism:
+    def test_theta_invariant_to_workers_and_batch_size(self, served_model,
+                                                       raw_queries):
+        """Same seed ⇒ identical theta for num_workers ∈ {1, 2, 4} and
+        any batch_size — the tentpole's contract."""
+        reference = None
+        for workers in WORKER_COUNTS:
+            for batch_size in (1, 3, 64):
+                with InferenceSession(served_model, iterations=6,
+                                      seed=0, num_workers=workers,
+                                      batch_size=batch_size) as session:
+                    theta = session.theta(raw_queries)
+                if reference is None:
+                    reference = theta
+                else:
+                    assert np.array_equal(reference, theta), \
+                        (workers, batch_size)
+
+    def test_v1_and_mmap_v2_serve_identical_theta(self, served_model,
+                                                  raw_queries, tmp_path):
+        """A v1 artifact load and a mmap v2 load serve the same bits at
+        every worker count."""
+        v1 = load_model(save_model(served_model, tmp_path / "v1"))
+        v2 = load_model(save_model(served_model, tmp_path / "v2",
+                                   mmap_phi=True), mmap_phi=True)
+        assert v2.phi_mmapped
+        reference = None
+        for loaded in (v1, v2):
+            for workers in WORKER_COUNTS:
+                with InferenceSession(loaded, iterations=6, seed=3,
+                                      num_workers=workers) as session:
+                    theta = session.theta(raw_queries)
+                if reference is None:
+                    reference = theta
+                else:
+                    assert np.array_equal(reference, theta), \
+                        (loaded.schema_version, workers)
+
+    def test_mmap_session_ships_path_not_array(self, served_model,
+                                               tmp_path):
+        loaded = load_model(save_model(served_model, tmp_path / "m",
+                                       mmap_phi=True), mmap_phi=True)
+        session = InferenceSession(loaded, num_workers=2, seed=0)
+        spec = session._foldin._spec
+        assert spec.phi_path is not None and spec.phi is None
+        session.close()
+
+    def test_successive_calls_continue_the_stream(self, served_model,
+                                                  raw_queries):
+        """Two infer calls draw different streams, but the whole
+        session replays identically from the same seed."""
+        def run():
+            with InferenceSession(served_model, iterations=5,
+                                  seed=9) as session:
+                return (session.theta(raw_queries[:3]),
+                        session.theta(raw_queries[:3]))
+
+        first_a, second_a = run()
+        first_b, second_b = run()
+        assert np.array_equal(first_a, first_b)
+        assert np.array_equal(second_a, second_b)
+        assert not np.array_equal(first_a, second_a)

@@ -31,6 +31,9 @@ from repro.text.vocabulary import Vocabulary
 MODEL_CLASSES = ("LDA", "EDA", "CTM", "BijectiveSourceLDA",
                  "MixtureSourceLDA", "SourceLDA")
 
+#: Sentinel for "remove the metadata key entirely" in alpha tests.
+_ABSENT = object()
+
 
 @pytest.fixture(scope="module")
 def serving_corpus_and_source():
@@ -98,7 +101,9 @@ class TestArtifactRoundTrip:
                           model_class=model_class)
         loaded = load_model(path)
         assert loaded.model_class == model_class
-        assert loaded.schema_version == SCHEMA_VERSION
+        # Default saves stamp the minimum version their layout needs
+        # (v1: everything in the npz), not the newest supported.
+        assert loaded.schema_version == 1
         model = loaded.model
         assert model.phi.dtype == np.float64
         assert np.array_equal(model.phi, fitted.phi)
@@ -164,6 +169,89 @@ class TestArtifactRoundTrip:
             metadata={"ragged": np.asarray([[1, 2], [3]], dtype=object)})
         with pytest.raises(ArtifactError, match="object-dtype"):
             save_model(bad, tmp_path / "bad")
+
+
+class TestMmapArtifacts:
+    """Schema-v2 artifacts: the uncompressed, mappable phi member."""
+
+    def _memmap_backed(self, array):
+        base = array
+        while base is not None:
+            if isinstance(base, np.memmap):
+                return True
+            base = getattr(base, "base", None)
+        return False
+
+    def test_v2_round_trip_bit_exact(self, fitted_models, tmp_path):
+        fitted = fitted_models["SourceLDA"]
+        path = save_model(fitted, tmp_path / "m", mmap_phi=True)
+        assert (path / "phi_word_major.npy").is_file()
+        loaded = load_model(path)
+        assert loaded.schema_version == 2
+        assert loaded.phi_path == path / "phi_word_major.npy"
+        assert not loaded.phi_mmapped
+        assert np.array_equal(loaded.model.phi, fitted.phi)
+        assert np.array_equal(loaded.model.theta, fitted.theta)
+        _assert_metadata_equal(loaded.model.metadata, fitted.metadata)
+
+    def test_mmap_load_shares_the_file(self, fitted_models, tmp_path):
+        fitted = fitted_models["LDA"]
+        path = save_model(fitted, tmp_path / "m", mmap_phi=True)
+        loaded = load_model(path, mmap_phi=True)
+        assert loaded.phi_mmapped
+        assert np.array_equal(loaded.model.phi, fitted.phi)
+        assert self._memmap_backed(loaded.model.phi)
+        # Two loads of the same artifact map the same file rather than
+        # materializing two copies.
+        again = load_model(path, mmap_phi=True)
+        assert self._memmap_backed(again.model.phi)
+
+    def test_mmap_request_on_v1_artifact_warns_and_falls_back(
+            self, fitted_models, tmp_path):
+        path = save_model(fitted_models["LDA"], tmp_path / "m")
+        with pytest.warns(RuntimeWarning,
+                          match="cannot be memory-mapped"):
+            loaded = load_model(path, mmap_phi=True)
+        assert not loaded.phi_mmapped
+        assert loaded.phi_path is None
+        assert np.array_equal(loaded.model.phi,
+                              fitted_models["LDA"].phi)
+
+    def test_overwrite_v2_with_v1_drops_stale_member(self, fitted_models,
+                                                     tmp_path):
+        fitted = fitted_models["LDA"]
+        path = save_model(fitted, tmp_path / "m", mmap_phi=True)
+        save_model(fitted, tmp_path / "m", overwrite=True)
+        assert not (path / "phi_word_major.npy").exists()
+        assert load_model(path).schema_version == 1
+
+    def test_missing_phi_member_is_loud(self, fitted_models, tmp_path):
+        path = save_model(fitted_models["LDA"], tmp_path / "m",
+                          mmap_phi=True)
+        (path / "phi_word_major.npy").unlink()
+        with pytest.raises(ArtifactError, match="phi member missing"):
+            load_model(path)
+
+    def test_bad_phi_storage_manifest_is_rejected(self, fitted_models,
+                                                  tmp_path):
+        path = save_model(fitted_models["LDA"], tmp_path / "m",
+                          mmap_phi=True)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["phi_storage"] = {"layout": "column_crazy"}
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ManifestError, match="phi_storage"):
+            load_model(path)
+
+    def test_mmap_session_serves_identically_to_v1(self, fitted_models,
+                                                   tmp_path):
+        fitted = fitted_models["BijectiveSourceLDA"]
+        v1 = load_model(save_model(fitted, tmp_path / "v1"))
+        v2 = load_model(save_model(fitted, tmp_path / "v2",
+                                   mmap_phi=True), mmap_phi=True)
+        queries = [" ".join(fitted.vocabulary.words[:8])]
+        theta_v1 = InferenceSession(v1, seed=4).theta(queries)
+        theta_v2 = InferenceSession(v2, seed=4).theta(queries)
+        assert np.array_equal(theta_v1, theta_v2)
 
 
 class TestManifestValidation:
@@ -258,7 +346,7 @@ class TestModelRegistry:
         assert registry.load("a") is first          # cache hit
         registry.load("b")
         registry.load("c")                          # evicts "a"
-        assert registry.cached_keys == (("b", 1), ("c", 1))
+        assert registry.cached_keys == (("b", 1, False), ("c", 1, False))
         assert registry.load("a") is not first      # reloaded from disk
         registry.clear_cache()
         assert registry.cached_keys == ()
@@ -275,6 +363,100 @@ class TestModelRegistry:
         (tmp_path / "registry" / ".cache").mkdir()
         (tmp_path / "registry" / "not a model!").mkdir()
         assert registry.names() == ["demo"]
+
+    def test_publish_mmap_artifact_and_cache_flavors(self, fitted_models,
+                                                     tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        record = registry.publish("demo", fitted_models["LDA"],
+                                  mmap_phi=True)
+        assert (record.path / "phi_word_major.npy").is_file()
+        plain = registry.load("demo")
+        mapped = registry.load("demo", mmap_phi=True)
+        assert plain is registry.load("demo")
+        assert mapped is registry.load("demo", mmap_phi=True)
+        assert plain is not mapped
+        assert mapped.phi_mmapped
+        assert registry.cached_keys == (("demo", 1, False),
+                                        ("demo", 1, True))
+
+
+class TestRegistryConcurrentPublish:
+    """The scan-then-write race: versions must be claimed atomically."""
+
+    def test_publish_skips_versions_claimed_by_others(self, fitted_models,
+                                                      tmp_path):
+        """A claim directory without a manifest — a concurrent publisher
+        mid-save, or a crashed one — must never be overwritten."""
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("demo", fitted_models["LDA"])
+        # Simulate a second publisher that claimed v2 and has not yet
+        # (or will never) finish writing.
+        claim = tmp_path / "registry" / "demo" / "v2"
+        claim.mkdir()
+        record = registry.publish("demo", fitted_models["EDA"])
+        assert record.version == 3
+        assert not (claim / "manifest.json").exists()
+        # The dead claim is invisible to readers.
+        assert registry.versions("demo") == [1, 3]
+        assert registry.resolve("demo").version == 3
+
+    def test_failed_save_releases_its_claim(self, fitted_models,
+                                            tmp_path):
+        """A publish whose save_model raises must not wedge the version
+        number on an empty claim directory."""
+        registry = ModelRegistry(tmp_path / "registry")
+        bad = FittedTopicModel(
+            phi=fitted_models["LDA"].phi,
+            theta=fitted_models["LDA"].theta,
+            assignments=fitted_models["LDA"].assignments,
+            vocabulary=fitted_models["LDA"].vocabulary,
+            metadata={"callback": lambda: None})  # unserializable
+        with pytest.raises(ArtifactError, match="cannot serialize"):
+            registry.publish("demo", bad, version=1)
+        assert not (tmp_path / "registry" / "demo" / "v1").exists()
+        # The number is free again for a good publish.
+        assert registry.publish("demo", fitted_models["LDA"],
+                                version=1).version == 1
+
+    def test_explicit_version_claim_collision_is_loud(self, fitted_models,
+                                                      tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        (tmp_path / "registry" / "demo").mkdir(parents=True)
+        (tmp_path / "registry" / "demo" / "v1").mkdir()
+        with pytest.raises(ArtifactError, match="immutable"):
+            registry.publish("demo", fitted_models["LDA"], version=1)
+
+    def test_interleaved_publishers_never_overwrite(self, fitted_models,
+                                                    tmp_path):
+        """Two publishers hammering one name from two threads: every
+        publish gets a distinct version and every artifact survives."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        registry_a = ModelRegistry(tmp_path / "registry")
+        registry_b = ModelRegistry(tmp_path / "registry")
+        per_publisher = 6
+
+        def publish_many(registry, model_class):
+            return [registry.publish("demo",
+                                     fitted_models[model_class],
+                                     model_class=model_class).version
+                    for _ in range(per_publisher)]
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(publish_many, registry_a, "LDA"),
+                       pool.submit(publish_many, registry_b, "EDA")]
+            versions_a, versions_b = [f.result() for f in futures]
+        claimed = sorted(versions_a + versions_b)
+        assert claimed == list(range(1, 2 * per_publisher + 1))
+        assert registry_a.versions("demo") == claimed
+        # Each version still carries the class its publisher wrote —
+        # nobody's artifact was clobbered by the other publisher.
+        for version in versions_a:
+            assert registry_a.manifest("demo", version)["model_class"] \
+                == "LDA"
+        for version in versions_b:
+            assert registry_a.manifest("demo", version)["model_class"] \
+                == "EDA"
 
 
 # ----------------------------------------------------------------------
@@ -373,6 +555,49 @@ class TestFoldInEngine:
         # Same conditional distribution, different draw association: the
         # long-run averages agree to sampling noise.
         assert np.abs(theta_sparse - theta_exact).max() < 0.12
+
+    @pytest.mark.parametrize("mode", ["exact", "sparse"])
+    def test_theta_is_reentrant_across_threads(self, mode,
+                                               foldin_phi_and_corpus):
+        """Two threads hammering ONE engine must each get the
+        single-threaded answer.
+
+        Before the scratch split, `_work`/`_cumulative`/`_accumulated`/
+        `_gather` and the sparse lane's TopicSet lived on the engine, so
+        concurrent callers silently corrupted each other's theta.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        phi, corpus = foldin_phi_and_corpus
+        docs = [doc.word_ids for doc in corpus]
+        engine = FoldInEngine(phi, 0.4, iterations=8, mode=mode)
+        seeds = list(range(24))
+        expected = {seed: engine.theta(docs, rng=seed) for seed in seeds}
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [(seed, pool.submit(engine.theta, docs, seed))
+                       for seed in seeds * 4]
+            for seed, future in futures:
+                assert np.array_equal(future.result(), expected[seed]), \
+                    f"seed {seed} corrupted under concurrency"
+
+    def test_theta_document_matches_scratch_sharing(self,
+                                                    foldin_phi_and_corpus):
+        """A caller-provided scratch reused across documents gives the
+        same bits as fresh per-call scratches."""
+        from repro.sampling.rng import document_rng, ensure_seed_sequence
+
+        phi, corpus = foldin_phi_and_corpus
+        docs = [doc.word_ids for doc in corpus]
+        root = ensure_seed_sequence(3)
+        for mode in ("exact", "sparse"):
+            engine = FoldInEngine(phi, 0.4, iterations=5, mode=mode)
+            scratch = engine.new_scratch()
+            shared = [engine.theta_document(doc, document_rng(root, i),
+                                            scratch)
+                      for i, doc in enumerate(docs)]
+            fresh = [engine.theta_document(doc, document_rng(root, i))
+                     for i, doc in enumerate(docs)]
+            assert np.array_equal(np.asarray(shared), np.asarray(fresh))
 
     def test_empty_document_is_uniform_prior(self,
                                              foldin_phi_and_corpus):
@@ -493,6 +718,49 @@ class TestInferenceSession:
     def test_alpha_defaults_to_fit_metadata(self, session_model):
         session = InferenceSession(session_model)
         assert session.alpha == session_model.metadata["alpha"]
+
+    def _with_alpha(self, model, recorded):
+        metadata = dict(model.metadata)
+        if recorded is _ABSENT:
+            metadata.pop("alpha", None)
+        else:
+            metadata["alpha"] = recorded
+        return FittedTopicModel(
+            phi=model.phi, theta=model.theta,
+            assignments=model.assignments, vocabulary=model.vocabulary,
+            topic_labels=model.topic_labels, metadata=metadata)
+
+    def test_alpha_recovery_rejects_bools(self, session_model):
+        """``metadata["alpha"] = True`` used to sail through the
+        ``isinstance(..., (int, float))`` check as alpha = 1.0."""
+        for bad in (True, np.True_):
+            with pytest.warns(RuntimeWarning, match="unusable alpha"):
+                session = InferenceSession(
+                    self._with_alpha(session_model, bad))
+            assert session.alpha == 50.0 / session.num_topics
+
+    def test_alpha_recovery_accepts_numpy_scalars(self, session_model):
+        for recorded, expected in ((np.float32(0.25), 0.25),
+                                   (np.float64(0.7), 0.7),
+                                   (np.int64(2), 2.0)):
+            session = InferenceSession(
+                self._with_alpha(session_model, recorded))
+            assert session.alpha == pytest.approx(expected)
+
+    def test_alpha_recovery_warns_on_fallback(self, session_model):
+        for bad in ("high", -1.0, 0.0, float("nan"), float("inf")):
+            with pytest.warns(RuntimeWarning, match="unusable alpha"):
+                session = InferenceSession(
+                    self._with_alpha(session_model, bad))
+            assert session.alpha == 50.0 / session.num_topics
+
+    def test_alpha_absent_falls_back_silently(self, session_model):
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            session = InferenceSession(
+                self._with_alpha(session_model, _ABSENT))
+        assert session.alpha == 50.0 / session.num_topics
 
     def test_invalid_arguments(self, session_model):
         with pytest.raises(ValueError, match="oov"):
