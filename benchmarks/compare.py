@@ -89,10 +89,18 @@ def compare_dirs(baseline_dir: Path, fresh_dir: Path
     the names skipped because one side is missing/unreadable."""
     comparisons: list[Comparison] = []
     skipped: list[str] = []
-    for baseline_path in sorted(baseline_dir.glob("*.json")):
-        name = baseline_path.stem
-        fresh_path = fresh_dir / baseline_path.name
-        baseline = load_result(baseline_path)
+    # Union of both sides: a result present only in one directory (a
+    # new, retired or renamed bench) must show up as skipped, not
+    # silently drop out of the gate.
+    filenames = sorted({path.name
+                        for directory in (baseline_dir, fresh_dir)
+                        for path in directory.glob("*.json")})
+    for filename in filenames:
+        name = Path(filename).stem
+        baseline_path = baseline_dir / filename
+        fresh_path = fresh_dir / filename
+        baseline = load_result(baseline_path) \
+            if baseline_path.is_file() else None
         fresh = load_result(fresh_path) if fresh_path.is_file() else None
         if baseline is None or fresh is None:
             skipped.append(name)

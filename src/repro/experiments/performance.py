@@ -384,6 +384,39 @@ class ServingThroughput:
     model_class: str
 
 
+def _serving_workload(num_source_topics: int, vocab_size: int,
+                      num_train_documents: int,
+                      train_document_length: int, train_iterations: int,
+                      num_query_documents: int,
+                      query_document_length: int, seed: int):
+    """Fitted bijective Source-LDA model plus raw-text queries — the
+    one workload every serving bench times, shared so their docs/sec
+    figures stay comparable (the serving twin of the sweep benches'
+    ``_source_workload``).
+
+    Query text is drawn from the full Zipf lexicon: mostly
+    in-vocabulary, with the tail words exercising the OOV-drop path.
+    """
+    source = random_topic_source(num_source_topics,
+                                 vocab_size=vocab_size,
+                                 article_length=80, seed=seed)
+    vocabulary = source.vocabulary().freeze()
+    rng = ensure_rng(seed)
+    id_lists = [rng.integers(0, len(vocabulary),
+                             size=train_document_length).tolist()
+                for _ in range(num_train_documents)]
+    corpus = Corpus.from_word_id_lists(id_lists, vocabulary)
+    fitted = BijectiveSourceLDA(source, alpha=0.5).fit(
+        corpus, iterations=train_iterations, seed=seed)
+    lexicon = make_lexicon(vocab_size, seed=seed)
+    pmf = zipf_probabilities(vocab_size)
+    queries = [" ".join(
+        lexicon[i] for i in rng.choice(vocab_size,
+                                       size=query_document_length, p=pmf))
+        for _ in range(num_query_documents)]
+    return fitted, queries
+
+
 def run_serving_throughput(num_source_topics: int = 40,
                            vocab_size: int = 300,
                            num_train_documents: int = 40,
@@ -407,26 +440,10 @@ def run_serving_throughput(num_source_topics: int = 40,
 
     from repro.serving import InferenceSession, load_model, save_model
 
-    source = random_topic_source(num_source_topics,
-                                 vocab_size=vocab_size,
-                                 article_length=80, seed=seed)
-    vocabulary = source.vocabulary().freeze()
-    rng = ensure_rng(seed)
-    id_lists = [rng.integers(0, len(vocabulary),
-                             size=train_document_length).tolist()
-                for _ in range(num_train_documents)]
-    corpus = Corpus.from_word_id_lists(id_lists, vocabulary)
-    fitted = BijectiveSourceLDA(source, alpha=0.5).fit(
-        corpus, iterations=train_iterations, seed=seed)
-
-    # Query text drawn from the full Zipf lexicon: mostly in-vocabulary,
-    # with the tail words exercising the OOV-drop path.
-    lexicon = make_lexicon(vocab_size, seed=seed)
-    pmf = zipf_probabilities(vocab_size)
-    queries = [" ".join(
-        lexicon[i] for i in rng.choice(vocab_size,
-                                       size=query_document_length, p=pmf))
-        for _ in range(num_query_documents)]
+    fitted, queries = _serving_workload(
+        num_source_topics, vocab_size, num_train_documents,
+        train_document_length, train_iterations, num_query_documents,
+        query_document_length, seed)
 
     with tempfile.TemporaryDirectory() as tmp:
         save_model(fitted, f"{tmp}/model", model_class="BijectiveSourceLDA")
@@ -504,24 +521,10 @@ def run_parallel_serving(num_source_topics: int = 40,
     from repro.serving import (InferenceSession, available_cpus,
                                load_model, save_model)
 
-    source = random_topic_source(num_source_topics,
-                                 vocab_size=vocab_size,
-                                 article_length=80, seed=seed)
-    vocabulary = source.vocabulary().freeze()
-    rng = ensure_rng(seed)
-    id_lists = [rng.integers(0, len(vocabulary),
-                             size=train_document_length).tolist()
-                for _ in range(num_train_documents)]
-    corpus = Corpus.from_word_id_lists(id_lists, vocabulary)
-    fitted = BijectiveSourceLDA(source, alpha=0.5).fit(
-        corpus, iterations=train_iterations, seed=seed)
-
-    lexicon = make_lexicon(vocab_size, seed=seed)
-    pmf = zipf_probabilities(vocab_size)
-    queries = [" ".join(
-        lexicon[i] for i in rng.choice(vocab_size,
-                                       size=query_document_length, p=pmf))
-        for _ in range(num_query_documents)]
+    fitted, queries = _serving_workload(
+        num_source_topics, vocab_size, num_train_documents,
+        train_document_length, train_iterations, num_query_documents,
+        query_document_length, seed)
 
     rows = []
     deterministic = True

@@ -33,8 +33,7 @@ from repro.serving.artifacts import (ARTIFACT_FORMAT,
 from repro.serving.foldin import (FoldInEngine, FoldInScratch,
                                   validate_phi)
 from repro.serving.parallel import (EngineSpec, ParallelFoldIn,
-                                    available_cpus,
-                                    default_num_workers)
+                                    available_cpus)
 from repro.serving.registry import ModelRecord, ModelRegistry
 from repro.serving.session import (InferenceResult, InferenceSession,
                                    TopicScore)
@@ -56,7 +55,6 @@ __all__ = [
     "SCHEMA_VERSION",
     "TopicScore",
     "available_cpus",
-    "default_num_workers",
     "load_model",
     "read_manifest",
     "save_model",

@@ -34,6 +34,8 @@ whole pool.
 from __future__ import annotations
 
 import os
+import sys
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,15 +49,39 @@ from repro.sampling.rng import document_rng, ensure_seed_sequence
 from repro.serving.foldin import MODES, FoldInEngine, FoldInScratch
 
 
-def _fork_context():
-    """The cheapest available multiprocessing context.
+def _pool_context():
+    """The cheapest *safe* multiprocessing context for this process.
 
     ``fork`` inherits the parent's memory (no spec pickling beyond the
-    executor's own plumbing) and is available on the Linux targets this
-    serves on; elsewhere the default context is used.
+    executor's own plumbing: phi, prior masses and alias tables exist
+    once, copy-on-write) — but forking a multi-threaded parent can
+    deadlock the children on locks held by threads that do not survive
+    the fork, and a serving process with concurrent callers is exactly
+    that.  So ``fork`` backs only single-threaded-at-pool-start
+    parents; a threaded parent gets ``forkserver`` (workers rebuild
+    from the picklable :class:`EngineSpec`, with an mmap'd phi still
+    shared through the file).  Non-POSIX platforms fall back to the
+    default context.
+
+    Fork additionally requires Python >= 3.11, where a fork-context
+    executor launches **all** its workers at the first submit
+    (python/cpython#90622) — which happens under :class:`ParallelFoldIn`'s
+    pool lock immediately after this thread count check, so every fork
+    occurs while the process is still provably single-threaded.
+    Earlier executors fork workers incrementally, one per submit,
+    possibly long after the caller has started threads.  The check
+    cannot see non-Python threads (BLAS pools, embedding hosts); such
+    processes should pass ``num_workers=1`` or call
+    :meth:`ParallelFoldIn.warm_up` at startup.
+
+    As with any non-fork start method, the serving program's entry
+    point must be import-safe (the standard ``if __name__ ==
+    "__main__"`` guard) when pools are created from a threaded parent.
     """
     try:
-        return multiprocessing.get_context("fork")
+        if sys.version_info >= (3, 11) and threading.active_count() == 1:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context("forkserver")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         return multiprocessing.get_context()
 
@@ -142,6 +168,12 @@ def _fold_shard(documents: list[np.ndarray], indices: list[int],
 class ParallelFoldIn:
     """Shards fold-in batches over ``num_workers`` processes.
 
+    :meth:`theta` is safe to call from concurrent threads: the inline
+    path samples on a per-thread scratch, and the worker pool is built
+    exactly once under a lock (in a threaded parent it uses the
+    ``forkserver`` start method, since forking a multi-threaded process
+    is deadlock-prone).
+
     Parameters
     ----------
     engine:
@@ -169,27 +201,62 @@ class ParallelFoldIn:
         share_file = False
         if phi_path is not None:
             # Only hand workers the file if the parent engine is really
-            # serving from it; validate_phi may have renormalized into
-            # a private copy, which the file would not reflect.
+            # serving from *this* file: validate_phi may have
+            # renormalized into a private copy, and an engine built
+            # from one artifact could be paired with another artifact's
+            # path — either way workers would silently serve different
+            # phi than the parent, so the mapped filename must match.
+            target = Path(phi_path).resolve()
             base = phi_by_word
-            while base is not None and not share_file:
-                share_file = isinstance(base, np.memmap)
+            while base is not None:
+                if isinstance(base, np.memmap):
+                    mapped = getattr(base, "filename", None)
+                    share_file = (mapped is not None
+                                  and Path(mapped).resolve() == target)
+                    break
                 base = getattr(base, "base", None)
+        # Ship the *resolved* path: a relative one would be resolved
+        # against whatever cwd a non-fork worker (or a later chdir)
+        # happens to have.
         self._spec = EngineSpec(
             alpha=engine.alpha, iterations=engine.iterations,
             mode=engine.mode,
             phi=None if share_file else phi_by_word,
-            phi_path=str(phi_path) if share_file else None)
+            phi_path=str(target) if share_file else None)
         self._pool: ProcessPoolExecutor | None = None
-        self._scratch = engine.new_scratch()
+        self._pool_lock = threading.Lock()
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
+    def _inline_scratch(self) -> FoldInScratch:
+        """The calling thread's private scratch, created on first use.
+
+        The inline (``workers == 1``) path reuses a scratch across
+        calls like worker processes do, but the buffers are mutable
+        sampling state — one scratch per *thread*, not per fold-in, is
+        what keeps two threads sharing a session from corrupting each
+        other's theta.
+        """
+        scratch = getattr(self._local, "scratch", None)
+        if scratch is None:
+            scratch = self._local.scratch = self.engine.new_scratch()
+        return scratch
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The worker pool, created on first use.
+
+        Caller must hold ``_pool_lock`` — and keep holding it through
+        its ``submit`` calls: two racing callers must never both build
+        a pool (the loser's worker processes would leak), and a
+        concurrent :meth:`close` must never shut the pool down between
+        lookup and submission (its ``shutdown(wait=True)`` still
+        drains work submitted before the swap).
+        """
         if self._pool is None:
-            context = _fork_context()
+            context = _pool_context()
             # fork: hand workers the parent engine itself (inherited
-            # copy-on-write, alias tables and all); otherwise ship the
-            # picklable spec and let workers rebuild.
+            # copy-on-write, alias tables and all); otherwise ship
+            # the picklable spec and let workers rebuild.
             payload = (self.engine
                        if context.get_start_method() == "fork"
                        else self._spec)
@@ -223,12 +290,12 @@ class ParallelFoldIn:
             return theta
         workers = min(self.num_workers, len(pending))
         if workers == 1:
+            scratch = self._inline_scratch()
             for index in pending:
                 theta[index] = self.engine.theta_document(
                     documents[index], document_rng(call_seed, index),
-                    self._scratch)
+                    scratch)
             return theta
-        pool = self._ensure_pool()
         # Task granularity: one near-equal shard per worker, but never
         # more than the engine's batch_size documents per task — small
         # batch_size buys finer load balancing when document lengths
@@ -238,20 +305,46 @@ class ParallelFoldIn:
                                -(-len(pending) // workers)))
         shards = [pending[start:start + task_size]
                   for start in range(0, len(pending), task_size)]
-        futures = [pool.submit(_fold_shard,
-                               [documents[i] for i in indices], indices,
-                               call_seed)
-                   for indices in shards]
+        with self._pool_lock:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_fold_shard,
+                                   [documents[i] for i in indices],
+                                   indices, call_seed)
+                       for indices in shards]
         for indices, future in zip(shards, futures):
             theta[indices] = future.result()
         return theta
 
     # ------------------------------------------------------------------
+    def warm_up(self) -> "ParallelFoldIn":
+        """Spawn the worker pool now (no-op when ``num_workers == 1``).
+
+        Call this at process startup — before request threads or
+        native (BLAS, embedding-host) thread pools exist — to pin
+        every worker fork to a provably safe moment instead of the
+        first multi-document :meth:`theta` call.  The empty submit
+        matters: fork-context executors launch their workers at the
+        first submit, not at executor construction.
+        """
+        if self.num_workers > 1:
+            with self._pool_lock:
+                future = self._ensure_pool().submit(
+                    _fold_shard, [], [], np.random.SeedSequence(0))
+            future.result()
+        return self
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the worker pool down (idempotent).
+
+        Safe to call while other threads are mid-:meth:`theta`: they
+        submit under the same lock that swaps the pool out, already
+        submitted shards drain before shutdown completes, and any
+        later call simply respawns a pool on demand.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ParallelFoldIn":
         return self
@@ -288,8 +381,3 @@ def available_cpus() -> int:
     except (OSError, ValueError):
         pass
     return max(1, count)
-
-
-def default_num_workers() -> int:
-    """A sensible worker count for this machine: its usable CPUs."""
-    return available_cpus()

@@ -27,6 +27,7 @@ uniform prior row ``1 / T``.
 from __future__ import annotations
 
 import math
+import threading
 import warnings
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -141,7 +142,10 @@ class InferenceSession:
         and every document samples on a stream keyed by that child and
         its index in the batch — so a seeded session is reproducible
         end to end *and* its results are independent of
-        ``num_workers`` and ``batch_size``.
+        ``num_workers`` and ``batch_size``.  The session may be shared
+        across threads: spawning is lock-guarded, so concurrent calls
+        always get distinct child streams (which call gets which child
+        follows arrival order).
     num_workers:
         Worker processes for fold-in (see
         :class:`~repro.serving.parallel.ParallelFoldIn`); ``1`` (the
@@ -180,6 +184,10 @@ class InferenceSession:
         self.oov = oov
         self.tokenizer = tokenizer
         self._seed = ensure_seed_sequence(seed)
+        # SeedSequence.spawn mutates n_children_spawned without
+        # synchronization; concurrent infer calls must not race it or
+        # two calls can sample on the same child stream.
+        self._seed_lock = threading.Lock()
         self._engine = FoldInEngine(model.phi, alpha,
                                     iterations=iterations, mode=mode,
                                     batch_size=batch_size)
@@ -206,6 +214,14 @@ class InferenceSession:
     @property
     def num_workers(self) -> int:
         return self._foldin.num_workers
+
+    def warm_up(self) -> "InferenceSession":
+        """Spawn the fold-in worker pool now instead of at the first
+        query (no-op for ``num_workers=1``).  Call at process startup,
+        before request threads or native thread pools exist — see
+        :meth:`~repro.serving.parallel.ParallelFoldIn.warm_up`."""
+        self._foldin.warm_up()
+        return self
 
     def close(self) -> None:
         """Shut down the fold-in worker pool (idempotent; the session
@@ -261,7 +277,9 @@ class InferenceSession:
         # One spawned child per call keeps successive calls on fresh,
         # reproducible streams; within the call, documents are keyed by
         # index, so num_workers/batch_size never change the bits.
-        theta = self._foldin.theta(encoded, seed=self._seed.spawn(1)[0])
+        with self._seed_lock:
+            call_seed = self._seed.spawn(1)[0]
+        theta = self._foldin.theta(encoded, seed=call_seed)
         lengths = np.asarray([doc.shape[0] for doc in encoded],
                              dtype=np.int64)
         return InferenceResult(theta=theta, num_tokens=lengths,

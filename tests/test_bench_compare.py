@@ -88,6 +88,22 @@ class TestCompareDirs:
         assert [c.bench for c in comparisons] == ["serving"]
         assert skipped == ["retired"]
 
+    def test_fresh_only_file_is_skipped_not_silent(self, compare,
+                                                   tmp_path):
+        """A result present only in the fresh directory (a new bench,
+        or a renamed baseline) must surface as skipped — not vanish
+        from the gate's output entirely."""
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": 10.0})
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": 11.0})
+        _write_result(tmp_path / "fresh", "brand_new",
+                      {"docs_per_second": 7.0})
+        comparisons, skipped = compare.compare_dirs(tmp_path / "base",
+                                                    tmp_path / "fresh")
+        assert [c.bench for c in comparisons] == ["serving"]
+        assert skipped == ["brand_new"]
+
 
 class TestMain:
     def test_exit_codes(self, compare, tmp_path, capsys):

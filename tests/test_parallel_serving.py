@@ -184,6 +184,109 @@ class TestParallelFoldIn:
             EngineSpec(alpha=0.4, iterations=5, mode="sparse",
                        phi=np.ones((2, 2)), phi_path="somewhere.npy")
 
+    @pytest.mark.parametrize("mode", ["exact", "sparse"])
+    def test_inline_theta_is_reentrant_across_threads(self, mode,
+                                                      frozen_phi,
+                                                      query_docs):
+        """Two threads hammering ONE ParallelFoldIn's inline
+        (workers == 1) path must each get the single-threaded answer.
+
+        The inline path reuses a scratch across calls; before it was
+        per-thread, both threads wrote the same sampling buffers and
+        silently corrupted each other's theta — the engine-level fix
+        was bypassed exactly where sessions default to running.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = FoldInEngine(frozen_phi, 0.4, iterations=6, mode=mode)
+        foldin = ParallelFoldIn(engine, num_workers=1)
+        seeds = list(range(12))
+        expected = {seed: foldin.theta(query_docs, seed=seed)
+                    for seed in seeds}
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [(seed, pool.submit(foldin.theta, query_docs,
+                                          seed))
+                       for seed in seeds * 4]
+            for seed, future in futures:
+                assert np.array_equal(future.result(), expected[seed]), \
+                    f"seed {seed} corrupted under concurrency"
+
+    def test_pool_context_avoids_fork_in_threaded_parent(self,
+                                                         monkeypatch):
+        """Forking a multi-threaded parent is deadlock-prone; a
+        threaded parent must get a non-fork start method."""
+        import sys
+
+        from repro.serving import parallel
+
+        monkeypatch.setattr(parallel.threading, "active_count",
+                            lambda: 3)
+        assert parallel._pool_context().get_start_method() != "fork"
+        monkeypatch.setattr(parallel.threading, "active_count",
+                            lambda: 1)
+        method = parallel._pool_context().get_start_method()
+        if sys.version_info >= (3, 11) and sys.platform != "win32":
+            # Only 3.11+ launches every fork worker at the first
+            # (locked) submit; older executors fork incrementally and
+            # must not get fork even when single-threaded.
+            assert method == "fork"
+        else:
+            assert method != "fork"
+
+    def test_warm_up_spawns_the_pool_before_queries(self, frozen_phi,
+                                                    query_docs):
+        """warm_up() forks the workers at a chosen safe moment; later
+        queries reuse that pool and answer identically."""
+        engine = FoldInEngine(frozen_phi, 0.4, iterations=3,
+                              mode="sparse")
+        with ParallelFoldIn(engine, num_workers=2) as foldin:
+            assert foldin.warm_up() is foldin
+            assert foldin._pool is not None
+            warm = foldin.theta(query_docs, seed=4)
+        cold = ParallelFoldIn(engine, num_workers=2)
+        assert np.array_equal(warm, cold.theta(query_docs, seed=4))
+        cold.close()
+
+    def test_phi_path_must_match_the_mapped_file(self, frozen_phi,
+                                                 tmp_path):
+        """Workers are handed phi_path only when the parent engine is
+        mapping that very file — a path to a *different* artifact (or
+        an engine serving a private renormalized copy) must ship the
+        parent's array instead, or workers would silently serve
+        different phi than the inline path."""
+        word_major = np.ascontiguousarray(frozen_phi.T)
+        for name in ("a.npy", "b.npy"):
+            np.save(tmp_path / name, word_major)
+        mapped = np.load(tmp_path / "a.npy", mmap_mode="r")
+        engine = FoldInEngine(mapped.T, 0.4, validate=False)
+        same = ParallelFoldIn(engine, phi_path=tmp_path / "a.npy")
+        assert same._spec.phi_path is not None
+        foreign = ParallelFoldIn(engine, phi_path=tmp_path / "b.npy")
+        assert foreign._spec.phi_path is None
+        assert foreign._spec.phi is not None
+
+    def test_close_during_concurrent_theta_is_safe(self, frozen_phi,
+                                                   query_docs):
+        """close() racing in-flight multi-worker theta calls must
+        neither crash them ('cannot schedule new futures after
+        shutdown') nor leak a pool: submission happens under the same
+        lock that swaps the pool out, and shutdown drains already
+        submitted shards."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = FoldInEngine(frozen_phi, 0.4, iterations=3,
+                              mode="sparse")
+        foldin = ParallelFoldIn(engine, num_workers=2)
+        expected = foldin.theta(query_docs, seed=6)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            futures = [pool.submit(foldin.theta, query_docs, 6)
+                       for _ in range(6)]
+            for _ in range(3):
+                foldin.close()
+            for future in futures:
+                assert np.array_equal(future.result(), expected)
+        foldin.close()
+
     def test_engine_spec_rebuilds_identical_engine(self, frozen_phi,
                                                    query_docs):
         """What a worker builds from the spec answers exactly like the
@@ -276,6 +379,35 @@ class TestServingDeterminism:
         spec = session._foldin._spec
         assert spec.phi_path is not None and spec.phi is None
         session.close()
+
+    def test_session_is_reentrant_across_threads(self, served_model,
+                                                 raw_queries):
+        """Two threads sharing ONE seeded session produce exactly the
+        thetas the same session produces sequentially.
+
+        Covers both concurrency fixes at the session level: per-thread
+        inline scratch (no corrupted rows — every concurrent theta is
+        bit-identical to some sequential one) and the lock-guarded
+        ``SeedSequence.spawn`` (no duplicated child streams — the
+        sequential thetas are pairwise distinct, so any spawn race
+        would surface as a duplicate breaking the multiset match).
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        calls = 8
+        with InferenceSession(served_model, iterations=5,
+                              seed=21) as session:
+            sequential = [session.theta(raw_queries)
+                          for _ in range(calls)]
+        assert len({theta.tobytes() for theta in sequential}) == calls
+        with InferenceSession(served_model, iterations=5,
+                              seed=21) as session:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                futures = [pool.submit(session.theta, raw_queries)
+                           for _ in range(calls)]
+                concurrent = [future.result() for future in futures]
+        assert sorted(theta.tobytes() for theta in sequential) \
+            == sorted(theta.tobytes() for theta in concurrent)
 
     def test_successive_calls_continue_the_stream(self, served_model,
                                                   raw_queries):
