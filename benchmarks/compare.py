@@ -22,6 +22,14 @@ missing a committed counterpart (new benches) and vice versa (retired
 benches) are reported but never fail the gate; having **no**
 comparable metric at all exits 2, so a misconfigured CI path cannot
 masquerade as a pass.
+
+Results additionally carry the token-loop ``"backend"`` that produced
+them (stamped by ``benchmarks/_shared.record``).  A python-backend
+baseline diffed against a numba-backend fresh run (or vice versa)
+measures the backend swap, not a code regression — such pairs are
+**skipped with a reason**, never compared.  Results from before the
+stamp (no ``"backend"`` key) are treated as comparable with anything,
+so committed baselines keep gating until they are regenerated.
 """
 
 from __future__ import annotations
@@ -84,11 +92,13 @@ def load_result(path: Path) -> dict | None:
 
 
 def compare_dirs(baseline_dir: Path, fresh_dir: Path
-                 ) -> tuple[list[Comparison], list[str]]:
+                 ) -> tuple[list[Comparison], list[tuple[str, str]]]:
     """All throughput comparisons between two results directories, plus
-    the names skipped because one side is missing/unreadable."""
+    ``(name, reason)`` pairs for results skipped because one side is
+    missing/unreadable or the two sides were produced by different
+    token-loop backends."""
     comparisons: list[Comparison] = []
-    skipped: list[str] = []
+    skipped: list[tuple[str, str]] = []
     # Union of both sides: a result present only in one directory (a
     # new, retired or renamed bench) must show up as skipped, not
     # silently drop out of the gate.
@@ -103,7 +113,17 @@ def compare_dirs(baseline_dir: Path, fresh_dir: Path
             if baseline_path.is_file() else None
         fresh = load_result(fresh_path) if fresh_path.is_file() else None
         if baseline is None or fresh is None:
-            skipped.append(name)
+            skipped.append((name, "missing or unreadable on one side"))
+            continue
+        base_backend = baseline.get("backend")
+        fresh_backend = fresh.get("backend")
+        if (base_backend is not None and fresh_backend is not None
+                and base_backend != fresh_backend):
+            # Different token-loop backends: the diff would measure the
+            # backend swap, not a regression.
+            skipped.append(
+                (name, f"backend mismatch: baseline {base_backend!r} "
+                       f"vs fresh {fresh_backend!r}"))
             continue
         base_metrics = throughput_metrics(baseline)
         fresh_metrics = throughput_metrics(fresh)
@@ -141,6 +161,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     comparisons, skipped = compare_dirs(args.baseline, args.fresh)
     if not comparisons:
+        for name, reason in skipped:
+            print(f"{name}: skipped ({reason})", file=sys.stderr)
         print("no comparable throughput metrics found — check the "
               "directories", file=sys.stderr)
         return 2
@@ -153,8 +175,8 @@ def main(argv: list[str] | None = None) -> int:
               f"base {comparison.baseline:>12.3f}  "
               f"fresh {comparison.fresh:>12.3f}  "
               f"x{comparison.ratio:.3f}  {flag}")
-    for name in skipped:
-        print(f"{name}: skipped (missing or unreadable on one side)")
+    for name, reason in skipped:
+        print(f"{name}: skipped ({reason})")
     if regressions:
         print(f"\n{len(regressions)} throughput metric(s) regressed "
               f"more than {args.threshold:.0%}", file=sys.stderr)

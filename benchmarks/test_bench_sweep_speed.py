@@ -15,6 +15,13 @@ the fast engine's per-token O(S) passes scale linearly with B while the
 sparse bucket walks do not, so the sparse/fast ratio must *grow* across
 the grid — the ROADMAP "remaining gaps" claim, now recorded.
 
+A third bench times the fast engine under every registered token-loop
+backend (``repro.sampling.runtime``) on the same B=2000 workload:
+tokens/sec is recorded per backend, and when the compiled numba
+backend is installed it must beat the python backend by at least 3x
+(the compiled-token-loop claim); without numba the bench records the
+python backend alone and the ratio gate is skipped.
+
 Workload notes: the document-topic prior is the paper's ``alpha = 50/T``
 and the vocabulary is 2000 words for the 2000 80-token articles — a
 vocabulary-to-article ratio in the spirit of the paper's corpora (with a
@@ -35,9 +42,16 @@ from __future__ import annotations
 
 from _shared import record
 
-from repro.experiments import (format_engine_speedup,
-                               format_sparse_scaling, run_engine_speedup,
+from repro.experiments import (format_backend_speedup,
+                               format_engine_speedup,
+                               format_sparse_scaling,
+                               run_backend_speedup, run_engine_speedup,
                                run_sparse_scaling)
+from repro.sampling.runtime import available_backends
+
+#: Compiled-backend throughput floor over the python backend, gated
+#: only when numba is installed.
+NUMBA_MIN_SPEEDUP = 3.0
 
 TOPIC_GRID = (500, 2000, 8000)
 
@@ -68,7 +82,8 @@ def test_bench_sweep_speed(benchmark):
             "fast_exact": result.exact,
             "sparse_consistent": result.sparse_consistent,
         },
-        params={**SPEEDUP_PARAMS, "num_tokens": result.num_tokens})
+        params={**SPEEDUP_PARAMS, "num_tokens": result.num_tokens},
+        backend="python")  # engine comparison runs pinned to python
 
     assert result.exact
     assert result.sparse_consistent
@@ -92,7 +107,8 @@ def test_bench_sweep_speed_topic_grid(benchmark):
             "sparse_vs_fast": {str(row.num_topics): row.sparse_vs_fast
                                for row in result.rows},
         },
-        params={**GRID_PARAMS, "num_tokens": result.num_tokens})
+        params={**GRID_PARAMS, "num_tokens": result.num_tokens},
+        backend="python")  # engine comparison runs pinned to python
 
     assert all(row.sparse_consistent for row in result.rows)
     ratios = [row.sparse_vs_fast for row in result.rows]
@@ -103,3 +119,30 @@ def test_bench_sweep_speed_topic_grid(benchmark):
     # they depend on how the host's vectorized cumsum compares to
     # per-token Python overhead.
     assert ratios[-1] > ratios[0] * 1.2
+
+
+def test_bench_backend_speed(benchmark):
+    """Tokens/sec per token-loop backend on the B=2000 Source-LDA
+    workload; the numba >= 3x python gate applies only when the
+    compiled backend is actually installed."""
+    result = benchmark.pedantic(
+        lambda: run_backend_speedup(**SPEEDUP_PARAMS),
+        rounds=1, iterations=1)
+    record(
+        "sweep_backends", format_backend_speedup(result),
+        metrics={
+            "tokens_per_second": result.tokens_per_second,
+            "numba_vs_python": result.compiled_vs_python,
+            "consistent": result.consistent,
+        },
+        params={**SPEEDUP_PARAMS,
+                "backends": sorted(result.tokens_per_second),
+                "num_tokens": result.num_tokens})
+
+    assert all(result.consistent.values())
+    assert result.tokens_per_second["python"] > 0
+    if "numba" in available_backends():
+        assert result.compiled_vs_python >= NUMBA_MIN_SPEEDUP
+    # else: graceful skip — the python-only record still feeds the
+    # perf gate, and the stamped backend keeps it from being compared
+    # against a future numba-backed run.

@@ -61,6 +61,9 @@ class BijectiveSourceLDA(TopicModel):
         ``"sparse"`` (bucketed O(nnz) draws, statistically equivalent)
         or ``"reference"``; see
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
+    backend:
+        Token-loop backend: ``"auto"`` (default), ``"python"`` or
+        ``"numba"``; see :mod:`repro.sampling.runtime`.
     """
 
     def __init__(self, source: KnowledgeSource, alpha: float = 0.5,
@@ -70,7 +73,8 @@ class BijectiveSourceLDA(TopicModel):
                  epsilon: float = DEFAULT_EPSILON,
                  init: str = "informed",
                  scan: ScanStrategy | None = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 backend: str = "auto") -> None:
         if not 0.0 <= lambda_ <= 1.0:
             raise ValueError(f"lambda_ must be in [0, 1], got {lambda_}")
         if init not in ("informed", "random"):
@@ -85,6 +89,7 @@ class BijectiveSourceLDA(TopicModel):
         self.init = init
         self._scan = scan
         self.engine = engine
+        self.backend = backend
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -106,7 +111,8 @@ class BijectiveSourceLDA(TopicModel):
         kernel = SourceTopicsKernel(state, num_free=0, alpha=self.alpha,
                                     beta=1.0, tables=tables, grid=grid)
         sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
-                                        engine=self.engine)
+                                        engine=self.engine,
+                                        backend=self.backend)
         snapshots: dict[int, np.ndarray] = {}
         wanted = set(int(i) for i in snapshot_iterations)
 

@@ -46,16 +46,13 @@ from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import (TopicWeightKernel,
                                   symmetric_dirichlet_log_likelihood)
 from repro.sampling.integration import LambdaGrid
+from repro.sampling.runtime import (BLOCK_SHIFT, BLOCK_SIZE,
+                                    SourceBijectiveTable, SourceDenseTable,
+                                    TopicSet, WordTopicLists,
+                                    run_source_bijective_chunk)
 from repro.sampling.scans import last_positive_index
-from repro.sampling.sparse_engine import (SparseKernelPath, TopicSet,
-                                          WordTopicLists)
+from repro.sampling.sparse_engine import SparseKernelPath
 from repro.sampling.state import GibbsState
-
-#: Segment size (as a shift) of the sparse path's two-level floor walk:
-#: a floor draw scans 2**_BLOCK_SHIFT block sums plus one segment
-#: instead of all S source topics.
-_BLOCK_SHIFT = 6
-_BLOCK_SIZE = 1 << _BLOCK_SHIFT
 
 
 class SourceTopicsKernel(TopicWeightKernel):
@@ -247,8 +244,13 @@ class SourceTopicsFastPath(FastKernelPath):
         aug[:, 1:, :] = tables.power_table.transpose(1, 0, 2)
         self._aug = aug
         inverse = tables.inverse                          # (S, V)
+        # (V, S) unique-value row indices shifted past the unit row:
+        # D[w, s] = E[inverse_plus[w, s], s].  The flattened form adds
+        # the column offset so a word's D row is one 1-d take.
+        self._inverse_plus = np.ascontiguousarray(
+            inverse.T.astype(np.int64) + 1)
         self._flat = np.ascontiguousarray(
-            (inverse.T.astype(np.int64) + 1) * num_source
+            self._inverse_plus * num_source
             + np.arange(num_source, dtype=np.int64)[np.newaxis, :])
         self._E = np.empty((num_unique + 1, num_source))
         self._E_flat = self._E.reshape(-1)
@@ -302,6 +304,21 @@ class SourceTopicsFastPath(FastKernelPath):
         out *= doc_row
         return out
 
+    def table(self) -> SourceDenseTable:
+        """The ``nw * C + D`` caches as a flat runtime kernel table; the
+        array fields alias this path's live buffers, so
+        :meth:`begin_sweep`/:meth:`topic_changed` and the runtime's
+        inlined refresh write the same memory."""
+        return SourceDenseTable(
+            alpha=self.alpha, beta=self.beta, beta_sum=self._beta_sum,
+            num_free=self.num_free, omega=self._omega,
+            sum_delta=self._sum_delta, aug=self._aug, E=self._E,
+            E_flat=self._E_flat, C=self._C, flat=self._flat,
+            inverse_plus=self._inverse_plus,
+            nt_free=self._nt_free, dbuf=self._dbuf,
+            ratio_buf=self._ratio_buf, column_buf=self._column_buf,
+            out=self._out)
+
 
 class SourceTopicsSparsePath(SparseKernelPath):
     """Bucketed Source-LDA draws folding the lambda caches into buckets.
@@ -333,11 +350,19 @@ class SourceTopicsSparsePath(SparseKernelPath):
       mass an O(|articles containing w|) gather, and the rare floor
       walk the only O(S) scan left in a draw.  Non-negative exponents
       keep the powered values ordered like the raw ones, hence every
-      correction non-negative.
-    * **general lane** (mixed layouts, or negative exponents).  Nonzero
-      topic sets are tracked explicitly and the prior bucket reads the
-      full ``D`` row out of the shared ``E`` cache — one O(S) gather
-      with no per-node arithmetic.
+      correction non-negative.  The whole lane is *data*: the bucket
+      arrays compile into a
+      :class:`~repro.sampling.runtime.SourceBijectiveTable` and the
+      chunk loop itself runs in the sampling runtime
+      (:func:`~repro.sampling.runtime.run_source_bijective_chunk`).
+    * **general lane** (mixed free/source layouts).  Nonzero topic sets
+      are tracked explicitly.  With non-negative exponents the prior
+      bucket takes the same epsilon-floor/correction split as the
+      bijective lane (the floor mass is one contiguous sum, the rare
+      floor draw a two-level block walk), so no token reads the full
+      ``D`` row; with negative exponents — where corrections are not
+      sign-definite — it falls back to one O(S) gather of the ``D``
+      row out of the shared ``E`` cache.
 
     Bucket masses are recomputed from the live caches on every token,
     so the partition carries no incremental drift at all.
@@ -355,8 +380,11 @@ class SourceTopicsSparsePath(SparseKernelPath):
         num_topics = kernel.state.num_topics
         self._num_source = num_source
         k = self.num_free
-        self._bijective = (k == 0
-                           and bool(np.all(kernel.tables.exponents >= 0)))
+        # Non-negative exponents keep powered values ordered like the
+        # raw ones, so every floor correction is non-negative and the
+        # epsilon-floor/correction prior split is valid — on both lanes.
+        self._has_floor = bool(np.all(kernel.tables.exponents >= 0))
+        self._bijective = (k == 0 and self._has_floor)
         self._doc_free = TopicSet(0, k)
         self._doc_src = TopicSet(k, num_topics)
         self._inv_free = np.empty(k)
@@ -366,10 +394,12 @@ class SourceTopicsSparsePath(SparseKernelPath):
         self._E1 = self._fast._E[1]                        # (S,) view
         # Reusable per-token gather buffers (sized to the worst case).
         self._rel_buf = np.empty(num_source, dtype=np.int64)
+        self._flatidx_buf = np.empty(num_source, dtype=np.int64)
         self._d_row = np.empty(num_source)
         self._nd_buf = np.empty(num_source)
         self._d_buf = np.empty(num_source)
-        if self._bijective:
+        self._table: SourceBijectiveTable | None = None
+        if self._has_floor:
             # CSR (by word) of the correction entries: (t, w) pairs whose
             # hyperparameter sits above the epsilon floor.
             inverse = kernel.tables.inverse                # (S, V)
@@ -386,26 +416,35 @@ class SourceTopicsSparsePath(SparseKernelPath):
             max_corr = (int(np.diff(self._corr_ptr).max())
                         if topics.size else 1)
             self._corr_buf = np.empty(max(max_corr, 1))
-            # Document token slice: topic of every token in the current
-            # document, current position first.
-            lengths = kernel.state.doc_lengths.astype(np.int64)
-            self._doc_starts = np.concatenate(
-                ([0], np.cumsum(lengths))).tolist()
-            self._doc_lengths_int = lengths.tolist()
-            max_len = int(lengths.max()) if lengths.size else 1
-            self._doc_z = np.empty(max(max_len, 1), dtype=np.int64)
-            self._token_idx = np.empty(max(max_len, 1), dtype=np.int64)
-            self._token_d = np.empty(max(max_len, 1))
-            self._token_cum = np.empty(max(max_len, 1))
             self._corr_cum_buf = np.empty_like(self._corr_buf)
             # Two-level floor walk: block sums computed fresh on the
             # (minority of) draws that land in the floor bucket.
-            self._block_starts = np.arange(0, num_source, _BLOCK_SIZE)
+            self._block_starts = np.arange(0, num_source, BLOCK_SIZE)
             self._blocks = np.empty(self._block_starts.shape[0])
-            self._doc_len = 0
-            self._pos = 0
-            self._current_doc = -1
-            self.sweep_chunk = self._sweep_chunk_bijective
+        if self._bijective:
+            # Document token slice: topic of every token in the current
+            # document, current position first.
+            lengths = kernel.state.doc_lengths.astype(np.int64)
+            doc_starts = np.concatenate(
+                ([0], np.cumsum(lengths))).tolist()
+            max_len = int(lengths.max()) if lengths.size else 1
+            fast = self._fast
+            self._table = SourceBijectiveTable(
+                alpha=self.alpha, num_source=num_source,
+                E=fast._E, E_flat=fast._E_flat, E1=self._E1,
+                C=fast._C, aug=fast._aug, omega=fast._omega,
+                sum_delta=fast._sum_delta, flat=fast._flat,
+                ratio_buf=fast._ratio_buf, column_buf=fast._column_buf,
+                corr_ptr=self._corr_ptr, corr_flat=self._corr_flat,
+                corr_topics=self._corr_topics, corr_buf=self._corr_buf,
+                corr_cum_buf=self._corr_cum_buf,
+                block_starts=self._block_starts, blocks=self._blocks,
+                doc_starts=doc_starts,
+                doc_lengths=lengths.tolist(),
+                doc_z=np.empty(max(max_len, 1), dtype=np.int64),
+                token_idx=np.empty(max(max_len, 1), dtype=np.int64),
+                token_d=np.empty(max(max_len, 1)),
+                token_cum=np.empty(max(max_len, 1)))
 
     def begin_sweep(self) -> None:
         self._fast.begin_sweep()
@@ -413,28 +452,33 @@ class SourceTopicsSparsePath(SparseKernelPath):
         self._words = WordTopicLists(state.words, state.z,
                                      state.vocab_size)
         self._word_lists = self._words.lists
-        if self._bijective:
-            # Force a document (re)entry on the first token: the chunk
-            # runner's position counter must restart even when the
-            # corpus has a single document.
-            self._current_doc = -1
+        if self._table is not None:
+            # The word lists are rebuilt per sweep; rebind them on the
+            # table and force a document (re)entry on the first token —
+            # the runtime chunk loop's position counter must restart
+            # even when the corpus has a single document.
+            self._table.word_lists = self._word_lists
+            self._table.current_doc = -1
+
+    def sparse_table(self) -> SourceBijectiveTable | None:
+        """The bijective lane's bucket structure as a flat runtime
+        table (``None`` routes mixed layouts to the per-token
+        :meth:`step` lane)."""
+        return self._table
 
     def begin_document(self, doc: int) -> None:
+        """General-lane document entry.  The bijective lane's document
+        bookkeeping (token slice + position cursor) lives on its
+        :class:`~repro.sampling.runtime.SourceBijectiveTable` and is
+        handled inside the runtime chunk loop, which never calls this."""
         state = self.state
         k = self.num_free
         if k:
             np.add(state.nt[:k], self._beta_sum, out=self._inv_free)
             np.reciprocal(self._inv_free, out=self._inv_free)
         self._nd_row = state.nd[doc]
-        if self._bijective:
-            length = self._doc_lengths_int[doc]
-            start = self._doc_starts[doc]
-            self._doc_len = length
-            self._doc_z[:length] = state.z[start:start + length]
-            self._pos = 0
-        else:
-            self._doc_free.begin(self._nd_row)
-            self._doc_src.begin(self._nd_row)
+        self._doc_free.begin(self._nd_row)
+        self._doc_src.begin(self._nd_row)
 
     def _topic_changed(self, topic: int) -> None:
         if topic < self.num_free:
@@ -466,202 +510,16 @@ class SourceTopicsSparsePath(SparseKernelPath):
             self._word_lists[word].append(topic)
 
     def step(self, word: int, doc: int, old: int, u: float) -> int:
-        if self._bijective:
+        if self._table is not None:
             out: list[int] = []
-            self._sweep_chunk_bijective([word], [doc], [old], [u], out)
+            run_source_bijective_chunk(self.state, self._table,
+                                       [word], [doc], [old], [u], out,
+                                       self._inclusive_scan)
             return out[0]
         # General lane: the base-class step composes removed / draw /
         # added (no fused fast lane — mixed layouts are not the
         # benchmarked configuration).
         return SparseKernelPath.step(self, word, doc, old, u)
-
-    # ------------------------------------------------------------------
-    def _sweep_chunk_bijective(self, words: list, doc_ids: list,
-                               old_topics: list, uniforms: list,
-                               out: list) -> None:
-        """Single-frame chunk loop for the ``K == 0`` lane.
-
-        Everything the per-token work touches — count rows, the shared
-        ``E`` cache and its refresh operands, the gather buffers — is
-        bound to locals once per chunk, and the E-column refresh (same
-        arithmetic as ``SourceTopicsFastPath.topic_changed``) is inlined
-        because it runs twice per token.
-        """
-        state = self.state
-        nw = state.nw
-        nt = state.nt
-        fast = self._fast
-        e_flat = fast._E_flat
-        e1 = self._E1
-        e_matrix = fast._E
-        aug = fast._aug
-        omega = fast._omega
-        sum_delta = fast._sum_delta
-        ratio = fast._ratio_buf
-        column = fast._column_buf
-        c_per_topic = fast._C
-        flat = fast._flat
-        alpha = self.alpha
-        word_lists = self._word_lists
-        corr_ptr = self._corr_ptr
-        corr_flat = self._corr_flat
-        corr_topics = self._corr_topics
-        corr_buf = self._corr_buf
-        corr_cum_buf = self._corr_cum_buf
-        token_idx = self._token_idx
-        token_d = self._token_d
-        token_cum = self._token_cum
-        blocks = self._blocks
-        block_starts = self._block_starts
-        doc_z_full = self._doc_z
-        num_source = self._num_source
-        num_blocks = blocks.shape[0]
-        np_add = np.add
-        np_divide = np.divide
-        np_matmul = np.matmul
-        np_reduceat = np.add.reduceat
-        inf = np.inf
-        append_out = out.append
-        current_doc = self._current_doc
-        nd_row = self._nd_row
-        length = self._doc_len
-        position = self._pos
-        doc_z = doc_z_full[:length]
-        indices = token_idx[:length]
-        r_weights = token_d[:length]
-        r_cum = token_cum[:length]
-        try:
-            for word, doc, old, u in zip(words, doc_ids, old_topics,
-                                         uniforms):
-                if doc != current_doc:
-                    self.begin_document(doc)
-                    current_doc = doc
-                    nd_row = self._nd_row
-                    length = self._doc_len
-                    position = 0
-                    doc_z = doc_z_full[:length]
-                    indices = token_idx[:length]
-                    r_weights = token_d[:length]
-                    r_cum = token_cum[:length]
-                word_list = word_lists[word]
-                nw_row = nw[word]
-                # Decrement and refresh the old topic's caches.
-                nw_row[old] -= 1.0
-                nt[old] -= 1.0
-                nd_row[old] -= 1.0
-                np_add(nt[old], sum_delta[old], out=ratio)
-                np_divide(omega, ratio, out=ratio)
-                np_matmul(aug[old], ratio, out=column)
-                e_matrix[:, old] = column
-                if nw_row[old] == 0.0:
-                    word_list.remove(old)
-                # q: word bucket over the nonzero nw[word] topics.
-                q_weights: list[float] = []
-                q_mass = 0.0
-                for t in word_list:
-                    weight = nw_row[t] * c_per_topic[t] \
-                        * (nd_row[t] + alpha)
-                    q_weights.append(weight)
-                    q_mass += weight
-                # r: document bucket over the document's token slice
-                # (weight D[z_j] per other token j; the current token's
-                # slot is zeroed).
-                flat_row = flat[word]
-                flat_row.take(doc_z, out=indices)
-                e_flat.take(indices, out=r_weights)
-                r_weights[position] = 0.0
-                r_weights.cumsum(out=r_cum)
-                r_mass = float(r_cum[-1])
-                # s (correction): alpha * (D - E1) over this word's
-                # articles.
-                lo = corr_ptr[word]
-                hi = corr_ptr[word + 1]
-                if hi > lo:
-                    corr_weights = corr_buf[:hi - lo]
-                    corr_cum = corr_cum_buf[:hi - lo]
-                    e_flat.take(corr_flat[lo:hi], out=corr_weights)
-                    corr_weights -= e1.take(corr_topics[lo:hi])
-                    corr_weights.cumsum(out=corr_cum)
-                    sc_mass = alpha * float(corr_cum[-1])
-                else:
-                    corr_cum = None
-                    sc_mass = 0.0
-                # s (floor): alpha * E1 over every source topic.
-                sfl_mass = alpha * float(e1.sum())
-                total = q_mass + r_mass + sc_mass + sfl_mass
-                if not (0.0 < total < inf):
-                    raise ValueError(
-                        f"topic weights must have positive finite "
-                        f"mass, got total={total!r}")
-                x = u * total
-                new = -1
-                if x < q_mass:
-                    acc = 0.0
-                    for weight, t in zip(q_weights, word_list):
-                        acc += weight
-                        if x < acc:
-                            new = t
-                            break
-                if new < 0:
-                    x -= q_mass
-                    if x < r_mass:
-                        index = int(r_cum.searchsorted(x, side="right"))
-                        if index >= length:
-                            # Boundary draw over the zeroed current
-                            # slot; take the last token slot with
-                            # positive weight.
-                            index = last_positive_index(r_cum)
-                        new = int(doc_z[index])
-                    else:
-                        x -= r_mass
-                        if corr_cum is not None and x < sc_mass:
-                            index = int(corr_cum.searchsorted(
-                                x / alpha, side="right"))
-                            if index >= corr_cum.shape[0]:
-                                # Corrections may include zeros
-                                # (repeated floor values); clamp to the
-                                # last positive one.
-                                index = last_positive_index(corr_cum)
-                            new = int(corr_topics[lo + index])
-                        else:
-                            x -= sc_mass
-                            # s (floor): E1 is strictly positive.  Two-
-                            # level walk: fresh block sums pick a
-                            # segment, one segment scan picks the
-                            # topic.
-                            target = x / alpha
-                            np_reduceat(e1, block_starts, out=blocks)
-                            block_cum = blocks.cumsum()
-                            block = int(block_cum.searchsorted(
-                                target, side="right"))
-                            if block >= num_blocks:
-                                block = num_blocks - 1
-                            if block:
-                                target -= block_cum[block - 1]
-                            lo_t = block << _BLOCK_SHIFT
-                            segment = e1[lo_t:lo_t + _BLOCK_SIZE]
-                            cumulative = self._inclusive_scan(segment)
-                            index = int(cumulative.searchsorted(
-                                target, side="right"))
-                            if index >= segment.shape[0]:
-                                index = segment.shape[0] - 1
-                            new = lo_t + index
-                # Increment and refresh the new topic's caches.
-                nw_row[new] += 1.0
-                nt[new] += 1.0
-                nd_row[new] += 1.0
-                np_add(nt[new], sum_delta[new], out=ratio)
-                np_divide(omega, ratio, out=ratio)
-                np_matmul(aug[new], ratio, out=column)
-                e_matrix[:, new] = column
-                if nw_row[new] == 1.0:
-                    word_list.append(new)
-                doc_z[position] = new
-                position += 1
-                append_out(new)
-        finally:
-            self._current_doc = current_doc
-            self._pos = position
 
     # ------------------------------------------------------------------
     def draw(self, word: int, doc: int, u: float) -> int:
@@ -681,9 +539,19 @@ class SourceTopicsSparsePath(SparseKernelPath):
         alpha = self.alpha
         fast = self._fast
         c_per_topic = fast._C
-        # D row for this word, straight from the shared E cache.
-        d_row = self._d_row
-        fast._E_flat.take(fast._flat[word], out=d_row)
+        e_flat = fast._E_flat
+        flat_word = fast._flat[word]
+        has_floor = self._has_floor
+        if has_floor:
+            # Epsilon-floor/correction split: no token reads the full
+            # D row; per-topic D values are gathered only where needed.
+            d_row = None
+        else:
+            # Negative exponents — corrections are not sign-definite,
+            # so the prior bucket reads the full D row out of the
+            # shared E cache: one O(S) gather, no per-node arithmetic.
+            d_row = self._d_row
+            e_flat.take(flat_word, out=d_row)
         inv_free = self._inv_free
         # q: word bucket (free and source topics mixed).
         q_weights: list[float] = []
@@ -715,7 +583,12 @@ class SourceTopicsSparsePath(SparseKernelPath):
             rs_weights = self._nd_buf[:num_src_doc]
             relative = self._rel_buf[:num_src_doc]
             np.subtract(src_topics, k, out=relative)
-            d_row.take(relative, out=d_values)
+            if d_row is not None:
+                d_row.take(relative, out=d_values)
+            else:
+                flat_idx = self._flatidx_buf[:num_src_doc]
+                flat_word.take(relative, out=flat_idx)
+                e_flat.take(flat_idx, out=d_values)
             nd_row.take(src_topics, out=rs_weights)
             np.multiply(rs_weights, d_values, out=rs_weights)
             rs_mass = float(rs_weights.sum())
@@ -723,8 +596,26 @@ class SourceTopicsSparsePath(SparseKernelPath):
             rs_mass = 0.0
         # s (free): alpha * beta / (nt + V * beta), scalar mass.
         sf_mass = self._ab * float(inv_free.sum()) if k else 0.0
-        # s (source prior): alpha * D over every source topic.
-        s_mass = alpha * float(d_row.sum())
+        # s (source prior): alpha * D over every source topic, split as
+        # floor + correction when the exponents allow it.
+        e1 = self._E1
+        if has_floor:
+            lo = self._corr_ptr[word]
+            hi = self._corr_ptr[word + 1]
+            if hi > lo:
+                corr_weights = self._corr_buf[:hi - lo]
+                corr_cum = self._corr_cum_buf[:hi - lo]
+                e_flat.take(self._corr_flat[lo:hi], out=corr_weights)
+                corr_weights -= e1.take(self._corr_topics[lo:hi])
+                corr_weights.cumsum(out=corr_cum)
+                sc_mass = alpha * float(corr_cum[-1])
+            else:
+                corr_cum = None
+                sc_mass = 0.0
+            sfl_mass = alpha * float(e1.sum())
+            s_mass = sc_mass + sfl_mass
+        else:
+            s_mass = alpha * float(d_row.sum())
         total = q_mass + rf_mass + rs_mass + sf_mass + s_mass
         if not (0.0 < total < np.inf):
             raise ValueError(
@@ -760,12 +651,40 @@ class SourceTopicsSparsePath(SparseKernelPath):
                 index = k - 1  # inv_free is all positive
             return index
         x -= sf_mass
-        # s (source prior): D is strictly positive everywhere.
-        cumulative = self._inclusive_scan(d_row)
-        index = int(cumulative.searchsorted(x / alpha, side="right"))
-        if index >= self._num_source:
-            index = self._num_source - 1
-        return index + k
+        if not has_floor:
+            # s (source prior): D is strictly positive everywhere.
+            cumulative = self._inclusive_scan(d_row)
+            index = int(cumulative.searchsorted(x / alpha, side="right"))
+            if index >= self._num_source:
+                index = self._num_source - 1
+            return index + k
+        # s (correction): alpha * (D - E1) over this word's articles.
+        if corr_cum is not None and x < sc_mass:
+            index = int(corr_cum.searchsorted(x / alpha, side="right"))
+            if index >= corr_cum.shape[0]:
+                # Corrections may include zeros (repeated floor
+                # values); clamp to the last positive one.
+                index = last_positive_index(corr_cum)
+            return int(self._corr_topics[lo + index]) + k
+        x -= sc_mass
+        # s (floor): E1 is strictly positive.  Two-level walk: fresh
+        # block sums pick a segment, one segment scan picks the topic.
+        target = x / alpha
+        blocks = self._blocks
+        np.add.reduceat(e1, self._block_starts, out=blocks)
+        block_cum = blocks.cumsum()
+        block = int(block_cum.searchsorted(target, side="right"))
+        if block >= blocks.shape[0]:
+            block = blocks.shape[0] - 1
+        if block:
+            target -= block_cum[block - 1]
+        lo_t = block << BLOCK_SHIFT
+        segment = e1[lo_t:lo_t + BLOCK_SIZE]
+        cumulative = self._inclusive_scan(segment)
+        index = int(cumulative.searchsorted(target, side="right"))
+        if index >= segment.shape[0]:
+            index = segment.shape[0] - 1
+        return lo_t + index + k
 
     def dense_weights(self, word: int, doc: int) -> np.ndarray:
         state = self.state

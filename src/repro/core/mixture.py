@@ -47,6 +47,9 @@ class MixtureSourceLDA(TopicModel):
         ``"sparse"`` (bucketed O(nnz) draws, statistically equivalent)
         or ``"reference"``; see
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
+    backend:
+        Token-loop backend: ``"auto"`` (default), ``"python"`` or
+        ``"numba"``; see :mod:`repro.sampling.runtime`.
     """
 
     def __init__(self, source: KnowledgeSource, num_free_topics: int,
@@ -55,7 +58,8 @@ class MixtureSourceLDA(TopicModel):
                  epsilon: float = DEFAULT_EPSILON,
                  init: str = "informed",
                  scan: ScanStrategy | None = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 backend: str = "auto") -> None:
         if num_free_topics < 1:
             raise ValueError(
                 f"num_free_topics must be >= 1, got {num_free_topics}; "
@@ -74,6 +78,7 @@ class MixtureSourceLDA(TopicModel):
         self.epsilon = epsilon
         self._scan = scan
         self.engine = engine
+        self.backend = backend
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -95,7 +100,8 @@ class MixtureSourceLDA(TopicModel):
                                     alpha=self.alpha, beta=self.beta,
                                     tables=tables, grid=grid)
         sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
-                                        engine=self.engine)
+                                        engine=self.engine,
+                                        backend=self.backend)
         log_likelihoods = sampler.run(
             iterations, track_log_likelihood=track_log_likelihood)
         labels = ((None,) * self.num_free_topics) + prior.labels

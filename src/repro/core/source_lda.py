@@ -83,6 +83,10 @@ class SourceLDA(TopicModel):
         (O(nnz) per token, statistically equivalent); ``"reference"``
         runs the literal Algorithm 1 loop (O(S * A) per token), kept as
         the exactness oracle.
+    backend:
+        Token-loop backend for the fast/sparse engines: ``"auto"``
+        (default), ``"python"`` or ``"numba"``; see
+        :mod:`repro.sampling.runtime`.
     """
 
     def __init__(self, source: KnowledgeSource,
@@ -100,7 +104,8 @@ class SourceLDA(TopicModel):
                  epsilon: float = DEFAULT_EPSILON,
                  init: str = "informed",
                  scan: ScanStrategy | None = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 backend: str = "auto") -> None:
         if num_unlabeled_topics < 0:
             raise ValueError(
                 f"num_unlabeled_topics must be >= 0, got "
@@ -126,6 +131,7 @@ class SourceLDA(TopicModel):
         self.epsilon = epsilon
         self._scan = scan
         self.engine = engine
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _smoothing_function(self, prior: SourcePrior,
@@ -161,7 +167,8 @@ class SourceLDA(TopicModel):
             state, num_free=self.num_unlabeled_topics, alpha=self.alpha,
             beta=self.beta, tables=tables, grid=grid)
         sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
-                                        engine=self.engine)
+                                        engine=self.engine,
+                                        backend=self.backend)
         snapshots: dict[int, np.ndarray] = {}
         wanted = set(int(i) for i in snapshot_iterations)
 

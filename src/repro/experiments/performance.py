@@ -173,8 +173,9 @@ class EngineSpeedup:
 
 def _time_source_sweeps(corpus: Corpus, prior: SourcePrior,
                         grid: LambdaGrid, tables, engine: str,
-                        alpha: float, seed: int,
-                        sweeps: int) -> tuple[float, np.ndarray, bool]:
+                        alpha: float, seed: int, sweeps: int,
+                        backend: str = "auto"
+                        ) -> tuple[float, np.ndarray, bool]:
     """Best-sweep tokens/sec of one engine on a Source-LDA workload.
 
     All engines run from identical init and draw seeds (one warm-up
@@ -189,7 +190,7 @@ def _time_source_sweeps(corpus: Corpus, prior: SourcePrior,
     kernel = SourceTopicsKernel(state, num_free=0, alpha=alpha,
                                 beta=1.0, tables=tables, grid=grid)
     sampler = CollapsedGibbsSampler(state, kernel, ensure_rng(seed + 2),
-                                    engine=engine)
+                                    engine=engine, backend=backend)
     sampler.sweep()  # warm-up: caches, allocator, branch predictors
     best = np.inf
     for _ in range(sweeps):
@@ -253,8 +254,13 @@ def run_engine_speedup(num_topics: int = 2000,
     num_tokens = corpus.num_tokens
     sparse_consistent = False
     for engine in ("reference", "fast", "sparse"):
+        # Pinned to the python backend: this bench compares *engines*,
+        # and its `exact` flag asserts the python-lane draw-identity
+        # contract — on "auto" a compiled fast lane would measure the
+        # backend swap instead (run_backend_speedup covers that axis).
         tps, final_z, consistent = _time_source_sweeps(
-            corpus, prior, grid, tables, engine, alpha, seed, sweeps)
+            corpus, prior, grid, tables, engine, alpha, seed, sweeps,
+            backend="python")
         throughput[engine] = tps
         assignments[engine] = final_z
         if engine == "sparse":
@@ -286,6 +292,93 @@ def format_engine_speedup(result: EngineSpeedup) -> str:
             f"sparse/fast: {result.sparse_vs_fast:.2f}x\n"
             f"fast byte-identical to reference: {result.exact} | "
             f"sparse counts consistent: {result.sparse_consistent}")
+
+
+@dataclass
+class BackendSpeedup:
+    """Fast-engine throughput per token-loop backend on one workload."""
+
+    num_topics: int
+    approximation_steps: int
+    num_tokens: int
+    engine: str
+    #: backend name -> best-sweep tokens/sec.
+    tokens_per_second: dict[str, float]
+    #: backend name -> count-matrix consistency after the timed sweeps.
+    consistent: dict[str, bool]
+
+    @property
+    def compiled_vs_python(self) -> float | None:
+        """numba/python throughput ratio, or ``None`` unless the run
+        timed both backends (``backends=`` may select a subset)."""
+        if ("numba" not in self.tokens_per_second
+                or "python" not in self.tokens_per_second):
+            return None
+        return (self.tokens_per_second["numba"]
+                / self.tokens_per_second["python"])
+
+
+def run_backend_speedup(num_topics: int = 2000,
+                        approximation_steps: int = 16,
+                        num_documents: int = 30,
+                        document_length: int = 60,
+                        vocab_size: int = 2000,
+                        sweeps: int = 2,
+                        seed: int = 0,
+                        engine: str = "fast",
+                        alpha: float | None = None,
+                        backends: tuple[str, ...] | None = None
+                        ) -> BackendSpeedup:
+    """Time one sweep engine under every available token-loop backend.
+
+    The workload is the B=2000 Source-LDA configuration of
+    :func:`run_engine_speedup`; ``backends`` defaults to everything
+    registered in :mod:`repro.sampling.runtime` (so the result records
+    just the python backend on machines without numba — the graceful
+    skip the bench gate relies on).  Backends sample the same
+    chain-shape from identical seeds; the compiled source lane is
+    distributionally (not draw-for-draw) equivalent, so per-backend
+    count-matrix consistency is recorded instead of assignment
+    equality.
+    """
+    from repro.sampling.runtime import available_backends
+    if alpha is None:
+        alpha = default_alpha(num_topics)
+    if backends is None:
+        backends = available_backends()
+    corpus, prior, grid, tables = _source_workload(
+        num_topics, vocab_size, num_documents, document_length,
+        approximation_steps, seed)
+    throughput: dict[str, float] = {}
+    consistent: dict[str, bool] = {}
+    for backend in backends:
+        tps, _final_z, ok = _time_source_sweeps(
+            corpus, prior, grid, tables, engine, alpha, seed, sweeps,
+            backend=backend)
+        throughput[backend] = tps
+        consistent[backend] = ok
+    return BackendSpeedup(
+        num_topics=num_topics,
+        approximation_steps=approximation_steps,
+        num_tokens=corpus.num_tokens,
+        engine=engine,
+        tokens_per_second=throughput,
+        consistent=consistent)
+
+
+def format_backend_speedup(result: BackendSpeedup) -> str:
+    table = format_table(
+        ["backend", "tokens/sec"],
+        [[name, tps]
+         for name, tps in sorted(result.tokens_per_second.items())],
+        title=(f"Token-loop backends - Source-LDA {result.engine} "
+               f"engine, B={result.num_topics}, "
+               f"A={result.approximation_steps}, "
+               f"{result.num_tokens} tokens"))
+    ratio = result.compiled_vs_python
+    tail = (f"numba/python: {ratio:.2f}x" if ratio is not None
+            else "numba backend not installed (python only)")
+    return f"{table}\n{tail}"
 
 
 @dataclass(frozen=True)
@@ -337,10 +430,15 @@ def run_sparse_scaling(topic_grid: tuple[int, ...] = (500, 2000, 8000),
             num_topics, vocab_size, num_documents, document_length,
             approximation_steps, seed)
         num_tokens = corpus.num_tokens
+        # Pinned to the python backend like run_engine_speedup: the
+        # sparse/fast ratio is an engine comparison, and the compiled
+        # backend covers only the fast lane today.
         fast_tps, _, _ = _time_source_sweeps(
-            corpus, prior, grid, tables, "fast", alpha, seed, sweeps)
+            corpus, prior, grid, tables, "fast", alpha, seed, sweeps,
+            backend="python")
         sparse_tps, _, consistent = _time_source_sweeps(
-            corpus, prior, grid, tables, "sparse", alpha, seed, sweeps)
+            corpus, prior, grid, tables, "sparse", alpha, seed, sweeps,
+            backend="python")
         rows.append(SparseScalingRow(
             num_topics=num_topics,
             fast_tokens_per_second=fast_tps,

@@ -222,13 +222,20 @@ class CTM(TopicModel):
         out-of-bag fallback does not decompose), so it runs on the fast
         engine and stays draw-identical to the reference.  See
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
+    backend:
+        Token-loop backend: ``"auto"`` (default), ``"python"`` or
+        ``"numba"``.  The CTM path exports no kernel table (the
+        out-of-bag fallback is a data-dependent branch), so every
+        backend runs it on the interpreted object lane; the argument is
+        validated and recorded for API uniformity.
     """
 
     def __init__(self, source: KnowledgeSource, num_free_topics: int = 0,
                  top_n_words: int = 10_000, alpha: float = 0.5,
                  beta: float = 0.1,
                  scan: ScanStrategy | None = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 backend: str = "auto") -> None:
         if num_free_topics < 0:
             raise ValueError(
                 f"num_free_topics must be >= 0, got {num_free_topics}")
@@ -239,6 +246,7 @@ class CTM(TopicModel):
         self.beta = beta
         self._scan = scan
         self.engine = engine
+        self.backend = backend
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -254,7 +262,8 @@ class CTM(TopicModel):
         kernel = CtmKernel(state, mask, self.num_free_topics,
                            self.alpha, self.beta)
         sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
-                                        engine=self.engine)
+                                        engine=self.engine,
+                                        backend=self.backend)
         log_likelihoods = sampler.run(
             iterations, track_log_likelihood=track_log_likelihood)
         labels = ((None,) * self.num_free_topics) + self.source.labels

@@ -23,8 +23,9 @@ from repro.models.lda import posterior_theta
 from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import CollapsedGibbsSampler, TopicWeightKernel
 from repro.sampling.rng import ensure_rng
+from repro.sampling.runtime import EdaDenseTable, TopicSet
 from repro.sampling.scans import ScanStrategy, last_positive_index
-from repro.sampling.sparse_engine import SparseKernelPath, TopicSet
+from repro.sampling.sparse_engine import SparseKernelPath
 from repro.sampling.state import GibbsState
 from repro.text.corpus import Corpus
 
@@ -73,12 +74,20 @@ class EdaFastPath(FastKernelPath):
         super().__init__(kernel.state)
         self.alpha = kernel.alpha
         self._phi_by_word = kernel._phi_by_word
+        self._out = np.empty(kernel.state.num_topics)
 
     def begin_sweep(self) -> None:
         pass
 
     def weights(self, word: int, doc_row: np.ndarray) -> np.ndarray:
         return self._phi_by_word[word] * doc_row
+
+    def table(self) -> EdaDenseTable:
+        """The frozen ``(V, T)`` phi gather table as a runtime kernel
+        table (there are no count-keyed caches to refresh)."""
+        return EdaDenseTable(alpha=self.alpha,
+                             phi_by_word=self._phi_by_word,
+                             out=self._out)
 
 
 class EdaSparsePath(SparseKernelPath):
@@ -178,17 +187,22 @@ class EDA(TopicModel):
         ``"sparse"`` (bucketed document/prior draws, statistically
         equivalent) or ``"reference"``; see
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
+    backend:
+        Token-loop backend: ``"auto"`` (default), ``"python"`` or
+        ``"numba"``; see :mod:`repro.sampling.runtime`.
     """
 
     def __init__(self, source: KnowledgeSource, alpha: float = 0.5,
                  epsilon: float = DEFAULT_EPSILON,
                  scan: ScanStrategy | None = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 backend: str = "auto") -> None:
         self.source = source
         self.alpha = alpha
         self.epsilon = epsilon
         self._scan = scan
         self.engine = engine
+        self.backend = backend
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -203,7 +217,8 @@ class EDA(TopicModel):
         state.initialize_random(rng)
         kernel = EdaKernel(state, phi, self.alpha)
         sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
-                                        engine=self.engine)
+                                        engine=self.engine,
+                                        backend=self.backend)
         log_likelihoods = sampler.run(
             iterations, track_log_likelihood=track_log_likelihood)
         return FittedTopicModel(

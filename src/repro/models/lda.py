@@ -20,9 +20,9 @@ from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import (CollapsedGibbsSampler, TopicWeightKernel,
                                   symmetric_dirichlet_log_likelihood)
 from repro.sampling.rng import ensure_rng
+from repro.sampling.runtime import LdaDenseTable, TopicSet, WordTopicLists
 from repro.sampling.scans import ScanStrategy
-from repro.sampling.sparse_engine import (SparseKernelPath, TopicSet,
-                                          WordTopicLists)
+from repro.sampling.sparse_engine import SparseKernelPath
 from repro.sampling.state import GibbsState
 from repro.text.corpus import Corpus
 
@@ -90,6 +90,14 @@ class LdaFastPath(FastKernelPath):
         out /= self._nt_beta
         out *= doc_row
         return out
+
+    def table(self) -> LdaDenseTable:
+        """The denominator cache as a flat runtime kernel table; the
+        backend's inlined per-token refresh writes the same
+        ``nt + V * beta`` entries :meth:`topic_changed` would."""
+        return LdaDenseTable(alpha=self.alpha, beta=self.beta,
+                             beta_sum=self._beta_sum,
+                             nt_beta=self._nt_beta, out=self._out)
 
 
 class LdaSparsePath(SparseKernelPath):
@@ -247,12 +255,17 @@ class LDA(TopicModel):
         O(nnz) per token, statistically equivalent) or ``"reference"``
         (the literal Algorithm 1 loop); see
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
+    backend:
+        Token-loop backend for the fast/sparse engines:
+        ``"auto"`` (default), ``"python"`` or ``"numba"``; see
+        :mod:`repro.sampling.runtime`.
     """
 
     def __init__(self, num_topics: int, alpha: float = 0.5,
                  beta: float = 0.1,
                  scan: ScanStrategy | None = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 backend: str = "auto") -> None:
         if num_topics < 1:
             raise ValueError(f"num_topics must be >= 1, got {num_topics}")
         self.num_topics = num_topics
@@ -260,6 +273,7 @@ class LDA(TopicModel):
         self.beta = beta
         self._scan = scan
         self.engine = engine
+        self.backend = backend
 
     def fit(self, corpus: Corpus, iterations: int = 100,
             seed: int | np.random.Generator | None = None,
@@ -271,7 +285,8 @@ class LDA(TopicModel):
         state.initialize_random(rng)
         kernel = LdaKernel(state, self.alpha, self.beta)
         sampler = CollapsedGibbsSampler(state, kernel, rng, scan=self._scan,
-                                        engine=self.engine)
+                                        engine=self.engine,
+                                        backend=self.backend)
         snapshots: dict[int, np.ndarray] = {}
         wanted = set(int(i) for i in snapshot_iterations)
 

@@ -1,4 +1,4 @@
-"""The fast sweep engine: incremental caches + a batched token loop.
+"""The fast sweep engine: incremental caches + a runtime-backed token loop.
 
 The reference sweep (:meth:`CollapsedGibbsSampler.sweep`) is a faithful
 transcription of Algorithm 1: per token it calls ``state.decrement``, asks
@@ -13,7 +13,7 @@ native implementation never pays:
   even though the only inputs that changed since the previous token are
   the counts of (at most) two topics.
 
-This module removes both while keeping the sampled chain *identical*:
+This engine removes both while keeping the sampled chain *identical*:
 
 1. The per-sweep uniform variates are pre-drawn with a single
    ``rng.random(N)`` call.  NumPy's ``Generator.random`` consumes the
@@ -27,25 +27,27 @@ This module removes both while keeping the sampled chain *identical*:
 3. Each kernel may expose a :class:`FastKernelPath` carrying incremental
    caches keyed on ``nt`` (see the kernels' modules for the per-model
    algebra — e.g. the ``nw * C + D`` decomposition of the lambda
-   integral in :mod:`repro.core.kernels`).  The engine notifies the path
-   whenever a topic total changes so caches refresh in ``O(A)`` instead
-   of being rebuilt in ``O(S * A)`` per token.
-4. Decrement / sample / increment are fused inline — no per-token method
-   dispatch or tuple packing.
+   integral in :mod:`repro.core.kernels`).
+4. The token loop itself lives in :mod:`repro.sampling.runtime` and is
+   executed by a pluggable :class:`~repro.sampling.runtime.TokenLoopBackend`
+   (``backend="auto"|"python"|"numba"``).  Paths that compile their
+   caches into a flat kernel table (:meth:`FastKernelPath.table`) run on
+   a table-driven lane — the one a compiled backend can execute;
+   paths without a table run on the interpreted object lane
+   (per-token ``path.weights``/``topic_changed`` calls), and kernels
+   with no path at all on the generic lane (per-token
+   ``kernel.weights``).
 
-Kernels without a fast path fall back to a generic loop that still
-pre-draws the uniforms and skips the per-token method dispatch of the
-reference driver, calling ``kernel.weights`` per token; this keeps the
-engine usable with any third-party :class:`TopicWeightKernel` subclass.
-
-Exactness contract: for the built-in kernels whose fast path reproduces
-the reference arithmetic bit-for-bit (LDA, EDA, CTM) the engine produces
-byte-identical assignments by construction.  The Source-LDA path
-reassociates the lambda-grid summation (that reassociation *is* the
-speedup), so individual weights may differ in the last ulp; the sampled
-chain only differs if a uniform draw lands inside that ulp-sized window
-of a cumulative-sum boundary.  ``tests/test_fast_engine.py`` pins
-draw-for-draw equality on fixed seeds for every kernel.
+Exactness contract: on the python backend, for the built-in kernels
+whose fast path reproduces the reference arithmetic bit-for-bit (LDA,
+EDA, CTM) the engine produces byte-identical assignments by
+construction.  The Source-LDA path reassociates the lambda-grid
+summation (that reassociation *is* the speedup), so individual weights
+may differ in the last ulp; the sampled chain only differs if a uniform
+draw lands inside that ulp-sized window of a cumulative-sum boundary.
+``tests/test_fast_engine.py`` pins draw-for-draw equality on fixed
+seeds for every kernel.  The numba backend's per-lane equivalence
+contract is documented in :mod:`repro.sampling.runtime_numba`.
 """
 
 from __future__ import annotations
@@ -54,8 +56,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.sampling.scans import (ScanStrategy, SerialScan,
-                                  last_positive_index)
+from repro.sampling.runtime import TokenLoopBackend, resolve_backend
+from repro.sampling.scans import ScanStrategy, SerialScan
 from repro.sampling.state import GibbsState
 
 
@@ -64,16 +66,23 @@ class FastKernelPath(ABC):
 
     A path is created by :meth:`TopicWeightKernel.fast_path` and owns
     whatever caches let it produce the kernel's unnormalized weights in
-    less work than a from-scratch evaluation.  The engine drives it as
-    follows, for every token ``i`` with word ``w`` in document ``d``:
+    less work than a from-scratch evaluation.  The runtime backend
+    drives it as follows, for every token ``i`` with word ``w`` in
+    document ``d``:
 
-    1. the engine decrements ``nw/nt/nd`` for the old topic and calls
+    1. the loop decrements ``nw/nt/nd`` for the old topic and calls
        :meth:`topic_changed` with it;
     2. :meth:`weights` must return the *complete* unnormalized weight
        vector (including the ``nd[d] + alpha`` document factor, which the
-       engine maintains and passes in as ``doc_row``);
-    3. after the draw, the engine increments the counts for the new topic
+       loop maintains and passes in as ``doc_row``);
+    3. after the draw, the loop increments the counts for the new topic
        and calls :meth:`topic_changed` with it.
+
+    Paths that additionally export a kernel table (:meth:`table`) are
+    sampled through the runtime's table-driven lanes instead — the
+    backend applies the same per-token arithmetic directly to the
+    table's arrays, which is what lets a compiled backend run the loop
+    without calling back into Python.
 
     ``begin_sweep`` runs once per sweep before any token is touched, so
     caches are always rebuilt from the live count matrices — external
@@ -83,7 +92,7 @@ class FastKernelPath(ABC):
     Attributes
     ----------
     alpha:
-        The document-topic prior; the engine uses it to maintain the
+        The document-topic prior; the loop uses it to maintain the
         cached ``nd[doc] + alpha`` row.
     """
 
@@ -99,14 +108,24 @@ class FastKernelPath(ABC):
     @abstractmethod
     def weights(self, word: int, doc_row: np.ndarray) -> np.ndarray:
         """Full unnormalized weights for ``word``; ``doc_row`` is the
-        engine-maintained ``nd[doc] + alpha`` vector."""
+        loop-maintained ``nd[doc] + alpha`` vector."""
 
     def topic_changed(self, topic: int) -> None:
         """``nt[topic]`` just changed by one; refresh caches keyed on it."""
 
+    def table(self):
+        """Optional flat kernel table for the runtime's table lanes.
+
+        ``None`` (the default) keeps the path on the interpreted object
+        lane; built-in paths override this with one of the
+        :mod:`repro.sampling.runtime` table classes whose array fields
+        alias the path's live caches.
+        """
+        return None
+
 
 class FastSweepEngine:
-    """Executes one Gibbs sweep with the batched token loop.
+    """Executes one Gibbs sweep through the runtime token-loop core.
 
     Parameters
     ----------
@@ -115,17 +134,25 @@ class FastSweepEngine:
     scan:
         Scan strategy for the cumulative sums.  The serial scan is
         inlined as ``np.cumsum``; parallel scans are invoked through
-        their ``inclusive_scan`` (they are exact, so draws are unchanged).
+        their ``inclusive_scan`` (they are exact, so draws are
+        unchanged).  Non-serial scans pin the sweep to the python
+        backend's loops.
     chunk_size:
-        Tokens materialized as Python lists at a time.  Bounds the
-        transient boxed-object memory at large corpora while keeping the
-        draw stream unchanged (consecutive ``rng.random(c)`` batches
-        concatenate to the same stream as one ``rng.random(N)``).
+        Tokens materialized per loop chunk.  Bounds the transient
+        per-chunk memory at large corpora while keeping the draw stream
+        unchanged (consecutive ``rng.random(c)`` batches concatenate to
+        the same stream as one ``rng.random(N)``).
+    backend:
+        Token-loop backend: ``"auto"`` (compiled when numba is
+        importable, python otherwise), ``"python"`` or ``"numba"``; a
+        resolved :class:`~repro.sampling.runtime.TokenLoopBackend`
+        instance also passes through.
     """
 
     def __init__(self, state: GibbsState, kernel, rng: np.random.Generator,
                  scan: ScanStrategy | None = None,
-                 chunk_size: int = 65536) -> None:
+                 chunk_size: int = 65536,
+                 backend: str | TokenLoopBackend = "auto") -> None:
         if chunk_size < 1:
             raise ValueError(
                 f"chunk_size must be >= 1, got {chunk_size}")
@@ -134,153 +161,15 @@ class FastSweepEngine:
         self.rng = rng
         self.scan = scan or SerialScan()
         self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
         self._inline_serial = type(self.scan) is SerialScan
         self._path: FastKernelPath | None = kernel.fast_path()
 
+    @property
+    def _table(self):
+        """The current path's kernel table (tests swap ``_path``
+        mid-flight, so the table is always derived from it fresh)."""
+        return self._path.table() if self._path is not None else None
+
     def sweep(self) -> None:
-        if self._path is not None:
-            self._sweep_with_path(self._path)
-        else:
-            self._sweep_generic()
-
-    # ------------------------------------------------------------------
-    def _sweep_with_path(self, path: FastKernelPath) -> None:
-        state = self.state
-        z = state.z
-        nw = state.nw
-        nt = state.nt
-        nd = state.nd
-        alpha = path.alpha
-        scan = self.scan
-        inline_serial = self._inline_serial
-        cumulative = np.empty(state.num_topics)
-        inf = np.inf
-        path_weights = path.weights
-        topic_changed = path.topic_changed
-        rng_random = self.rng.random
-        chunk = self.chunk_size
-        num_topics = state.num_topics
-        float64 = np.float64
-
-        path.begin_sweep()
-        current_doc = -1
-        doc_row = None
-        # Token streams chunked into plain Python lists: list indexing
-        # plus native-int array subscripts are markedly cheaper than
-        # NumPy scalar extraction in a per-token loop, and chunking
-        # bounds the boxed-object footprint at large corpora.  Each
-        # token reads only its own ``z`` entry, so the per-chunk batched
-        # write-back is equivalent to per-token stores; the finally
-        # keeps ``z`` synced with the counts if a kernel raises
-        # mid-chunk (matching the reference engine's failure state of a
-        # single decremented-but-unassigned token).
-        for start in range(0, state.num_tokens, chunk):
-            stop = min(start + chunk, state.num_tokens)
-            words = state.words[start:stop].tolist()
-            doc_ids = state.doc_ids[start:stop].tolist()
-            old_topics = z[start:stop].tolist()
-            uniforms = rng_random(stop - start).tolist()
-            new_topics: list[int] = []
-            append_new = new_topics.append
-            try:
-                for word, doc, old, u in zip(words, doc_ids, old_topics,
-                                             uniforms):
-                    nw[word, old] -= 1.0
-                    nt[old] -= 1.0
-                    nd[doc, old] -= 1.0
-                    if doc != current_doc:
-                        doc_row = nd[doc] + alpha
-                        current_doc = doc
-                    else:
-                        doc_row[old] = nd[doc, old] + alpha
-                    topic_changed(old)
-                    w = path_weights(word, doc_row)
-                    if inline_serial:
-                        w.cumsum(dtype=float64, out=cumulative)
-                    else:
-                        cumulative = scan.inclusive_scan(
-                            np.asarray(w, dtype=float64))
-                    total = cumulative[-1]
-                    if not (0.0 < total < inf):
-                        raise ValueError(
-                            f"topic weights must have positive finite "
-                            f"mass, got total={total!r}")
-                    new = int(cumulative.searchsorted(u * total,
-                                                      side="right"))
-                    if new == num_topics:
-                        # u * total rounded to total; take the last
-                        # positive-weight topic (matches the reference
-                        # scan's boundary clamp).
-                        new = last_positive_index(cumulative)
-                    append_new(new)
-                    nw[word, new] += 1.0
-                    nt[new] += 1.0
-                    nd[doc, new] += 1.0
-                    doc_row[new] = nd[doc, new] + alpha
-                    topic_changed(new)
-            finally:
-                if new_topics:
-                    z[start:start + len(new_topics)] = new_topics
-
-    # ------------------------------------------------------------------
-    def _sweep_generic(self) -> None:
-        """Fallback for kernels without a fast path: same loop shape but
-        per-token ``kernel.weights`` calls (which already include the
-        document factor)."""
-        state = self.state
-        kernel_weights = self.kernel.weights
-        z = state.z
-        nw = state.nw
-        nt = state.nt
-        nd = state.nd
-        scan = self.scan
-        inline_serial = self._inline_serial
-        cumsum = np.cumsum
-        inf = np.inf
-        rng_random = self.rng.random
-        chunk = self.chunk_size
-        num_topics = state.num_topics
-        float64 = np.float64
-
-        for start in range(0, state.num_tokens, chunk):
-            stop = min(start + chunk, state.num_tokens)
-            words = state.words[start:stop].tolist()
-            doc_ids = state.doc_ids[start:stop].tolist()
-            old_topics = z[start:stop].tolist()
-            uniforms = rng_random(stop - start).tolist()
-            new_topics: list[int] = []
-            append_new = new_topics.append
-            try:
-                for word, doc, old, u in zip(words, doc_ids, old_topics,
-                                             uniforms):
-                    nw[word, old] -= 1.0
-                    nt[old] -= 1.0
-                    nd[doc, old] -= 1.0
-                    w = kernel_weights(word, doc)
-                    if inline_serial:
-                        # dtype matches the reference scan's float64
-                        # cast, so non-float64 kernel weights accumulate
-                        # identically on both engines.
-                        cumulative = cumsum(w, dtype=float64)
-                    else:
-                        cumulative = scan.inclusive_scan(
-                            np.asarray(w, dtype=float64))
-                    total = cumulative[-1]
-                    if not (0.0 < total < inf):
-                        raise ValueError(
-                            f"topic weights must have positive finite "
-                            f"mass, got total={total!r}")
-                    new = int(cumulative.searchsorted(u * total,
-                                                      side="right"))
-                    if new == num_topics:
-                        # u * total rounded to total; take the last
-                        # positive-weight topic (matches the reference
-                        # scan's boundary clamp).
-                        new = last_positive_index(cumulative)
-                    append_new(new)
-                    nw[word, new] += 1.0
-                    nt[new] += 1.0
-                    nd[doc, new] += 1.0
-            finally:
-                if new_topics:
-                    z[start:start + len(new_topics)] = new_topics
+        self.backend.sweep_dense(self)

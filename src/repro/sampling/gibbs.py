@@ -40,6 +40,7 @@ import numpy as np
 from scipy.special import gammaln
 
 from repro.sampling.fast_engine import FastKernelPath, FastSweepEngine
+from repro.sampling.runtime import TokenLoopBackend, resolve_backend
 from repro.sampling.scans import ScanStrategy, SerialScan
 from repro.sampling.sparse_engine import SparseKernelPath, SparseSweepEngine
 from repro.sampling.state import GibbsState
@@ -134,29 +135,41 @@ class CollapsedGibbsSampler:
         :class:`~repro.sampling.sparse_engine.SparseSweepEngine`;
         ``"reference"`` runs the literal Algorithm 1 loop.  All three
         consume the RNG stream identically (one uniform per token).
+    backend:
+        Token-loop backend for the fast/sparse engines (see
+        :mod:`repro.sampling.runtime`): ``"auto"`` (default — the
+        compiled backend when numba is importable, python otherwise),
+        ``"python"`` or ``"numba"``.  The resolved name is exposed as
+        :attr:`backend`; the reference engine is interpreted by
+        definition and ignores the choice (it is still validated).
     """
 
     def __init__(self, state: GibbsState, kernel: TopicWeightKernel,
                  rng: np.random.Generator,
                  scan: ScanStrategy | None = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 backend: str | TokenLoopBackend = "auto") -> None:
         if kernel.state is not state:
             raise ValueError("kernel is bound to a different state")
         if engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {engine!r}")
+        resolved = resolve_backend(backend)
         self.state = state
         self.kernel = kernel
         self.rng = rng
         self.scan = scan or SerialScan()
         self.engine = engine
+        self.backend = resolved.name
         self.timings = SweepTimings()
         if engine == "fast":
             self._sweep_engine = FastSweepEngine(state, kernel, rng,
-                                                 scan=self.scan)
+                                                 scan=self.scan,
+                                                 backend=resolved)
         elif engine == "sparse":
             self._sweep_engine = SparseSweepEngine(state, kernel, rng,
-                                                   scan=self.scan)
+                                                   scan=self.scan,
+                                                   backend=resolved)
         else:
             self._sweep_engine = None
 

@@ -1,0 +1,472 @@
+"""The compiled token-loop backend (optional, requires :mod:`numba`).
+
+Importing this module requires numba; :mod:`repro.sampling.runtime`
+imports it inside a ``try`` so machines without numba simply keep the
+python backend.  On machines with numba, :class:`NumbaBackend`
+registers under ``"numba"`` and ``backend="auto"`` resolves to it.
+
+What is compiled — and what the compilation preserves:
+
+* **Dense LDA / EDA lanes**: the per-token weight, running cumulative
+  sum and right-bisection are written as sequential scalar loops, the
+  same association order as the python backend's ``np.cumsum`` (NumPy's
+  cumsum is sequential, unlike its pairwise ``sum``), so these lanes
+  are **draw-for-draw identical** to the python backend.
+* **Dense Source-LDA lane**: the E-column refresh contracts
+  ``aug[t] @ ratio`` with an explicit loop; BLAS and a scalar loop are
+  not guaranteed to round identically, so this lane is pinned
+  **distributionally** — the same contract the sparse engine
+  established in PR 2 (the per-token conditional agrees to float
+  reassociation).
+* **Fold-in exact lane**: sequential cumsum again — draw-identical.
+* **Fold-in sparse lane**: the document-bucket mass uses a scalar
+  accumulation where the python backend uses (pairwise) ``np.sum`` —
+  distributionally equivalent.
+
+Sparse *training* sweeps are not compiled yet: their bucket walks
+mutate list-based membership structures per token, and the bucketed
+tables are exactly what a future compiled sparse lane should inherit
+(see ROADMAP).  The backend subclasses :class:`PythonBackend`, so every
+lane it does not override falls through to the interpreted loop —
+requesting ``backend="numba"`` never changes which lanes exist, only
+how fast the compiled ones run.
+
+All randomness stays outside the compiled region: uniforms are
+pre-drawn per chunk/sweep with the caller's ``rng`` (one uniform per
+token, the library-wide contract), so the compiled loops are pure
+functions of (counts, caches, uniforms) and swapping backends never
+shifts a shared stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.sampling.runtime import (FoldInTable, PythonBackend,
+                                    register_backend)
+
+#: Lanes `sweep_dense` compiles; anything else falls through.
+_COMPILED_DENSE = ("lda", "eda", "source")
+
+
+@njit(cache=True)
+def _searchsorted_right(cumulative, n, x):
+    """First index with ``cumulative[i] > x`` (np.searchsorted
+    side="right" on the first ``n`` entries)."""
+    lo = 0
+    hi = n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] <= x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@njit(cache=True)
+def _last_positive_index(cumulative, n):
+    """First index reaching the total — the last positive-weight entry
+    (np.searchsorted side="left" for the boundary clamp)."""
+    total = cumulative[n - 1]
+    lo = 0
+    hi = n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] < total:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@njit(cache=True)
+def _dense_lda_chunk(words, doc_ids, old_topics, uniforms, z, start,
+                     nw, nt, nd, nt_beta, doc_row, cursor,
+                     alpha, beta, beta_sum, cumulative):
+    """One chunk of the dense LDA token loop (sequential cumsum: the
+    draws match the python backend bit for bit).  ``cursor[0]`` carries
+    the current document across chunk calls; ``z`` is written per token
+    so a mid-chunk error leaves the same single-token failure state as
+    the interpreted loop."""
+    num_topics = nt_beta.shape[0]
+    current_doc = cursor[0]
+    for i in range(words.shape[0]):
+        word = words[i]
+        doc = doc_ids[i]
+        old = old_topics[i]
+        nw[word, old] -= 1.0
+        nt[old] -= 1.0
+        nd[doc, old] -= 1.0
+        if doc != current_doc:
+            for t in range(num_topics):
+                doc_row[t] = nd[doc, t] + alpha
+            current_doc = doc
+        else:
+            doc_row[old] = nd[doc, old] + alpha
+        nt_beta[old] = nt[old] + beta_sum
+        acc = 0.0
+        for t in range(num_topics):
+            acc += (nw[word, t] + beta) / nt_beta[t] * doc_row[t]
+            cumulative[t] = acc
+        total = cumulative[num_topics - 1]
+        if not (0.0 < total < np.inf):
+            raise ValueError(
+                "topic weights must have positive finite mass")
+        new = _searchsorted_right(cumulative, num_topics,
+                                  uniforms[i] * total)
+        if new == num_topics:
+            new = _last_positive_index(cumulative, num_topics)
+        z[start + i] = new
+        nw[word, new] += 1.0
+        nt[new] += 1.0
+        nd[doc, new] += 1.0
+        doc_row[new] = nd[doc, new] + alpha
+        nt_beta[new] = nt[new] + beta_sum
+    cursor[0] = current_doc
+
+
+@njit(cache=True)
+def _dense_eda_chunk(words, doc_ids, old_topics, uniforms, z, start,
+                     nw, nt, nd, phi_by_word, doc_row, cursor,
+                     alpha, cumulative):
+    """One chunk of the dense fixed-phi (EDA) token loop."""
+    num_topics = nt.shape[0]
+    current_doc = cursor[0]
+    for i in range(words.shape[0]):
+        word = words[i]
+        doc = doc_ids[i]
+        old = old_topics[i]
+        nw[word, old] -= 1.0
+        nt[old] -= 1.0
+        nd[doc, old] -= 1.0
+        if doc != current_doc:
+            for t in range(num_topics):
+                doc_row[t] = nd[doc, t] + alpha
+            current_doc = doc
+        else:
+            doc_row[old] = nd[doc, old] + alpha
+        acc = 0.0
+        for t in range(num_topics):
+            acc += phi_by_word[word, t] * doc_row[t]
+            cumulative[t] = acc
+        total = cumulative[num_topics - 1]
+        if not (0.0 < total < np.inf):
+            raise ValueError(
+                "topic weights must have positive finite mass")
+        new = _searchsorted_right(cumulative, num_topics,
+                                  uniforms[i] * total)
+        if new == num_topics:
+            new = _last_positive_index(cumulative, num_topics)
+        z[start + i] = new
+        nw[word, new] += 1.0
+        nt[new] += 1.0
+        nd[doc, new] += 1.0
+        doc_row[new] = nd[doc, new] + alpha
+    cursor[0] = current_doc
+
+
+@njit(cache=True)
+def _refresh_source_column(topic, k, nt, sum_delta, aug, E, ratio):
+    """The ``E[:, t] = aug[t] @ (omega_over) `` refresh, scalar loops.
+    ``ratio`` already holds ``omega``; it is overwritten in place."""
+    t = topic - k
+    num_nodes = ratio.shape[0]
+    for a in range(num_nodes):
+        ratio[a] = ratio[a] / (nt[topic] + sum_delta[t, a])
+    rows = E.shape[0]
+    for r in range(rows):
+        acc = 0.0
+        for a in range(num_nodes):
+            acc += aug[t, r, a] * ratio[a]
+        E[r, t] = acc
+
+
+@njit(cache=True)
+def _dense_source_chunk(words, doc_ids, old_topics, uniforms, z, start,
+                        nw, nt, nd, num_free, omega, sum_delta, aug,
+                        E, inverse_plus, nt_free, doc_row, cursor,
+                        alpha, beta, beta_sum, ratio, cumulative):
+    """One chunk of the dense Source-LDA token loop.
+
+    ``inverse_plus[w, s]`` is the unique-value row index (``inverse + 1``)
+    of word ``w`` under source topic ``s``, so ``D[w, s] =
+    E[inverse_plus[w, s], s]`` and ``C[s] = E[0, s]``.  The E-column
+    refresh reassociates the quadrature contraction (scalar loop vs
+    BLAS), so this lane is distributionally — not draw-for-draw —
+    equivalent to the python backend.
+    """
+    num_topics = nt.shape[0]
+    k = num_free
+    num_nodes = omega.shape[0]
+    current_doc = cursor[0]
+    for i in range(words.shape[0]):
+        word = words[i]
+        doc = doc_ids[i]
+        old = old_topics[i]
+        nw[word, old] -= 1.0
+        nt[old] -= 1.0
+        nd[doc, old] -= 1.0
+        if doc != current_doc:
+            for t in range(num_topics):
+                doc_row[t] = nd[doc, t] + alpha
+            current_doc = doc
+        else:
+            doc_row[old] = nd[doc, old] + alpha
+        if old < k:
+            nt_free[old] = nt[old] + beta_sum
+        else:
+            for a in range(num_nodes):
+                ratio[a] = omega[a]
+            _refresh_source_column(old, k, nt, sum_delta, aug, E, ratio)
+        acc = 0.0
+        for t in range(k):
+            acc += (nw[word, t] + beta) / nt_free[t] * doc_row[t]
+            cumulative[t] = acc
+        for t in range(k, num_topics):
+            s = t - k
+            weight = (nw[word, t] * E[0, s]
+                      + E[inverse_plus[word, s], s]) * doc_row[t]
+            acc += weight
+            cumulative[t] = acc
+        total = cumulative[num_topics - 1]
+        if not (0.0 < total < np.inf):
+            raise ValueError(
+                "topic weights must have positive finite mass")
+        new = _searchsorted_right(cumulative, num_topics,
+                                  uniforms[i] * total)
+        if new == num_topics:
+            new = _last_positive_index(cumulative, num_topics)
+        z[start + i] = new
+        nw[word, new] += 1.0
+        nt[new] += 1.0
+        nd[doc, new] += 1.0
+        doc_row[new] = nd[doc, new] + alpha
+        if new < k:
+            nt_free[new] = nt[new] + beta_sum
+        else:
+            for a in range(num_nodes):
+                ratio[a] = omega[a]
+            _refresh_source_column(new, k, nt, sum_delta, aug, E, ratio)
+    cursor[0] = current_doc
+
+
+@njit(cache=True)
+def _foldin_exact_doc(word_ids, phi_by_word, alpha, iterations,
+                      init_assignments, uniforms, work, cumulative,
+                      accumulated, doc_counts, theta_out):
+    """Compiled fold-in, exact lane: sequential cumsum per token —
+    draw-identical to the python backend given the same pre-drawn
+    ``init_assignments`` and ``uniforms``."""
+    length = word_ids.shape[0]
+    num_topics = doc_counts.shape[0]
+    for t in range(num_topics):
+        doc_counts[t] = 0.0
+        accumulated[t] = 0.0
+    for i in range(length):
+        doc_counts[init_assignments[i]] += 1.0
+    burn_in = min(max(1, iterations // 2), iterations - 1)
+    samples = 0
+    for iteration in range(iterations):
+        base = iteration * length
+        for position in range(length):
+            word = word_ids[position]
+            doc_counts[init_assignments[position]] -= 1.0
+            acc = 0.0
+            for t in range(num_topics):
+                work[t] = phi_by_word[word, t] * (doc_counts[t] + alpha)
+                acc += work[t]
+                cumulative[t] = acc
+            total = cumulative[num_topics - 1]
+            if not (0.0 < total < np.inf):
+                raise ValueError(
+                    "categorical weights must have positive finite mass")
+            topic = _searchsorted_right(cumulative, num_topics,
+                                        uniforms[base + position] * total)
+            if topic >= num_topics:
+                topic = _last_positive_index(cumulative, num_topics)
+            init_assignments[position] = topic
+            doc_counts[topic] += 1.0
+        if iteration >= burn_in:
+            for t in range(num_topics):
+                accumulated[t] += doc_counts[t]
+            samples += 1
+    denom = length + num_topics * alpha
+    scale = 1.0 / max(samples, 1)
+    for t in range(num_topics):
+        theta_out[t] = (accumulated[t] * scale + alpha) / denom
+
+
+@njit(cache=True)
+def _foldin_sparse_doc(word_ids, phi_by_word, prior_mass, alias_accept,
+                       alias_topic, alpha, iterations, init_assignments,
+                       uniforms, members, member_pos, r_cum, accumulated,
+                       doc_counts, theta_out):
+    """Compiled fold-in, sparse lane: prior/document bucket split with
+    O(1) alias prior hits.  ``members``/``member_pos`` implement the
+    TopicSet (swap-remove membership) as flat arrays; bucket masses
+    accumulate sequentially, so this lane is distributionally (not
+    draw-for-draw) equivalent to the python backend's pairwise sums.
+    """
+    length = word_ids.shape[0]
+    num_topics = doc_counts.shape[0]
+    for t in range(num_topics):
+        doc_counts[t] = 0.0
+        accumulated[t] = 0.0
+        member_pos[t] = -1
+    for i in range(length):
+        doc_counts[init_assignments[i]] += 1.0
+    num_members = 0
+    for t in range(num_topics):
+        if doc_counts[t] > 0.0:
+            members[num_members] = t
+            member_pos[t] = num_members
+            num_members += 1
+    burn_in = min(max(1, iterations // 2), iterations - 1)
+    samples = 0
+    for iteration in range(iterations):
+        base = iteration * length
+        for position in range(length):
+            old = init_assignments[position]
+            doc_counts[old] -= 1.0
+            if doc_counts[old] == 0.0:
+                # swap-remove from the membership array
+                idx = member_pos[old]
+                num_members -= 1
+                last = members[num_members]
+                members[idx] = last
+                member_pos[last] = idx
+                member_pos[old] = -1
+            word = word_ids[position]
+            r_mass = 0.0
+            for m in range(num_members):
+                t = members[m]
+                r_mass += doc_counts[t] * phi_by_word[word, t]
+                r_cum[m] = r_mass
+            s_mass = prior_mass[word]
+            total = r_mass + s_mass
+            if not (0.0 < total < np.inf):
+                raise ValueError(
+                    "categorical weights must have positive finite mass")
+            x = uniforms[base + position] * total
+            if x < r_mass:
+                index = _searchsorted_right(r_cum, num_members, x)
+                if index >= num_members:
+                    index = _last_positive_index(r_cum, num_members)
+                topic = members[index]
+            else:
+                v = (x - r_mass) / s_mass
+                scaled = v * num_topics
+                cell = int(scaled)
+                if cell >= num_topics:
+                    cell = num_topics - 1
+                if (scaled - cell) < alias_accept[word, cell]:
+                    topic = cell
+                else:
+                    topic = alias_topic[word, cell]
+            init_assignments[position] = topic
+            if doc_counts[topic] == 0.0:
+                members[num_members] = topic
+                member_pos[topic] = num_members
+                num_members += 1
+            doc_counts[topic] += 1.0
+        if iteration >= burn_in:
+            for t in range(num_topics):
+                accumulated[t] += doc_counts[t]
+            samples += 1
+    denom = length + num_topics * alpha
+    scale = 1.0 / max(samples, 1)
+    for t in range(num_topics):
+        theta_out[t] = (accumulated[t] * scale + alpha) / denom
+
+
+class NumbaBackend(PythonBackend):
+    """Compiled dense and fold-in lanes; everything else inherits the
+    interpreted loops from :class:`PythonBackend` (per-lane fallback —
+    see the module docstring for the lane-by-lane equivalence
+    contract)."""
+
+    name = "numba"
+
+    def sweep_dense(self, engine) -> None:
+        path = engine._path
+        table = engine._table
+        if (path is None or table is None or not engine._inline_serial
+                or table.kind not in _COMPILED_DENSE):
+            super().sweep_dense(engine)
+            return
+        path.begin_sweep()
+        state = engine.state
+        z = state.z
+        chunk = engine.chunk_size
+        rng_random = engine.rng.random
+        num_topics = state.num_topics
+        cumulative = np.empty(num_topics)
+        doc_row = np.empty(num_topics)
+        cursor = np.full(1, -1, dtype=np.int64)
+        for start in range(0, state.num_tokens, chunk):
+            stop = min(start + chunk, state.num_tokens)
+            words = state.words[start:stop]
+            doc_ids = state.doc_ids[start:stop]
+            old_topics = z[start:stop].copy()
+            uniforms = rng_random(stop - start)
+            if table.kind == "lda":
+                _dense_lda_chunk(
+                    words, doc_ids, old_topics, uniforms, z, start,
+                    state.nw, state.nt, state.nd, table.nt_beta,
+                    doc_row, cursor, table.alpha, table.beta,
+                    table.beta_sum, cumulative)
+            elif table.kind == "eda":
+                _dense_eda_chunk(
+                    words, doc_ids, old_topics, uniforms, z, start,
+                    state.nw, state.nt, state.nd, table.phi_by_word,
+                    doc_row, cursor, table.alpha, cumulative)
+            else:
+                _dense_source_chunk(
+                    words, doc_ids, old_topics, uniforms, z, start,
+                    state.nw, state.nt, state.nd, table.num_free,
+                    table.omega, table.sum_delta, table.aug, table.E,
+                    table.inverse_plus, table.nt_free, doc_row, cursor,
+                    table.alpha, table.beta, table.beta_sum,
+                    table.ratio_buf, cumulative)
+
+    def foldin_exact(self, table: FoldInTable, word_ids: np.ndarray,
+                     rng: np.random.Generator, scratch) -> np.ndarray:
+        length = int(word_ids.shape[0])
+        iterations = table.iterations
+        num_topics = table.num_topics
+        assignments = rng.integers(0, num_topics, size=length)
+        # One draw covering all sweeps: rng.random consumes the bit
+        # stream identically in one call or per-sweep calls, so the
+        # stream matches the python backend exactly.
+        uniforms = rng.random(iterations * length)
+        doc_counts = np.empty(num_topics)
+        theta = np.empty(num_topics)
+        _foldin_exact_doc(word_ids, table.phi_by_word, table.alpha,
+                          iterations, assignments, uniforms,
+                          scratch.work, scratch.cumulative,
+                          scratch.accumulated, doc_counts, theta)
+        return theta
+
+    def foldin_sparse(self, table: FoldInTable, word_ids: np.ndarray,
+                      rng: np.random.Generator, scratch) -> np.ndarray:
+        length = int(word_ids.shape[0])
+        iterations = table.iterations
+        num_topics = table.num_topics
+        assignments = rng.integers(0, num_topics, size=length)
+        uniforms = rng.random(iterations * length)
+        doc_counts = np.empty(num_topics)
+        members = np.empty(num_topics, dtype=np.int64)
+        member_pos = np.empty(num_topics, dtype=np.int64)
+        theta = np.empty(num_topics)
+        _foldin_sparse_doc(word_ids, table.phi_by_word,
+                           table.prior_mass, table.alias_accept,
+                           table.alias_topic, table.alpha, iterations,
+                           assignments, uniforms, members, member_pos,
+                           scratch.cumulative, scratch.accumulated,
+                           doc_counts, theta)
+        return theta
+
+
+register_backend(NumbaBackend())

@@ -32,6 +32,17 @@ kernel, whose ``nw * C + D`` lambda-integration caches (PR 1, see
 shared by every word absent from a source article) plus a sparse
 per-word correction over the article vocabularies.
 
+The sweep itself executes in :mod:`repro.sampling.runtime`: paths whose
+bucket structure compiles into a flat kernel table
+(:meth:`SparseKernelPath.sparse_table` — today the bijective Source-LDA
+lane's :class:`~repro.sampling.runtime.SourceBijectiveTable`) run on the
+runtime's table-driven chunk loop; the remaining paths (LDA/EDA buckets,
+the mixed-layout source lane) are driven per token through
+:meth:`SparseKernelPath.step`.  The nonzero-membership structures
+(:class:`~repro.sampling.runtime.TopicSet`,
+:class:`~repro.sampling.runtime.WordTopicLists`) live in the runtime and
+are re-exported here.
+
 Exactness contract: the bucket decomposition is algebraically exact but
 *reassociates* the per-topic weight sums, so — unlike the fast engine —
 the sparse engine is not draw-for-draw identical to the reference: a
@@ -56,91 +67,13 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.sampling.fast_engine import FastSweepEngine
-from repro.sampling.scans import (ScanStrategy, SerialScan,
-                                  last_positive_index)
+from repro.sampling.runtime import (TokenLoopBackend, TopicSet,
+                                    WordTopicLists, resolve_backend)
+from repro.sampling.scans import ScanStrategy, SerialScan
 from repro.sampling.state import GibbsState
 
-
-class TopicSet:
-    """Nonzero-topic ids of one count row restricted to ``[lo, hi)``.
-
-    O(1) add/discard via swap-remove, and a zero-copy array view for
-    vectorized gathers.  Entry order is arbitrary — each draw computes
-    bucket masses and cumulative sums from the same snapshot of the
-    array, so any fixed order partitions the mass consistently.
-    """
-
-    __slots__ = ("_lo", "_hi", "_buf", "_pos", "_n")
-
-    def __init__(self, lo: int, hi: int) -> None:
-        self._lo = lo
-        self._hi = hi
-        self._buf = np.empty(max(hi - lo, 1), dtype=np.int64)
-        self._pos: dict[int, int] = {}
-        self._n = 0
-
-    def begin(self, row: np.ndarray) -> None:
-        """Rebuild from a full count row (absolute topic indices)."""
-        nonzero = np.flatnonzero(row[self._lo:self._hi])
-        n = nonzero.shape[0]
-        if n:
-            np.add(nonzero, self._lo, out=self._buf[:n])
-        self._n = n
-        self._pos = {int(t): i for i, t in enumerate(self._buf[:n])}
-
-    def add(self, topic: int) -> None:
-        pos = self._pos
-        if topic in pos:
-            return
-        i = self._n
-        self._buf[i] = topic
-        pos[topic] = i
-        self._n = i + 1
-
-    def discard(self, topic: int) -> None:
-        pos = self._pos
-        i = pos.pop(topic, None)
-        if i is None:
-            return
-        n = self._n - 1
-        if i != n:
-            last = int(self._buf[n])
-            self._buf[i] = last
-            pos[last] = i
-        self._n = n
-
-    def array(self) -> np.ndarray:
-        """View of the current member topics (absolute indices)."""
-        return self._buf[:self._n]
-
-
-class WordTopicLists:
-    """Per-word lists of topics with ``nw[w, t] > 0``.
-
-    Built from the flat token/assignment arrays in O(N + V) — not from
-    a dense ``nw`` scan, which would cost O(V * T) per sweep — and then
-    maintained exactly (add on the 0 -> 1 transition, remove on 1 -> 0),
-    so the lists never hold stale zeros or duplicates.  Word columns are
-    short in realistic corpora, which keeps the per-token word-bucket
-    walk O(nnz).
-    """
-
-    __slots__ = ("lists",)
-
-    def __init__(self, words: np.ndarray, z: np.ndarray,
-                 vocab_size: int) -> None:
-        sets: list[set[int]] = [set() for _ in range(vocab_size)]
-        for word, topic in zip(words.tolist(), z.tolist()):
-            sets[word].add(topic)
-        # Sorted for a canonical walk order: draws must be reproducible
-        # functions of the seed, not of set iteration order.
-        self.lists: list[list[int]] = [sorted(s) for s in sets]
-
-    def add(self, word: int, topic: int) -> None:
-        self.lists[word].append(topic)
-
-    def remove(self, word: int, topic: int) -> None:
-        self.lists[word].remove(topic)
+__all__ = ["SparseKernelPath", "SparseSweepEngine", "TopicSet",
+           "WordTopicLists"]
 
 
 class SparseKernelPath(ABC):
@@ -148,8 +81,8 @@ class SparseKernelPath(ABC):
 
     A path is created by :meth:`TopicWeightKernel.sparse_path` and owns
     the bucket caches plus the nonzero-topic structures of its kernel's
-    decomposition.  The engine drives it per token ``i`` with word ``w``
-    in document ``d``:
+    decomposition.  The runtime loop drives it per token ``i`` with word
+    ``w`` in document ``d``:
 
     1. on entering a new document it calls :meth:`begin_document`;
     2. it decrements ``nw/nt/nd`` for the old topic and calls
@@ -158,6 +91,11 @@ class SparseKernelPath(ABC):
        partition and returns the new topic;
     4. it increments the counts for the new topic and calls
        :meth:`added`.
+
+    Paths whose buckets compile into a flat kernel table override
+    :meth:`sparse_table`; the runtime then executes its table-driven
+    chunk loop instead of per-token :meth:`step` calls (and handles the
+    document switching itself).
 
     ``begin_sweep`` runs once per sweep so all caches are rebuilt from
     the live count matrices (external edits between sweeps are absorbed
@@ -201,12 +139,13 @@ class SparseKernelPath(ABC):
     def step(self, word: int, doc: int, old: int, u: float) -> int:
         """One full token reassignment: decrement, draw, increment.
 
-        The engine drives tokens through this single entry point so hot
-        paths can fuse the count updates with their cache bookkeeping;
-        the default implementation composes :meth:`removed`,
-        :meth:`draw` and :meth:`added`.  If :meth:`draw` raises, the
-        token is left decremented-but-unassigned — the same failure
-        state as the other engines.
+        The runtime loop drives tokens through this single entry point
+        so hot paths can fuse the count updates with their cache
+        bookkeeping; the default implementation composes
+        :meth:`removed`, :meth:`draw` and :meth:`added`.  If
+        :meth:`draw` raises, the token is left
+        decremented-but-unassigned — the same failure state as the
+        other engines.
         """
         state = self.state
         nw = state.nw
@@ -223,13 +162,16 @@ class SparseKernelPath(ABC):
         self.added(word, doc, new)
         return new
 
-    #: Optional chunk runner.  A path may bind an instance attribute
-    #: ``sweep_chunk(words, doc_ids, old_topics, uniforms, out)`` that
-    #: consumes whole token chunks in a single frame (calling
-    #: :meth:`begin_document` itself on document switches and appending
-    #: each new topic to ``out`` as it is committed); the engine then
-    #: drives chunks through it instead of per-token :meth:`step` calls.
-    sweep_chunk = None
+    def sparse_table(self):
+        """Optional flat kernel table for the runtime's table lane.
+
+        ``None`` (the default) keeps the path on the per-token
+        :meth:`step` lane; the bijective Source-LDA path overrides this
+        with a :class:`~repro.sampling.runtime.SourceBijectiveTable`
+        whose array fields alias the path's live caches (rebound per
+        sweep by :meth:`begin_sweep`).
+        """
+        return None
 
     @abstractmethod
     def dense_weights(self, word: int, doc: int) -> np.ndarray:
@@ -246,15 +188,16 @@ class SparseKernelPath(ABC):
 class SparseSweepEngine:
     """Executes one Gibbs sweep with bucketed O(nnz) topic draws.
 
-    Parameters mirror :class:`~repro.sampling.fast_engine.FastSweepEngine`.
-    Kernels without a sparse path run on an internal fast engine (same
-    RNG consumption, draw-for-draw identical to the reference), so
-    ``engine="sparse"`` is safe on every kernel.
+    Parameters mirror :class:`~repro.sampling.fast_engine.FastSweepEngine`
+    (including ``backend``).  Kernels without a sparse path run on an
+    internal fast engine (same RNG consumption, draw-for-draw identical
+    to the reference), so ``engine="sparse"`` is safe on every kernel.
     """
 
     def __init__(self, state: GibbsState, kernel, rng: np.random.Generator,
                  scan: ScanStrategy | None = None,
-                 chunk_size: int = 65536) -> None:
+                 chunk_size: int = 65536,
+                 backend: str | TokenLoopBackend = "auto") -> None:
         if chunk_size < 1:
             raise ValueError(
                 f"chunk_size must be >= 1, got {chunk_size}")
@@ -263,57 +206,19 @@ class SparseSweepEngine:
         self.rng = rng
         self.scan = scan or SerialScan()
         self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
         self._path: SparseKernelPath | None = kernel.sparse_path()
         self._fallback: FastSweepEngine | None = None
         if self._path is None:
             self._fallback = FastSweepEngine(state, kernel, rng,
                                              scan=self.scan,
-                                             chunk_size=chunk_size)
+                                             chunk_size=chunk_size,
+                                             backend=self.backend)
         else:
             self._path.scan = self.scan
 
     def sweep(self) -> None:
         if self._path is not None:
-            self._sweep_sparse(self._path)
+            self.backend.sweep_sparse(self)
         else:
             self._fallback.sweep()
-
-    # ------------------------------------------------------------------
-    def _sweep_sparse(self, path: SparseKernelPath) -> None:
-        state = self.state
-        z = state.z
-        step = path.step
-        begin_document = path.begin_document
-        rng_random = self.rng.random
-        chunk = self.chunk_size
-
-        path.begin_sweep()
-        chunk_runner = path.sweep_chunk
-        current_doc = -1
-        # Same chunked layout as the fast engine: plain Python lists for
-        # the token streams, uniforms pre-drawn per chunk (consecutive
-        # ``rng.random(c)`` batches concatenate to the one-call stream),
-        # and a finally that keeps ``z`` synced with the counts if a
-        # kernel raises mid-chunk.
-        for start in range(0, state.num_tokens, chunk):
-            stop = min(start + chunk, state.num_tokens)
-            words = state.words[start:stop].tolist()
-            doc_ids = state.doc_ids[start:stop].tolist()
-            old_topics = z[start:stop].tolist()
-            uniforms = rng_random(stop - start).tolist()
-            new_topics: list[int] = []
-            append_new = new_topics.append
-            try:
-                if chunk_runner is not None:
-                    chunk_runner(words, doc_ids, old_topics, uniforms,
-                                 new_topics)
-                else:
-                    for word, doc, old, u in zip(words, doc_ids,
-                                                 old_topics, uniforms):
-                        if doc != current_doc:
-                            begin_document(doc)
-                            current_doc = doc
-                        append_new(step(word, doc, old, u))
-            finally:
-                if new_topics:
-                    z[start:start + len(new_topics)] = new_topics

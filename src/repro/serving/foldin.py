@@ -25,12 +25,19 @@ per-token Python loop that re-validated ``phi``, re-gathered a
   training engines rely on), so the draw stream matches the legacy loop
   exactly;
 * documents are processed in ``batch_size`` groups — the unit
-  :mod:`repro.serving.parallel` shards over workers.
+  :mod:`repro.serving.parallel` shards over workers;
+* the token loops themselves live in the unified sampling runtime
+  (:mod:`repro.sampling.runtime`): the engine compiles its frozen state
+  into a :class:`~repro.sampling.runtime.FoldInTable` and a pluggable
+  :class:`~repro.sampling.runtime.TokenLoopBackend`
+  (``backend="auto"|"python"|"numba"``) executes the per-document
+  sampling — the same backends the training engines run on.
 
 Concurrency contract: the engine itself holds **only frozen state**
 (the validated ``phi`` layouts, the sparse lane's prior masses and
-alias tables) and is therefore shareable — many threads, or forked
-worker processes, may call :meth:`FoldInEngine.theta` /
+alias tables, the resolved backend — all frozen after construction)
+and is therefore shareable — many threads, or forked worker processes,
+may call :meth:`FoldInEngine.theta` /
 :meth:`FoldInEngine.theta_document` on one engine concurrently.  All
 mutable sampling buffers live in a :class:`FoldInScratch`, created per
 call by default or passed explicitly by callers (workers) that want to
@@ -67,8 +74,8 @@ import numpy as np
 
 from repro.sampling.alias import build_alias_rows
 from repro.sampling.rng import ensure_rng
-from repro.sampling.scans import last_positive_index
-from repro.sampling.sparse_engine import TopicSet
+from repro.sampling.runtime import (FoldInTable, TokenLoopBackend,
+                                    TopicSet, resolve_backend)
 
 #: Fold-in sampling lanes.
 MODES = ("exact", "sparse")
@@ -165,12 +172,20 @@ class FoldInEngine:
         through :class:`~repro.serving.session.InferenceSession`).
     batch_size:
         Documents per buffer-sizing group in :meth:`theta`.
+    backend:
+        Token-loop backend executing the per-document sampling:
+        ``"auto"`` (default — compiled when numba is importable, python
+        otherwise), ``"python"`` or ``"numba"``; a resolved
+        :class:`~repro.sampling.runtime.TokenLoopBackend` also passes
+        through.  The resolved name is exposed as
+        :attr:`backend_name` (workers rebuild engines from it).
     """
 
     def __init__(self, phi: np.ndarray, alpha: float,
                  iterations: int = 30, mode: str = "exact",
                  batch_size: int = 64,
-                 validate: bool = True) -> None:
+                 validate: bool = True,
+                 backend: str | TokenLoopBackend = "auto") -> None:
         if alpha <= 0:
             raise ValueError(f"alpha must be positive, got {alpha}")
         if iterations < 1:
@@ -189,6 +204,7 @@ class FoldInEngine:
         self.batch_size = int(batch_size)
         self.num_topics = int(phi.shape[0])
         self.vocab_size = int(phi.shape[1])
+        self._backend = resolve_backend(backend)
         #: ``(V, T)`` layout for per-word row gathers.  When ``phi`` is
         #: the transpose view of an already word-major array (the mmap
         #: artifact layout), this is that array itself — no copy.
@@ -203,6 +219,24 @@ class FoldInEngine:
             #: replace) and frozen thereafter.
             self._alias_accept, self._alias_topic = \
                 build_alias_rows(self._phi_by_word)
+        else:
+            self._prior_mass = None
+            self._alias_accept = None
+            self._alias_topic = None
+        #: The frozen-phi prior/doc split as a flat runtime kernel
+        #: table — what any backend (and every worker process)
+        #: actually samples from.
+        self._table = FoldInTable(
+            alpha=self.alpha, iterations=self.iterations,
+            num_topics=self.num_topics, phi_by_word=self._phi_by_word,
+            prior_mass=self._prior_mass,
+            alias_accept=self._alias_accept,
+            alias_topic=self._alias_topic)
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved token-loop backend executing this engine."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     def new_scratch(self) -> FoldInScratch:
@@ -291,153 +325,24 @@ class FoldInEngine:
     def _theta_exact(self, word_ids: np.ndarray,
                      rng: np.random.Generator,
                      scratch: FoldInScratch) -> np.ndarray:
-        """The legacy dense sampler with hoisted buffers.
+        """The legacy dense sampler, executed by the runtime backend.
 
-        Arithmetic, draw order and RNG consumption match the original
-        ``heldout_gibbs_theta`` loop bit-for-bit: same initialization
-        call, the same ``phi_w * (nd + alpha)`` product, the same
-        float64 cumulative sum, and the same ``searchsorted`` +
-        last-positive-topic boundary clamp as ``rng.categorical``'s
-        reference draw.
+        On the python backend, arithmetic, draw order and RNG
+        consumption match the original ``heldout_gibbs_theta`` loop
+        bit-for-bit (and the numba backend's sequential cumsum
+        preserves that — see :mod:`repro.sampling.runtime_numba`).
         """
-        length = int(word_ids.shape[0])
-        num_topics = self.num_topics
-        alpha = self.alpha
-        iterations = self.iterations
-        work = scratch.work
-        cumulative = scratch.cumulative
-        accumulated = scratch.accumulated
-        word_probs = np.take(self._phi_by_word, word_ids, axis=0,
-                             out=scratch.gather[:length])
-        assignments = rng.integers(0, num_topics, size=length)
-        doc_counts = np.bincount(assignments, minlength=num_topics) \
-            .astype(np.float64)
-        assignments = assignments.tolist()
-        # Burn in the first half, but always accumulate at least the
-        # final sweep (iterations == 1 would otherwise return the prior
-        # mean).
-        burn_in = min(max(1, iterations // 2), iterations - 1)
-        accumulated.fill(0.0)
-        samples = 0
-        inf = np.inf
-        rng_random = rng.random
-        for iteration in range(iterations):
-            uniforms = rng_random(length).tolist()
-            for position in range(length):
-                doc_counts[assignments[position]] -= 1.0
-                np.add(doc_counts, alpha, out=work)
-                np.multiply(word_probs[position], work, out=work)
-                np.cumsum(work, out=cumulative)
-                total = cumulative[-1]
-                if not (0.0 < total < inf):
-                    raise ValueError(
-                        f"categorical weights must have positive finite "
-                        f"mass, got total={total!r}")
-                topic = int(cumulative.searchsorted(
-                    uniforms[position] * total, side="right"))
-                if topic >= num_topics:
-                    # u * total rounded up to exactly total; land on the
-                    # last positive-weight topic.
-                    topic = last_positive_index(cumulative)
-                assignments[position] = topic
-                doc_counts[topic] += 1.0
-            if iteration >= burn_in:
-                accumulated += doc_counts
-                samples += 1
-        mean_counts = accumulated / max(samples, 1)
-        return (mean_counts + alpha) / (length + num_topics * alpha)
+        return self._backend.foldin_exact(self._table, word_ids, rng,
+                                          scratch)
 
     # ------------------------------------------------------------------
     def _theta_sparse(self, word_ids: np.ndarray,
                       rng: np.random.Generator,
                       scratch: FoldInScratch) -> np.ndarray:
-        """Bucketed draws: static per-word prior mass + O(nnz) document
-        bucket, with O(1) alias-table prior hits.
-
-        The fold-in weight ``phi_w[t] * (nd[t] + alpha)`` splits into
-
-            alpha * phi_w[t]      [prior bucket, mass precomputed]
-            phi_w[t] * nd[t]      [document bucket, nonzero nd only]
-
-        exactly as the fixed-phi EDA kernel decomposes in
-        :mod:`repro.sampling.sparse_engine`.  A document touches at most
-        ``Nd`` distinct topics, so the common draw walks ``O(nnz)``
-        entries; prior-bucket hits (mass ``alpha`` out of
-        ``Nd + T * alpha``) resolve through the per-word Walker alias
-        table in O(1) — the residual uniform that landed the draw in
-        the bucket is recycled as the alias draw, so RNG consumption
-        stays one uniform per token.
-        """
-        length = int(word_ids.shape[0])
-        num_topics = self.num_topics
-        alpha = self.alpha
-        iterations = self.iterations
-        phi_by_word = self._phi_by_word
-        prior_mass = self._prior_mass
-        alias_accept = self._alias_accept
-        alias_topic = self._alias_topic
-        accumulated = scratch.accumulated
-        assignments = rng.integers(0, num_topics, size=length)
-        doc_counts = np.bincount(assignments, minlength=num_topics) \
-            .astype(np.float64)
-        assignments = assignments.tolist()
-        words = word_ids.tolist()
-        doc_topics = scratch.doc_topics
-        doc_topics.begin(doc_counts)
-        burn_in = min(max(1, iterations // 2), iterations - 1)
-        accumulated.fill(0.0)
-        samples = 0
-        inf = np.inf
-        rng_random = rng.random
-        for iteration in range(iterations):
-            uniforms = rng_random(length).tolist()
-            for position in range(length):
-                old = assignments[position]
-                doc_counts[old] -= 1.0
-                if doc_counts[old] == 0.0:
-                    doc_topics.discard(old)
-                word = words[position]
-                phi_row = phi_by_word[word]
-                members = doc_topics.array()
-                r_weights = doc_counts.take(members) * phi_row.take(members)
-                r_mass = float(r_weights.sum())
-                s_mass = prior_mass[word]
-                total = r_mass + s_mass
-                if not (0.0 < total < inf):
-                    raise ValueError(
-                        f"categorical weights must have positive finite "
-                        f"mass, got total={total!r}")
-                x = uniforms[position] * total
-                if x < r_mass:
-                    cumulative = np.cumsum(r_weights)
-                    index = int(cumulative.searchsorted(x, side="right"))
-                    if index >= cumulative.shape[0]:
-                        index = last_positive_index(cumulative)
-                    topic = int(members[index])
-                else:
-                    # Prior bucket: proportional to phi_w over all
-                    # topics.  The leftover fraction of the uniform is
-                    # itself uniform on [0, 1); one alias lookup turns
-                    # it into the topic.  This inlines
-                    # repro.sampling.alias.alias_draw (per-token call
-                    # overhead matters here) minus its all-zero poison
-                    # check, which is unreachable: reaching this branch
-                    # requires x >= r_mass with total > 0, impossible
-                    # when s_mass == 0.
-                    v = (x - r_mass) / s_mass
-                    scaled = v * num_topics
-                    cell = int(scaled)
-                    if cell >= num_topics:
-                        cell = num_topics - 1
-                    accept = alias_accept[word]
-                    topic = (cell if (scaled - cell) < accept[cell]
-                             else int(alias_topic[word, cell]))
-                assignments[position] = topic
-                if doc_counts[topic] == 0.0:
-                    doc_topics.add(topic)
-                doc_counts[topic] += 1.0
-            if iteration >= burn_in:
-                accumulated += doc_counts
-                samples += 1
-        mean_counts = accumulated / max(samples, 1)
-        return (mean_counts + alpha) / (length + num_topics * alpha)
+        """Bucketed draws (static per-word prior mass + O(nnz) document
+        bucket, O(1) alias-table prior hits), executed by the runtime
+        backend; see
+        :meth:`repro.sampling.runtime.PythonBackend.foldin_sparse` for
+        the decomposition."""
+        return self._backend.foldin_sparse(self._table, word_ids, rng,
+                                           scratch)

@@ -106,6 +106,10 @@ class EngineSpec:
     mode: str
     phi: np.ndarray | None = None
     phi_path: str | None = None
+    #: Resolved token-loop backend name (never "auto": workers must
+    #: sample on the same backend the parent resolved, not re-resolve
+    #: in an environment that might differ).
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if (self.phi is None) == (self.phi_path is None):
@@ -122,7 +126,8 @@ class EngineSpec:
         # the (T, V) transpose view makes that a no-op, not a copy.
         return FoldInEngine(word_major.T, self.alpha,
                             iterations=self.iterations,
-                            mode=self.mode, validate=False)
+                            mode=self.mode, validate=False,
+                            backend=self.backend)
 
 
 # Per-process worker state, installed by the pool initializer.  One
@@ -222,7 +227,8 @@ class ParallelFoldIn:
             alpha=engine.alpha, iterations=engine.iterations,
             mode=engine.mode,
             phi=None if share_file else phi_by_word,
-            phi_path=str(target) if share_file else None)
+            phi_path=str(target) if share_file else None,
+            backend=engine.backend_name)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._local = threading.local()

@@ -130,6 +130,12 @@ class InferenceSession:
         in the engine's legacy sequential API).  A scheduling knob
         only — results never depend on it, because documents sample on
         index-keyed streams.
+    backend:
+        Token-loop backend executing the fold-in sampling:
+        ``"auto"`` (default), ``"python"`` or ``"numba"``; see
+        :mod:`repro.sampling.runtime`.  The resolved name is exposed
+        as :attr:`backend` and shipped to worker processes, so the
+        whole pool samples on one backend.
     oov:
         ``"ignore"`` (drop unknown tokens, reported per document) or
         ``"error"`` (raise on the first unknown token).
@@ -165,7 +171,8 @@ class InferenceSession:
                  tokenizer: Tokenizer | None = None,
                  seed: int | np.random.SeedSequence
                  | np.random.Generator | None = None,
-                 num_workers: int = 1) -> None:
+                 num_workers: int = 1,
+                 backend: str = "auto") -> None:
         wrapper = model
         model = getattr(model, "model", model)
         if not isinstance(model, FittedTopicModel):
@@ -190,7 +197,8 @@ class InferenceSession:
         self._seed_lock = threading.Lock()
         self._engine = FoldInEngine(model.phi, alpha,
                                     iterations=iterations, mode=mode,
-                                    batch_size=batch_size)
+                                    batch_size=batch_size,
+                                    backend=backend)
         # LoadedModel wrappers of v2 artifacts carry the mappable phi
         # member path; worker processes re-map it instead of receiving
         # a pickled copy.
@@ -214,6 +222,11 @@ class InferenceSession:
     @property
     def num_workers(self) -> int:
         return self._foldin.num_workers
+
+    @property
+    def backend(self) -> str:
+        """The resolved token-loop backend serving this session."""
+        return self._engine.backend_name
 
     def warm_up(self) -> "InferenceSession":
         """Spawn the fold-in worker pool now instead of at the first

@@ -24,15 +24,19 @@ def compare():
     return module
 
 
-def _write_result(directory: Path, name: str, metrics: dict) -> None:
+def _write_result(directory: Path, name: str, metrics: dict,
+                  backend: str | None = None) -> None:
     directory.mkdir(parents=True, exist_ok=True)
-    (directory / f"{name}.json").write_text(json.dumps({
+    payload = {
         "schema": "repro.benchmarks/result",
-        "schema_version": 1,
+        "schema_version": 2,
         "name": name,
         "metrics": metrics,
         "params": {},
-    }))
+    }
+    if backend is not None:
+        payload["backend"] = backend
+    (directory / f"{name}.json").write_text(json.dumps(payload))
 
 
 class TestThroughputMetrics:
@@ -86,7 +90,7 @@ class TestCompareDirs:
         comparisons, skipped = compare.compare_dirs(tmp_path / "base",
                                                     tmp_path / "fresh")
         assert [c.bench for c in comparisons] == ["serving"]
-        assert skipped == ["retired"]
+        assert [name for name, _reason in skipped] == ["retired"]
 
     def test_fresh_only_file_is_skipped_not_silent(self, compare,
                                                    tmp_path):
@@ -102,7 +106,40 @@ class TestCompareDirs:
         comparisons, skipped = compare.compare_dirs(tmp_path / "base",
                                                     tmp_path / "fresh")
         assert [c.bench for c in comparisons] == ["serving"]
-        assert skipped == ["brand_new"]
+        assert [name for name, _reason in skipped] == ["brand_new"]
+
+    def test_backend_mismatch_is_skipped_not_compared(self, compare,
+                                                      tmp_path):
+        """A python-backend baseline diffed against a numba-backend
+        fresh run measures the backend swap, not a regression — the
+        pair must be skipped with a reason, and same-backend pairs must
+        keep gating."""
+        _write_result(tmp_path / "base", "sweep",
+                      {"tokens_per_second": 1000.0}, backend="python")
+        _write_result(tmp_path / "fresh", "sweep",
+                      {"tokens_per_second": 400.0}, backend="numba")
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": 10.0}, backend="python")
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": 11.0}, backend="python")
+        comparisons, skipped = compare.compare_dirs(tmp_path / "base",
+                                                    tmp_path / "fresh")
+        assert [c.bench for c in comparisons] == ["serving"]
+        assert [name for name, _reason in skipped] == ["sweep"]
+        assert "backend mismatch" in skipped[0][1]
+
+    def test_unstamped_baseline_still_gates(self, compare, tmp_path):
+        """Pre-stamp results (no "backend" key) must keep gating
+        against stamped fresh runs — regenerating every committed
+        baseline is not a precondition for the gate."""
+        _write_result(tmp_path / "base", "sweep",
+                      {"tokens_per_second": 1000.0})
+        _write_result(tmp_path / "fresh", "sweep",
+                      {"tokens_per_second": 500.0}, backend="python")
+        comparisons, skipped = compare.compare_dirs(tmp_path / "base",
+                                                    tmp_path / "fresh")
+        assert skipped == []
+        assert comparisons[0].regressed(0.3)
 
 
 class TestMain:

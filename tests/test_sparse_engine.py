@@ -439,7 +439,7 @@ class TestGeneralLaneNegativeExponents:
         state = make_state(tiny_corpus, len(small_source))
         path = self._kernel(small_source, tiny_corpus, state).sparse_path()
         assert not path._bijective
-        assert path.sweep_chunk is None
+        assert path.sparse_table() is None
 
     def test_decomposition_and_chain(self, small_source, tiny_corpus):
         state = make_state(tiny_corpus, len(small_source))
