@@ -30,6 +30,13 @@ measures the backend swap, not a code regression — such pairs are
 **skipped with a reason**, never compared.  Results from before the
 stamp (no ``"backend"`` key) are treated as comparable with anything,
 so committed baselines keep gating until they are regenerated.
+
+Benches record ``null`` for throughput series they could not measure
+in that run's configuration (a compiled-backend series on a machine
+without numba, an engine a kernel falls back from).  A throughput path
+that is ``null`` on either side is likewise **skipped with a printed
+reason** — a null is "not measured here", never a zero, and must not
+gate or crash the numeric diff.
 """
 
 from __future__ import annotations
@@ -48,20 +55,27 @@ THROUGHPUT_MARKERS = ("per_second", "per_sec")
 DEFAULT_THRESHOLD = 0.30
 
 
-def throughput_metrics(payload: dict, prefix: str = "") -> dict[str, float]:
+def throughput_metrics(payload: dict,
+                       prefix: str = "") -> dict[str, float | None]:
     """Flatten ``payload["metrics"]`` to ``path -> value`` rows, keeping
-    only finite numeric leaves on a throughput-marked path."""
+    numeric leaves on a throughput-marked path.  A ``null`` leaf on a
+    throughput path is kept as ``None`` (the bench declared the series
+    unmeasured in that run) so the comparison can skip it with a
+    reason instead of silently dropping it."""
     tree = payload.get("metrics", {}) if not prefix else payload
-    flat: dict[str, float] = {}
+    flat: dict[str, float | None] = {}
     if not isinstance(tree, dict):
         return flat
     for key, value in tree.items():
         path = f"{prefix}.{key}" if prefix else str(key)
         if isinstance(value, dict):
             flat.update(throughput_metrics(value, path))
+        elif not any(marker in path for marker in THROUGHPUT_MARKERS):
+            continue
+        elif value is None:
+            flat[path] = None
         elif isinstance(value, (int, float)) \
-                and not isinstance(value, bool) \
-                and any(marker in path for marker in THROUGHPUT_MARKERS):
+                and not isinstance(value, bool):
             flat[path] = float(value)
     return flat
 
@@ -128,10 +142,21 @@ def compare_dirs(baseline_dir: Path, fresh_dir: Path
         base_metrics = throughput_metrics(baseline)
         fresh_metrics = throughput_metrics(fresh)
         for metric, value in sorted(base_metrics.items()):
-            if metric in fresh_metrics:
-                comparisons.append(Comparison(
-                    bench=name, metric=metric, baseline=value,
-                    fresh=fresh_metrics[metric]))
+            if metric not in fresh_metrics:
+                continue
+            fresh_value = fresh_metrics[metric]
+            null_sides = [side for side, leaf
+                          in (("baseline", value), ("fresh", fresh_value))
+                          if leaf is None]
+            if null_sides:
+                skipped.append(
+                    (f"{name}:{metric}",
+                     f"null on {' and '.join(null_sides)} side — not "
+                     "measured in that run's configuration"))
+                continue
+            comparisons.append(Comparison(
+                bench=name, metric=metric, baseline=value,
+                fresh=fresh_value))
     return comparisons, skipped
 
 

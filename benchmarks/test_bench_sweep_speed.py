@@ -9,18 +9,28 @@ The reference pays ``O(S * A)`` per token, the fast engine ``O(S)``, and
 the sparse engine walks only the nonzero count buckets plus the
 epsilon-floor prior mass.
 
-A second bench sweeps B over {500, 2000, 8000} with the reference
-engine omitted (its O(S * A) cost would dominate for no information):
-the fast engine's per-token O(S) passes scale linearly with B while the
-sparse bucket walks do not, so the sparse/fast ratio must *grow* across
-the grid — the ROADMAP "remaining gaps" claim, now recorded.
+A second bench sweeps B over {500, 2000, 8000, 16000} with the
+reference engine omitted (its O(S * A) cost would dominate for no
+information): the fast engine's per-token O(S) passes scale linearly
+with B while the sparse bucket walks do not, so the sparse/fast ratio
+must *grow* across the grid — the ROADMAP "remaining gaps" claim, now
+recorded.  The same grid times the O(1)-amortized alias/MH engine
+(``repro.sampling.alias_engine``): its stale-proposal draws beat the
+sparse bucket walk once B is large enough that scanning the nonzero
+topics of every row dominates, so alias/sparse must exceed 1.0 at
+B=8000 — the alias-engine PR's headline claim, with the MH acceptance
+rate stamped alongside.
 
-A third bench times the fast engine under every registered token-loop
-backend (``repro.sampling.runtime``) on the same B=2000 workload:
-tokens/sec is recorded per backend, and when the compiled numba
-backend is installed it must beat the python backend by at least 3x
-(the compiled-token-loop claim); without numba the bench records the
-python backend alone and the ratio gate is skipped.
+A third bench times the fast, sparse and alias engines under the
+python and numba token-loop backends (``repro.sampling.runtime``) on
+the same B=2000 workload: tokens/sec is recorded per engine and
+backend (``null`` where numba is not installed, which
+``benchmarks/compare.py`` skips with a reason), and when numba *is*
+installed the compiled fast and sparse lanes must each beat their
+python counterpart by at least 3x.  The alias ratio is recorded but
+not gated: on the source workload the alias kernel stays on the
+interpreted lane (the compiled alias chunk covers plain LDA), so its
+numba column measures the same lane.
 
 Workload notes: the document-topic prior is the paper's ``alpha = 50/T``
 and the vocabulary is 2000 words for the 2000 80-token articles — a
@@ -53,7 +63,7 @@ from repro.sampling.runtime import available_backends
 #: only when numba is installed.
 NUMBA_MIN_SPEEDUP = 3.0
 
-TOPIC_GRID = (500, 2000, 8000)
+TOPIC_GRID = (500, 2000, 8000, 16000)
 
 #: Single source of truth for each workload: passed to the run and
 #: recorded verbatim in the JSON result, so the two cannot drift.
@@ -104,13 +114,22 @@ def test_bench_sweep_speed_topic_grid(benchmark):
             "sparse_tokens_per_second": {str(row.num_topics):
                                          row.sparse_tokens_per_second
                                          for row in result.rows},
+            "alias_tokens_per_second": {str(row.num_topics):
+                                        row.alias_tokens_per_second
+                                        for row in result.rows},
             "sparse_vs_fast": {str(row.num_topics): row.sparse_vs_fast
                                for row in result.rows},
+            "alias_vs_sparse": {str(row.num_topics): row.alias_vs_sparse
+                                for row in result.rows},
+            "alias_acceptance_rate": {str(row.num_topics):
+                                      row.alias_acceptance_rate
+                                      for row in result.rows},
         },
         params={**GRID_PARAMS, "num_tokens": result.num_tokens},
         backend="python")  # engine comparison runs pinned to python
 
-    assert all(row.sparse_consistent for row in result.rows)
+    assert all(row.sparse_consistent and row.alias_consistent
+               for row in result.rows)
     ratios = [row.sparse_vs_fast for row in result.rows]
     # The ROADMAP claim this bench pins: the sparse advantage *grows*
     # with B (measured ~0.8 -> ~1.7 on this workload — the fast
@@ -119,30 +138,49 @@ def test_bench_sweep_speed_topic_grid(benchmark):
     # they depend on how the host's vectorized cumsum compares to
     # per-token Python overhead.
     assert ratios[-1] > ratios[0] * 1.2
+    # The alias-engine claim: O(1)-amortized MH proposals overtake the
+    # sparse bucket walk once B is large enough that scanning each
+    # row's nonzero topics dominates the draw.
+    by_topics = {row.num_topics: row for row in result.rows}
+    assert by_topics[8000].alias_vs_sparse > 1.0
+    # A healthy MH chain accepts most proposals; a collapse here means
+    # the stale tables have drifted from the exact conditional.
+    assert all(row.alias_acceptance_rate > 0.5 for row in result.rows)
 
 
 def test_bench_backend_speed(benchmark):
-    """Tokens/sec per token-loop backend on the B=2000 Source-LDA
-    workload; the numba >= 3x python gate applies only when the
-    compiled backend is actually installed."""
+    """Tokens/sec per sweep engine and token-loop backend on the
+    B=2000 Source-LDA workload; the numba >= 3x python gates apply
+    only when the compiled backend is actually installed, and only to
+    the fast and sparse engines (the source-mode alias kernel stays on
+    the interpreted lane under numba)."""
     result = benchmark.pedantic(
         lambda: run_backend_speedup(**SPEEDUP_PARAMS),
         rounds=1, iterations=1)
+    ratios = result.compiled_vs_python
     record(
         "sweep_backends", format_backend_speedup(result),
         metrics={
             "tokens_per_second": result.tokens_per_second,
-            "numba_vs_python": result.compiled_vs_python,
+            "numba_vs_python": ratios,
             "consistent": result.consistent,
+            "alias_acceptance_rate": result.acceptance_rate,
         },
         params={**SPEEDUP_PARAMS,
-                "backends": sorted(result.tokens_per_second),
+                "engines": list(result.engines),
+                "backends": sorted(result.tokens_per_second["fast"]),
                 "num_tokens": result.num_tokens})
 
-    assert all(result.consistent.values())
-    assert result.tokens_per_second["python"] > 0
+    # None marks a backend that is not installed here; every backend
+    # that was actually timed must have kept the counts consistent.
+    assert all(ok for series in result.consistent.values()
+               for ok in series.values() if ok is not None)
+    for engine in result.engines:
+        assert result.tokens_per_second[engine]["python"] > 0
+    assert result.acceptance_rate["python"] > 0.5
     if "numba" in available_backends():
-        assert result.compiled_vs_python >= NUMBA_MIN_SPEEDUP
-    # else: graceful skip — the python-only record still feeds the
-    # perf gate, and the stamped backend keeps it from being compared
-    # against a future numba-backed run.
+        assert ratios["fast"] >= NUMBA_MIN_SPEEDUP
+        assert ratios["sparse"] >= NUMBA_MIN_SPEEDUP
+    # else: graceful skip — the python-only series still feed the perf
+    # gate and the numba columns are recorded as null, which
+    # compare.py skips with a reason instead of comparing.

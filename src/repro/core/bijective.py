@@ -58,8 +58,9 @@ class BijectiveSourceLDA(TopicModel):
         Algorithm 1.
     engine:
         ``"fast"`` (default, draw-identical to the reference),
-        ``"sparse"`` (bucketed O(nnz) draws, statistically equivalent)
-        or ``"reference"``; see
+        ``"sparse"`` (bucketed O(nnz) draws, statistically equivalent),
+        ``"alias"`` (stale-alias/MH proposals, amortized O(1) per
+        token, distributionally equivalent) or ``"reference"``; see
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
     backend:
         Token-loop backend: ``"auto"`` (default), ``"python"`` or

@@ -42,13 +42,15 @@ import numpy as np
 from scipy.special import gammaln, logsumexp
 
 from repro.core.priors import GridDeltaTables
+from repro.sampling.alias_engine import AliasKernelPath
 from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import (TopicWeightKernel,
                                   symmetric_dirichlet_log_likelihood)
 from repro.sampling.integration import LambdaGrid
-from repro.sampling.runtime import (BLOCK_SHIFT, BLOCK_SIZE,
+from repro.sampling.runtime import (BLOCK_SHIFT, BLOCK_SIZE, AliasMHTable,
                                     SourceBijectiveTable, SourceDenseTable,
                                     TopicSet, WordTopicLists,
+                                    rebuild_alias_dense,
                                     run_source_bijective_chunk)
 from repro.sampling.scans import last_positive_index
 from repro.sampling.sparse_engine import SparseKernelPath
@@ -202,6 +204,16 @@ class SourceTopicsKernel(TopicWeightKernel):
 
     def sparse_path(self) -> "SourceTopicsSparsePath":
         return SourceTopicsSparsePath(self)
+
+    def alias_path(self) -> "SourceTopicsAliasPath | None":
+        # The alias lane covers the bijective configuration (all-source
+        # layouts with non-negative quadrature exponents — what the
+        # sparse engine's table lane covers); mixed layouts return None
+        # and fall back to the sparse engine.
+        if self.num_free != 0 or not bool(
+                np.all(self.tables.exponents >= 0)):
+            return None
+        return SourceTopicsAliasPath(self)
 
 
 class SourceTopicsFastPath(FastKernelPath):
@@ -702,3 +714,84 @@ class SourceTopicsSparsePath(SparseKernelPath):
         out[k:] = (state.nw[word, k:] * fast._C * (source_nd + alpha)
                    + d_values * source_nd + alpha * d_values)
         return out
+
+
+class SourceTopicsAliasPath(AliasKernelPath):
+    """Alias/MH Source-LDA draws over the lambda-integration caches.
+
+    Bijective lane only (``K == 0`` with non-negative quadrature
+    exponents — the paper-scale configuration; mixed layouts fall back
+    to the sparse engine).  The word-dependent factor ``nw * C + D``
+    splits into the stale mixture::
+
+        nw * C + (D - E1)   [per-word sparse component over the nonzero
+                             nw[w] topics plus the word's article-
+                             correction topics, frozen at its own
+                             rebuild; D - E1 is exactly zero off the
+                             corrections]
+      + E1                  [shared dense component: the epsilon-floor
+                             prior, frozen per sweep into one Walker
+                             alias table]
+
+    The MH tests evaluate the exact live conditional through the same
+    shared ``E`` cache the fast/sparse lanes maintain (refreshed inline
+    on both count changes of every token), so acceptance is computed
+    against current counts no matter how stale the proposal is.  Unlike
+    the sparse lane's O(nnz + corr) bucket walk with its per-token
+    ``E1`` floor sum, the per-token cost here is O(1) in both the
+    source count ``S`` and the article vocabularies — the engine whose
+    advantage *grows* without bound along the Fig. 8f topic axis.
+    """
+
+    def __init__(self, kernel: SourceTopicsKernel) -> None:
+        super().__init__(kernel.state)
+        self.alpha = kernel.alpha
+        # Borrow the sparse path's shared machinery: the fast-path E/C
+        # caches the MH tests read, and the correction CSR the rebuilds
+        # union into the sparse-component support.
+        self._sparse = SourceTopicsSparsePath(kernel)
+        self._fast = self._sparse._fast
+        self._table: AliasMHTable | None = None
+
+    def alias_table(self) -> AliasMHTable:
+        if self._table is None:
+            state = self.state
+            sparse = self._sparse
+            fast = self._fast
+            vocab_size = state.vocab_size
+            lengths = state.doc_lengths.astype(np.int64)
+            max_len = int(lengths.max()) if lengths.shape[0] else 0
+            self._table = AliasMHTable(
+                mode="source_bijective",
+                alpha=self.alpha,
+                num_topics=state.num_topics,
+                rebuild_every=self.rebuild_every,
+                mh_counts=np.zeros(2, dtype=np.int64),
+                doc_starts=np.concatenate(
+                    ([0], np.cumsum(lengths))).tolist(),
+                doc_lengths=lengths.tolist(),
+                doc_z=np.empty(max(max_len, 1), dtype=np.int64),
+                word_topics=[None] * vocab_size,
+                word_vals=[None] * vocab_size,
+                word_cum=[None] * vocab_size,
+                word_mass=[0.0] * vocab_size,
+                # Start saturated so every word builds its sparse
+                # component on first touch.
+                draws_since=[self.rebuild_every] * vocab_size,
+                E=fast._E, E_flat=fast._E_flat, E1=sparse._E1,
+                C=fast._C, aug=fast._aug, omega=fast._omega,
+                sum_delta=fast._sum_delta, flat=fast._flat,
+                ratio_buf=fast._ratio_buf,
+                column_buf=fast._column_buf,
+                corr_ptr=sparse._corr_ptr,
+                corr_flat=sparse._corr_flat,
+                corr_topics=sparse._corr_topics)
+        return self._table
+
+    def begin_sweep(self) -> None:
+        # Refresh the shared E cache from the live counts *before*
+        # snapshotting the dense proposal component off its E1 row.
+        self._fast.begin_sweep()
+        table = self.alias_table()
+        rebuild_alias_dense(table, self.state)
+        table.current_doc = -1

@@ -44,8 +44,9 @@ class MixtureSourceLDA(TopicModel):
         Fixed exponent on source hyperparameters (1.0 = raw counts).
     engine:
         ``"fast"`` (default, draw-identical to the reference),
-        ``"sparse"`` (bucketed O(nnz) draws, statistically equivalent)
-        or ``"reference"``; see
+        ``"sparse"`` (bucketed O(nnz) draws, statistically equivalent),
+        ``"alias"`` (stale-alias/MH proposals, amortized O(1) per
+        token, distributionally equivalent) or ``"reference"``; see
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
     backend:
         Token-loop backend: ``"auto"`` (default), ``"python"`` or

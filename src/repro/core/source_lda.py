@@ -80,12 +80,15 @@ class SourceLDA(TopicModel):
         :class:`~repro.core.kernels.SourceTopicsFastPath` (O(S) per
         token, draw-identical to the reference); ``"sparse"`` uses the
         bucketed :class:`~repro.core.kernels.SourceTopicsSparsePath`
-        (O(nnz) per token, statistically equivalent); ``"reference"``
+        (O(nnz) per token, statistically equivalent); ``"alias"`` uses
+        the stale-alias/MH proposals of
+        :class:`~repro.core.kernels.SourceTopicsAliasPath` (amortized
+        O(1) per token, distributionally equivalent); ``"reference"``
         runs the literal Algorithm 1 loop (O(S * A) per token), kept as
         the exactness oracle.
     backend:
-        Token-loop backend for the fast/sparse engines: ``"auto"``
-        (default), ``"python"`` or ``"numba"``; see
+        Token-loop backend for the fast/sparse/alias engines:
+        ``"auto"`` (default), ``"python"`` or ``"numba"``; see
         :mod:`repro.sampling.runtime`.
     """
 

@@ -175,15 +175,16 @@ def _time_source_sweeps(corpus: Corpus, prior: SourcePrior,
                         grid: LambdaGrid, tables, engine: str,
                         alpha: float, seed: int, sweeps: int,
                         backend: str = "auto"
-                        ) -> tuple[float, np.ndarray, bool]:
+                        ) -> tuple[float, np.ndarray, bool, float | None]:
     """Best-sweep tokens/sec of one engine on a Source-LDA workload.
 
     All engines run from identical init and draw seeds (one warm-up
     sweep, then ``sweeps`` timed ones; the fastest is reported because
     per-sweep work is identical, so the minimum is the least
     noise-contaminated estimate on a shared machine).  Returns the
-    throughput, the final assignments and the count-matrix consistency
-    flag.
+    throughput, the final assignments, the count-matrix consistency
+    flag and the alias engine's MH acceptance rate (``None`` for the
+    other engines).
     """
     state = GibbsState(corpus, prior.num_topics)
     state.initialize_random(ensure_rng(seed + 1))
@@ -198,7 +199,7 @@ def _time_source_sweeps(corpus: Corpus, prior: SourcePrior,
         sampler.sweep()
         best = min(best, perf_counter() - start)
     return (state.num_tokens / best, state.z.copy(),
-            state.counts_consistent())
+            state.counts_consistent(), sampler.acceptance_rate)
 
 
 def _source_workload(num_topics: int, vocab_size: int,
@@ -258,7 +259,7 @@ def run_engine_speedup(num_topics: int = 2000,
         # and its `exact` flag asserts the python-lane draw-identity
         # contract — on "auto" a compiled fast lane would measure the
         # backend swap instead (run_backend_speedup covers that axis).
-        tps, final_z, consistent = _time_source_sweeps(
+        tps, final_z, consistent, _acceptance = _time_source_sweeps(
             corpus, prior, grid, tables, engine, alpha, seed, sweeps,
             backend="python")
         throughput[engine] = tps
@@ -296,26 +297,35 @@ def format_engine_speedup(result: EngineSpeedup) -> str:
 
 @dataclass
 class BackendSpeedup:
-    """Fast-engine throughput per token-loop backend on one workload."""
+    """Engine-by-backend sweep throughput on one Source-LDA workload."""
 
     num_topics: int
     approximation_steps: int
     num_tokens: int
-    engine: str
-    #: backend name -> best-sweep tokens/sec.
-    tokens_per_second: dict[str, float]
-    #: backend name -> count-matrix consistency after the timed sweeps.
-    consistent: dict[str, bool]
+    engines: tuple[str, ...]
+    #: engine -> backend -> best-sweep tokens/sec; ``None`` marks a
+    #: backend that is not installed on this machine (recorded rather
+    #: than dropped so the bench gate can skip it with a reason).
+    tokens_per_second: dict[str, dict[str, float | None]]
+    #: engine -> backend -> count-matrix consistency (``None`` when the
+    #: backend was not timed).
+    consistent: dict[str, dict[str, bool | None]]
+    #: backend -> alias-engine MH acceptance rate (``None`` when the
+    #: alias engine or the backend was not timed).
+    acceptance_rate: dict[str, float | None]
 
     @property
-    def compiled_vs_python(self) -> float | None:
-        """numba/python throughput ratio, or ``None`` unless the run
-        timed both backends (``backends=`` may select a subset)."""
-        if ("numba" not in self.tokens_per_second
-                or "python" not in self.tokens_per_second):
-            return None
-        return (self.tokens_per_second["numba"]
-                / self.tokens_per_second["python"])
+    def compiled_vs_python(self) -> dict[str, float | None]:
+        """Per-engine numba/python throughput ratio; ``None`` where a
+        side was not timed (numba not installed, subset run)."""
+        ratios: dict[str, float | None] = {}
+        for engine in self.engines:
+            series = self.tokens_per_second.get(engine, {})
+            numba = series.get("numba")
+            python = series.get("python")
+            ratios[engine] = (numba / python
+                              if numba and python else None)
+        return ratios
 
 
 def run_backend_speedup(num_topics: int = 2000,
@@ -325,75 +335,115 @@ def run_backend_speedup(num_topics: int = 2000,
                         vocab_size: int = 2000,
                         sweeps: int = 2,
                         seed: int = 0,
-                        engine: str = "fast",
+                        engines: tuple[str, ...] = ("fast", "sparse",
+                                                    "alias"),
                         alpha: float | None = None,
-                        backends: tuple[str, ...] | None = None
+                        backends: tuple[str, ...] = ("python", "numba")
                         ) -> BackendSpeedup:
-    """Time one sweep engine under every available token-loop backend.
+    """Time sweep engines under every requested token-loop backend.
 
     The workload is the B=2000 Source-LDA configuration of
-    :func:`run_engine_speedup`; ``backends`` defaults to everything
-    registered in :mod:`repro.sampling.runtime` (so the result records
-    just the python backend on machines without numba — the graceful
-    skip the bench gate relies on).  Backends sample the same
-    chain-shape from identical seeds; the compiled source lane is
-    distributionally (not draw-for-draw) equivalent, so per-backend
+    :func:`run_engine_speedup`.  A backend in ``backends`` that is not
+    registered in :mod:`repro.sampling.runtime` (numba not installed)
+    records ``None`` for its series instead of dropping them — the
+    bench JSON then carries an explicit "not measured here" marker that
+    ``benchmarks/compare.py`` skips with a reason.  Backends sample the
+    same chain-shape from identical seeds; the compiled lanes are
+    distributional (not draw-for-draw) mirrors, so per-backend
     count-matrix consistency is recorded instead of assignment
-    equality.
+    equality.  The alias engine's MH acceptance rate is stamped per
+    backend (the source-mode alias lane stays interpreted under numba,
+    so its two columns measure the same lane today).
     """
     from repro.sampling.runtime import available_backends
     if alpha is None:
         alpha = default_alpha(num_topics)
-    if backends is None:
-        backends = available_backends()
+    available = available_backends()
     corpus, prior, grid, tables = _source_workload(
         num_topics, vocab_size, num_documents, document_length,
         approximation_steps, seed)
-    throughput: dict[str, float] = {}
-    consistent: dict[str, bool] = {}
-    for backend in backends:
-        tps, _final_z, ok = _time_source_sweeps(
-            corpus, prior, grid, tables, engine, alpha, seed, sweeps,
-            backend=backend)
-        throughput[backend] = tps
-        consistent[backend] = ok
+    throughput: dict[str, dict[str, float | None]] = {}
+    consistent: dict[str, dict[str, bool | None]] = {}
+    acceptance: dict[str, float | None] = {}
+    for engine in engines:
+        throughput[engine] = {}
+        consistent[engine] = {}
+        for backend in backends:
+            if backend not in available:
+                throughput[engine][backend] = None
+                consistent[engine][backend] = None
+                if engine == "alias":
+                    acceptance[backend] = None
+                continue
+            tps, _final_z, ok, rate = _time_source_sweeps(
+                corpus, prior, grid, tables, engine, alpha, seed,
+                sweeps, backend=backend)
+            throughput[engine][backend] = tps
+            consistent[engine][backend] = ok
+            if engine == "alias":
+                acceptance[backend] = rate
     return BackendSpeedup(
         num_topics=num_topics,
         approximation_steps=approximation_steps,
         num_tokens=corpus.num_tokens,
-        engine=engine,
+        engines=tuple(engines),
         tokens_per_second=throughput,
-        consistent=consistent)
+        consistent=consistent,
+        acceptance_rate=acceptance)
 
 
 def format_backend_speedup(result: BackendSpeedup) -> str:
+    rows = []
+    for engine in result.engines:
+        for backend, tps in sorted(
+                result.tokens_per_second[engine].items()):
+            rows.append([engine, backend,
+                         "n/a" if tps is None else tps])
     table = format_table(
-        ["backend", "tokens/sec"],
-        [[name, tps]
-         for name, tps in sorted(result.tokens_per_second.items())],
-        title=(f"Token-loop backends - Source-LDA {result.engine} "
-               f"engine, B={result.num_topics}, "
+        ["engine", "backend", "tokens/sec"], rows,
+        title=(f"Token-loop backends - Source-LDA, "
+               f"B={result.num_topics}, "
                f"A={result.approximation_steps}, "
                f"{result.num_tokens} tokens"))
-    ratio = result.compiled_vs_python
-    tail = (f"numba/python: {ratio:.2f}x" if ratio is not None
-            else "numba backend not installed (python only)")
+    ratios = result.compiled_vs_python
+    if any(ratio is not None for ratio in ratios.values()):
+        tail = " | ".join(
+            f"{engine} numba/python: "
+            + (f"{ratio:.2f}x" if ratio is not None else "n/a")
+            for engine, ratio in ratios.items())
+    else:
+        tail = "numba backend not installed (python only)"
+    rates = {backend: rate
+             for backend, rate in result.acceptance_rate.items()
+             if rate is not None}
+    if rates:
+        tail += "\nalias MH acceptance: " + ", ".join(
+            f"{backend} {rate:.3f}"
+            for backend, rate in sorted(rates.items()))
     return f"{table}\n{tail}"
 
 
 @dataclass(frozen=True)
 class SparseScalingRow:
-    """Sparse-vs-fast throughput at one knowledge-source size ``B``."""
+    """Sparse/alias-vs-fast throughput at one source size ``B``."""
 
     num_topics: int
     fast_tokens_per_second: float
     sparse_tokens_per_second: float
     sparse_consistent: bool
+    alias_tokens_per_second: float
+    alias_consistent: bool
+    alias_acceptance_rate: float | None
 
     @property
     def sparse_vs_fast(self) -> float:
         return (self.sparse_tokens_per_second
                 / self.fast_tokens_per_second)
+
+    @property
+    def alias_vs_sparse(self) -> float:
+        return (self.alias_tokens_per_second
+                / self.sparse_tokens_per_second)
 
 
 @dataclass
@@ -410,14 +460,18 @@ def run_sparse_scaling(topic_grid: tuple[int, ...] = (500, 2000, 8000),
                        vocab_size: int = 1000,
                        sweeps: int = 2,
                        seed: int = 0) -> SparseScalingResult:
-    """Sparse-vs-fast tokens/sec across a grid of superset sizes ``B``.
+    """Sparse/alias-vs-fast tokens/sec across a grid of sizes ``B``.
 
     The fast engine's per-token cost is O(S) (weight pass plus a full
     cumulative sum); the sparse engine's bucket walks touch only the
     nonzero count topics, so its advantage should *grow* with ``B`` —
-    the ROADMAP claim this bench pins down.  The reference engine is
-    omitted: at the top of the grid its O(S * A) per-token cost would
-    dominate the bench for no extra information.
+    the ROADMAP claim this bench pins down.  The alias engine's MH
+    proposals are O(1) amortized per token, so *its* advantage over
+    sparse should in turn grow with ``B`` (the stale word tables
+    amortize their O(B) rebuild over ``rebuild_every`` draws while the
+    sparse walk still scans the nonzero topics of every row).  The
+    reference engine is omitted: at the top of the grid its O(S * A)
+    per-token cost would dominate the bench for no extra information.
     """
     if len(topic_grid) < 2:
         raise ValueError(
@@ -431,19 +485,25 @@ def run_sparse_scaling(topic_grid: tuple[int, ...] = (500, 2000, 8000),
             approximation_steps, seed)
         num_tokens = corpus.num_tokens
         # Pinned to the python backend like run_engine_speedup: the
-        # sparse/fast ratio is an engine comparison, and the compiled
-        # backend covers only the fast lane today.
-        fast_tps, _, _ = _time_source_sweeps(
+        # sparse/fast and alias/sparse ratios are engine comparisons,
+        # and the compiled backend covers only part of the lanes today.
+        fast_tps, _, _, _ = _time_source_sweeps(
             corpus, prior, grid, tables, "fast", alpha, seed, sweeps,
             backend="python")
-        sparse_tps, _, consistent = _time_source_sweeps(
+        sparse_tps, _, sparse_ok, _ = _time_source_sweeps(
             corpus, prior, grid, tables, "sparse", alpha, seed, sweeps,
+            backend="python")
+        alias_tps, _, alias_ok, acceptance = _time_source_sweeps(
+            corpus, prior, grid, tables, "alias", alpha, seed, sweeps,
             backend="python")
         rows.append(SparseScalingRow(
             num_topics=num_topics,
             fast_tokens_per_second=fast_tps,
             sparse_tokens_per_second=sparse_tps,
-            sparse_consistent=consistent))
+            sparse_consistent=sparse_ok,
+            alias_tokens_per_second=alias_tps,
+            alias_consistent=alias_ok,
+            alias_acceptance_rate=acceptance))
     return SparseScalingResult(rows=rows,
                                approximation_steps=approximation_steps,
                                num_tokens=num_tokens)
@@ -451,15 +511,21 @@ def run_sparse_scaling(topic_grid: tuple[int, ...] = (500, 2000, 8000),
 
 def format_sparse_scaling(result: SparseScalingResult) -> str:
     table = format_table(
-        ["topics (B)", "fast tok/s", "sparse tok/s", "sparse/fast"],
+        ["topics (B)", "fast tok/s", "sparse tok/s", "sparse/fast",
+         "alias tok/s", "alias/sparse", "MH accept"],
         [[row.num_topics, row.fast_tokens_per_second,
-          row.sparse_tokens_per_second, row.sparse_vs_fast]
+          row.sparse_tokens_per_second, row.sparse_vs_fast,
+          row.alias_tokens_per_second, row.alias_vs_sparse,
+          "n/a" if row.alias_acceptance_rate is None
+          else row.alias_acceptance_rate]
          for row in result.rows],
-        title=(f"Sparse engine advantage vs B - "
+        title=(f"Sparse/alias engine advantage vs B - "
                f"A={result.approximation_steps}, "
                f"{result.num_tokens} tokens"))
-    consistent = all(row.sparse_consistent for row in result.rows)
-    return f"{table}\nsparse counts consistent at every B: {consistent}"
+    consistent = all(row.sparse_consistent and row.alias_consistent
+                     for row in result.rows)
+    return (f"{table}\nsparse+alias counts consistent at every B: "
+            f"{consistent}")
 
 
 @dataclass(frozen=True)

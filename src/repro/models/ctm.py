@@ -217,10 +217,11 @@ class CTM(TopicModel):
         Bag size per concept; the paper uses the top 10,000 words by
         frequency.
     engine:
-        ``"fast"`` (default) or ``"reference"``; ``"sparse"`` is
-        accepted but the CTM kernel defines no bucketed path (the
-        out-of-bag fallback does not decompose), so it runs on the fast
-        engine and stays draw-identical to the reference.  See
+        ``"fast"`` (default) or ``"reference"``; ``"sparse"`` and
+        ``"alias"`` are accepted but the CTM kernel defines no bucketed
+        or alias path (the out-of-bag fallback does not decompose), so
+        both run on the fast engine and stay draw-identical to the
+        reference.  See
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
     backend:
         Token-loop backend: ``"auto"`` (default), ``"python"`` or

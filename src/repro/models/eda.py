@@ -20,10 +20,12 @@ from repro.knowledge.distributions import (DEFAULT_EPSILON,
 from repro.knowledge.source import KnowledgeSource
 from repro.models.base import FittedTopicModel, TopicModel
 from repro.models.lda import posterior_theta
+from repro.sampling.alias import build_alias_rows
+from repro.sampling.alias_engine import AliasKernelPath
 from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import CollapsedGibbsSampler, TopicWeightKernel
 from repro.sampling.rng import ensure_rng
-from repro.sampling.runtime import EdaDenseTable, TopicSet
+from repro.sampling.runtime import AliasMHTable, EdaDenseTable, TopicSet
 from repro.sampling.scans import ScanStrategy, last_positive_index
 from repro.sampling.sparse_engine import SparseKernelPath
 from repro.sampling.state import GibbsState
@@ -64,6 +66,9 @@ class EdaKernel(TopicWeightKernel):
     def sparse_path(self) -> "EdaSparsePath":
         return EdaSparsePath(self)
 
+    def alias_path(self) -> "EdaAliasPath":
+        return EdaAliasPath(self)
+
 
 class EdaFastPath(FastKernelPath):
     """EDA fast path: phi is fixed, so there is nothing to cache — the
@@ -101,6 +106,8 @@ class EdaSparsePath(SparseKernelPath):
     fresh over the nonzero ``nd[d]`` topics.  There is no word-count
     bucket because phi does not depend on the counts.
     """
+
+    lane = "eda"
 
     def __init__(self, kernel: EdaKernel) -> None:
         super().__init__(kernel.state)
@@ -169,6 +176,54 @@ class EdaSparsePath(SparseKernelPath):
         return phi_row * self.state.nd[doc] + self.alpha * phi_row
 
 
+class EdaAliasPath(AliasKernelPath):
+    """Alias/MH EDA draws: ``phi`` is fixed, so the word proposal is a
+    *static* stacked Walker table over ``phi[:, w]`` — never stale, no
+    rebuild cadence, and the whole chunk's word proposals come from one
+    vectorized :func:`~repro.sampling.alias.alias_draw_many` batch.  The
+    doc proposal and the MH tests against the live ``nd`` counts are
+    the standard LightLDA cycle; the word-proposal MH test is exact
+    (``q = phi``), so a word proposal is only ever rejected through the
+    doc-count factor.
+    """
+
+    def __init__(self, kernel: EdaKernel) -> None:
+        super().__init__(kernel.state)
+        self.alpha = kernel.alpha
+        self._phi_by_word = kernel._phi_by_word
+        self._table: AliasMHTable | None = None
+
+    def alias_table(self) -> AliasMHTable:
+        if self._table is None:
+            state = self.state
+            phi_by_word = self._phi_by_word
+            accept, alias_topic = build_alias_rows(phi_by_word)
+            lengths = state.doc_lengths.astype(np.int64)
+            max_len = int(lengths.max()) if lengths.shape[0] else 0
+            self._table = AliasMHTable(
+                mode="eda",
+                alpha=self.alpha,
+                num_topics=state.num_topics,
+                rebuild_every=self.rebuild_every,
+                mh_counts=np.zeros(2, dtype=np.int64),
+                doc_starts=np.concatenate(
+                    ([0], np.cumsum(lengths))).tolist(),
+                doc_lengths=lengths.tolist(),
+                doc_z=np.empty(max(max_len, 1), dtype=np.int64),
+                phi_by_word=phi_by_word,
+                eda_accept=accept,
+                eda_alias=alias_topic,
+                # Poison-check the first batch only when some phi row
+                # could be all-zero (never after epsilon smoothing, but
+                # the kernel accepts arbitrary phi).
+                eda_validated=bool(
+                    (phi_by_word.sum(axis=1) > 0.0).all()))
+        return self._table
+
+    def begin_sweep(self) -> None:
+        self.alias_table().current_doc = -1
+
+
 class EDA(TopicModel):
     """Explicit Dirichlet allocation over a knowledge source.
 
@@ -185,7 +240,8 @@ class EDA(TopicModel):
     engine:
         ``"fast"`` (default, draw-identical to the reference),
         ``"sparse"`` (bucketed document/prior draws, statistically
-        equivalent) or ``"reference"``; see
+        equivalent), ``"alias"`` (static alias-table proposals + MH,
+        distributionally equivalent) or ``"reference"``; see
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
     backend:
         Token-loop backend: ``"auto"`` (default), ``"python"`` or

@@ -16,11 +16,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.models.base import FittedTopicModel, TopicModel
+from repro.sampling.alias_engine import AliasKernelPath
 from repro.sampling.fast_engine import FastKernelPath
 from repro.sampling.gibbs import (CollapsedGibbsSampler, TopicWeightKernel,
                                   symmetric_dirichlet_log_likelihood)
 from repro.sampling.rng import ensure_rng
-from repro.sampling.runtime import LdaDenseTable, TopicSet, WordTopicLists
+from repro.sampling.runtime import (AliasMHTable, LdaDenseTable, TopicSet,
+                                    WordTopicLists, rebuild_alias_dense)
 from repro.sampling.scans import ScanStrategy
 from repro.sampling.sparse_engine import SparseKernelPath
 from repro.sampling.state import GibbsState
@@ -58,6 +60,9 @@ class LdaKernel(TopicWeightKernel):
 
     def sparse_path(self) -> "LdaSparsePath":
         return LdaSparsePath(self)
+
+    def alias_path(self) -> "LdaAliasPath":
+        return LdaAliasPath(self)
 
 
 class LdaFastPath(FastKernelPath):
@@ -114,6 +119,8 @@ class LdaSparsePath(SparseKernelPath):
     nonzero ``nd[d]`` / ``nw[w]`` topics, so a draw costs O(nnz) unless
     it lands in the (tiny) smoothing bucket.
     """
+
+    lane = "lda"
 
     def __init__(self, kernel: LdaKernel) -> None:
         super().__init__(kernel.state)
@@ -223,6 +230,63 @@ class LdaSparsePath(SparseKernelPath):
                 + self.beta * nd_row + self._ab) * inv
 
 
+class LdaAliasPath(AliasKernelPath):
+    """The alias/MH stale-mixture decomposition of Equation 2.
+
+    The word-dependent factor ``(nw + beta) / (nt + V * beta)`` splits
+    into the stale mixture::
+
+        nw / (nt + V*beta)     [per-word sparse component, frozen at
+                                its own rebuild over nonzero nw[w]]
+      + beta / (nt + V*beta)   [shared dense component, frozen per
+                                sweep into one Walker alias table]
+
+    Both components are non-negative and the dense one strictly
+    positive, so the mixture proposal covers every topic; the MH test
+    against the exact live conditional corrects whatever staleness the
+    frozen values carry.
+    """
+
+    def __init__(self, kernel: LdaKernel) -> None:
+        super().__init__(kernel.state)
+        self.alpha = kernel.alpha
+        self.beta = kernel.beta
+        self._beta_sum = kernel._beta_sum
+        self._table: AliasMHTable | None = None
+
+    def alias_table(self) -> AliasMHTable:
+        if self._table is None:
+            state = self.state
+            vocab_size = state.vocab_size
+            lengths = state.doc_lengths.astype(np.int64)
+            max_len = int(lengths.max()) if lengths.shape[0] else 0
+            self._table = AliasMHTable(
+                mode="lda",
+                alpha=self.alpha,
+                num_topics=state.num_topics,
+                rebuild_every=self.rebuild_every,
+                mh_counts=np.zeros(2, dtype=np.int64),
+                doc_starts=np.concatenate(
+                    ([0], np.cumsum(lengths))).tolist(),
+                doc_lengths=lengths.tolist(),
+                doc_z=np.empty(max(max_len, 1), dtype=np.int64),
+                word_topics=[None] * vocab_size,
+                word_vals=[None] * vocab_size,
+                word_cum=[None] * vocab_size,
+                word_mass=[0.0] * vocab_size,
+                # Start saturated so every word builds its sparse
+                # component on first touch.
+                draws_since=[self.rebuild_every] * vocab_size,
+                beta=self.beta,
+                beta_sum=self._beta_sum)
+        return self._table
+
+    def begin_sweep(self) -> None:
+        table = self.alias_table()
+        rebuild_alias_dense(table, self.state)
+        table.current_doc = -1
+
+
 def posterior_theta(state: GibbsState, alpha: float) -> np.ndarray:
     """Equation 1's ``theta`` estimate: ``(n_dt + α) / (n_d + K α)``.
 
@@ -252,11 +316,13 @@ class LDA(TopicModel):
     engine:
         Sweep engine: ``"fast"`` (default, draw-identical to the
         reference), ``"sparse"`` (SparseLDA ``s + r + q`` buckets,
-        O(nnz) per token, statistically equivalent) or ``"reference"``
-        (the literal Algorithm 1 loop); see
+        O(nnz) per token, statistically equivalent), ``"alias"``
+        (stale-alias/MH proposals, amortized O(1) per token,
+        distributionally equivalent) or ``"reference"`` (the literal
+        Algorithm 1 loop); see
         :class:`~repro.sampling.gibbs.CollapsedGibbsSampler`.
     backend:
-        Token-loop backend for the fast/sparse engines:
+        Token-loop backend for the fast/sparse/alias engines:
         ``"auto"`` (default), ``"python"`` or ``"numba"``; see
         :mod:`repro.sampling.runtime`.
     """

@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["build_alias_table", "build_alias_rows", "alias_draw"]
+__all__ = ["build_alias_table", "build_alias_rows", "alias_draw",
+           "alias_draw_many"]
 
 
 def build_alias_table(weights: np.ndarray
@@ -152,12 +153,18 @@ def build_alias_rows(weight_rows: np.ndarray
     return accept, alias
 
 
-def alias_draw(accept: np.ndarray, alias: np.ndarray, u: float) -> int:
+def alias_draw(accept: np.ndarray, alias: np.ndarray, u: float,
+               check: bool = True) -> int:
     """O(1) categorical draw from one alias table and a uniform ``u``.
 
     ``u`` must lie in ``[0, 1)``; both the cell index and the
     keep-or-alias coin come out of it, so the caller spends exactly one
     uniform per draw.
+
+    ``check=False`` skips the all-zero poison test for callers that
+    already validated the table at build time (e.g. the fold-in engine,
+    which constructs its tables from rows it knows carry mass) — the
+    branch is off the per-draw hot path instead of paid on every draw.
     """
     n = accept.shape[0]
     scaled = u * n
@@ -165,8 +172,50 @@ def alias_draw(accept: np.ndarray, alias: np.ndarray, u: float) -> int:
     if j >= n:  # u rounded up to 1.0 by float error
         j = n - 1
     threshold = accept[j]
-    if threshold < 0.0:
+    if check and threshold < 0.0:
         raise ValueError(
             "alias table was built from all-zero weights; the caller "
             "should never route a draw here")
     return j if (scaled - j) < threshold else int(alias[j])
+
+
+def alias_draw_many(accept: np.ndarray, alias: np.ndarray,
+                    uniforms: np.ndarray,
+                    rows: np.ndarray | None = None,
+                    check: bool = True) -> np.ndarray:
+    """Vectorized :func:`alias_draw`: many draws in one numpy pass.
+
+    ``accept``/``alias`` are either one table (1-d, every draw samples
+    from it) or stacked per-row tables (2-d, e.g. one per vocabulary
+    word from :func:`build_alias_rows`); in the stacked case ``rows``
+    selects the table of each draw.  ``uniforms`` is the ``(m,)`` batch
+    of uniform variates, one per draw (same split trick as the scalar
+    draw, so RNG consumption is identical).  Element ``i`` of the result
+    equals ``alias_draw(accept[rows[i]], alias[rows[i]], uniforms[i])``
+    exactly — same truncation, same boundary clamp, same coin.
+
+    The all-zero poison check runs **once per batch** (a vectorized
+    min over the touched cells) instead of per draw; ``check=False``
+    drops even that for callers that validated their tables at build
+    time.
+    """
+    uniforms = np.asarray(uniforms, dtype=np.float64)
+    n = accept.shape[-1]
+    scaled = uniforms * n
+    cells = scaled.astype(np.int64)
+    np.minimum(cells, n - 1, out=cells)  # u rounded up to 1.0
+    if accept.ndim == 1:
+        thresholds = accept.take(cells)
+        aliased = alias.take(cells)
+    else:
+        if rows is None:
+            raise ValueError(
+                "rows is required when accept/alias are stacked (2-d)")
+        rows = np.asarray(rows, dtype=np.int64)
+        thresholds = accept[rows, cells]
+        aliased = alias[rows, cells]
+    if check and thresholds.shape[0] and float(thresholds.min()) < 0.0:
+        raise ValueError(
+            "alias table was built from all-zero weights; the caller "
+            "should never route a draw here")
+    return np.where(scaled - cells < thresholds, cells, aliased)

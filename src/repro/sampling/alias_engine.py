@@ -1,0 +1,173 @@
+"""The alias sweep engine: stale-proposal Metropolis-Hastings draws.
+
+The sparse engine (:mod:`repro.sampling.sparse_engine`) cut the
+per-token cost from ``O(T)`` to ``O(nnz)`` — but ``nnz`` still grows
+with the corpus and, for Source-LDA, with the article vocabularies, and
+the bucket walk re-gathers its weights on every token.  This engine
+removes the per-token dependence on topic structure altogether,
+following AliasLDA (Li, Ahmed, Ravi & Smola, KDD 2014) and LightLDA
+(Yuan et al., WWW 2015): draw proposals in amortized **O(1)** from
+*stale* precomputed structures, then correct the staleness with a
+Metropolis-Hastings accept/reject against the **exact** live
+conditional.
+
+Per token, two cycled MH sub-steps (LightLDA's proposal cycling):
+
+* a **word proposal** from a stale additive mixture over the
+  word-dependent weight factor — a per-word sparse component over the
+  word's nonzero topics, rebuilt every ``rebuild_every`` draws of that
+  word, plus a shared dense smoothing component snapshotted per sweep
+  into a Walker alias table (:mod:`repro.sampling.alias`).  Each
+  component stores its own frozen weights and mass, so the proposal
+  density is exactly evaluable at any staleness;
+* a **doc proposal** from the document's token slice — minus the
+  current token's own slot — plus the uniform ``alpha`` arm, computed
+  from live state in O(1), never stale.
+
+Both sub-steps accept with ``u * pi(s) * q(t) < pi(t) * q(s)`` where
+``pi`` is the same exact conditional the other engines sample.  The
+fixed-proposal form of that test is only exact when ``q`` does not
+depend on the topic being resampled, so the word components are rebuilt
+strictly *after* the token's decrement and the doc slice skips the
+token's own entry.  With that, staleness affects only the *acceptance
+rate*, never the stationary distribution: the chain targets the exact
+per-token conditional regardless of rebuild cadence.  That is
+the engine's exactness contract — **distributional** equivalence (the
+per-token MH transition leaves the exact conditional invariant; pinned
+by the chi-squared invariance test and the chain-level
+perplexity/theta-JS parity checks in ``tests/test_alias_engine.py``),
+not draw-for-draw identity.
+
+Staleness contract: per-word sparse components persist **across**
+sweeps (only the shared dense component and the per-sweep caches are
+refreshed by ``begin_sweep``), because correctness never requires a
+rebuild — the cadence is purely a proposal-quality/throughput trade.
+
+RNG discipline: exactly four uniforms per token (word proposal, word
+coin, doc proposal, doc coin), pre-drawn in chunks; coins are consumed
+even on self-proposals and rebuilds draw no RNG, so the stream position
+is a function of token count alone — changing ``rebuild_every`` (or
+rebuilding never) replays the identical uniform sequence.
+
+Kernels without an :meth:`~repro.sampling.gibbs.TopicWeightKernel
+.alias_path` (CTM, the mixed-layout Source-LDA lane, custom kernels)
+fall back to the sparse engine, which in turn falls back to the fast
+engine — ``engine="alias"`` is safe on every kernel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.sampling.runtime import (AliasMHTable, TokenLoopBackend,
+                                    resolve_backend)
+from repro.sampling.scans import ScanStrategy, SerialScan
+from repro.sampling.sparse_engine import SparseSweepEngine
+from repro.sampling.state import GibbsState
+
+__all__ = ["AliasKernelPath", "AliasSweepEngine"]
+
+#: Default per-word draw count between stale-table rebuilds.  Small
+#: enough to keep acceptance high on fast-mixing counts, large enough
+#: that the O(support) rebuild amortizes to a constant per draw.
+DEFAULT_REBUILD_EVERY = 64
+
+
+class AliasKernelPath(ABC):
+    """Alias/MH proposal contract for the alias engine.
+
+    A path is created by :meth:`TopicWeightKernel.alias_path` and owns
+    the :class:`~repro.sampling.runtime.AliasMHTable` carrying its
+    kernel's stale proposal components and live-conditional operands.
+    The runtime backend drives the whole sweep off the table
+    (:meth:`~repro.sampling.runtime.TokenLoopBackend.sweep_alias`);
+    the path's job is construction and the per-sweep refresh.
+
+    ``begin_sweep`` refreshes the per-sweep state — the shared dense
+    proposal component, any live caches the kernel shares with its
+    other paths, and the document cursor — but deliberately **not** the
+    per-word stale components: those persist across sweeps and rebuild
+    on their own per-word cadence (see the module docstring).
+
+    ``rebuild_every`` is installed by the engine before the first sweep.
+    """
+
+    alpha: float
+    rebuild_every: int = DEFAULT_REBUILD_EVERY
+
+    def __init__(self, state: GibbsState) -> None:
+        self.state = state
+        self.scan: ScanStrategy = SerialScan()
+
+    @abstractmethod
+    def begin_sweep(self) -> None:
+        """Refresh per-sweep proposal state (dense component, shared
+        caches, document cursor) from the live counts."""
+
+    @abstractmethod
+    def alias_table(self) -> AliasMHTable:
+        """The kernel table driving the backend's alias/MH chunk loop.
+
+        Built lazily on first call (so :attr:`rebuild_every` is already
+        installed) and cached; array fields may alias live caches shared
+        with the kernel's other paths.
+        """
+
+
+class AliasSweepEngine:
+    """Executes one Gibbs sweep with amortized-O(1) alias/MH draws.
+
+    Parameters mirror :class:`~repro.sampling.sparse_engine
+    .SparseSweepEngine` (including ``backend``), plus ``rebuild_every``
+    — the per-word draw count between stale-table rebuilds.  Kernels
+    without an alias path run on an internal sparse engine (which
+    itself falls back to the fast engine when no sparse path exists),
+    so ``engine="alias"`` is safe on every kernel.
+    """
+
+    def __init__(self, state: GibbsState, kernel, rng: np.random.Generator,
+                 scan: ScanStrategy | None = None,
+                 chunk_size: int = 65536,
+                 backend: str | TokenLoopBackend = "auto",
+                 rebuild_every: int = DEFAULT_REBUILD_EVERY) -> None:
+        if chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        if rebuild_every < 1:
+            raise ValueError(
+                f"rebuild_every must be >= 1, got {rebuild_every}")
+        self.state = state
+        self.kernel = kernel
+        self.rng = rng
+        self.scan = scan or SerialScan()
+        self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
+        self._path: AliasKernelPath | None = kernel.alias_path()
+        self._fallback: SparseSweepEngine | None = None
+        if self._path is None:
+            self._fallback = SparseSweepEngine(state, kernel, rng,
+                                               scan=self.scan,
+                                               chunk_size=chunk_size,
+                                               backend=self.backend)
+        else:
+            self._path.scan = self.scan
+            self._path.rebuild_every = rebuild_every
+
+    def sweep(self) -> None:
+        if self._path is not None:
+            self.backend.sweep_alias(self)
+        else:
+            self._fallback.sweep()
+
+    @property
+    def acceptance_rate(self) -> float | None:
+        """Fraction of MH proposals accepted so far (both sub-steps
+        pooled), or ``None`` before any proposal / on fallback."""
+        if self._path is None:
+            return None
+        counts = self._path.alias_table().mh_counts
+        if counts[0] == 0:
+            return None
+        return float(counts[1] / counts[0])

@@ -7,7 +7,7 @@ re-increment.  The kernel is where LDA, EDA, CTM and the three Source-LDA
 variants differ (Equations 2 and 3 of the paper); everything else lives
 here once.
 
-Three sweep engines execute that structure:
+Four sweep engines execute that structure:
 
 * ``engine="reference"`` — the literal per-token transcription of
   Algorithm 1 below (:meth:`CollapsedGibbsSampler.sweep` via
@@ -26,7 +26,14 @@ Three sweep engines execute that structure:
   the per-token work from ``O(T)`` to ``O(nnz)``.  Statistically
   equivalent but not draw-for-draw identical (the bucket partition
   reassociates the weight sums); kernels without a
-  :meth:`TopicWeightKernel.sparse_path` fall back to the fast engine.
+  :meth:`TopicWeightKernel.sparse_path` fall back to the fast engine;
+* ``engine="alias"`` — the stale-alias/Metropolis-Hastings sampler of
+  :mod:`repro.sampling.alias_engine` (AliasLDA/LightLDA): amortized
+  ``O(1)`` proposals from stale per-word tables, corrected by MH
+  accept/reject against the exact conditional.  Distributionally
+  equivalent (the MH transition leaves the exact conditional
+  invariant); kernels without a :meth:`TopicWeightKernel.alias_path`
+  fall back to the sparse engine.
 """
 
 from __future__ import annotations
@@ -39,6 +46,8 @@ from typing import Callable
 import numpy as np
 from scipy.special import gammaln
 
+from repro.sampling.alias_engine import (DEFAULT_REBUILD_EVERY,
+                                         AliasKernelPath, AliasSweepEngine)
 from repro.sampling.fast_engine import FastKernelPath, FastSweepEngine
 from repro.sampling.runtime import TokenLoopBackend, resolve_backend
 from repro.sampling.scans import ScanStrategy, SerialScan
@@ -46,7 +55,7 @@ from repro.sampling.sparse_engine import SparseKernelPath, SparseSweepEngine
 from repro.sampling.state import GibbsState
 
 #: Valid values for the sampler's ``engine`` argument.
-ENGINES = ("fast", "sparse", "reference")
+ENGINES = ("fast", "sparse", "alias", "reference")
 
 
 class TopicWeightKernel(ABC):
@@ -97,6 +106,17 @@ class TopicWeightKernel(ABC):
         """
         return None
 
+    def alias_path(self) -> AliasKernelPath | None:
+        """Optional stale-proposal path for the alias/MH sweep engine.
+
+        ``None`` (the default) makes ``engine="alias"`` fall back to
+        the sparse engine for this kernel; kernels whose word-dependent
+        weight factor admits a sparse-plus-dense stale mixture override
+        this with an
+        :class:`~repro.sampling.alias_engine.AliasKernelPath`.
+        """
+        return None
+
 
 @dataclass
 class SweepTimings:
@@ -133,8 +153,12 @@ class CollapsedGibbsSampler:
         :class:`~repro.sampling.fast_engine.FastSweepEngine`;
         ``"sparse"`` through the bucketed
         :class:`~repro.sampling.sparse_engine.SparseSweepEngine`;
-        ``"reference"`` runs the literal Algorithm 1 loop.  All three
-        consume the RNG stream identically (one uniform per token).
+        ``"alias"`` through the stale-alias/MH
+        :class:`~repro.sampling.alias_engine.AliasSweepEngine`;
+        ``"reference"`` runs the literal Algorithm 1 loop.  The
+        fast/sparse/reference engines consume the RNG stream
+        identically (one uniform per token); the alias engine consumes
+        four uniforms per token (its own fixed stream discipline).
     backend:
         Token-loop backend for the fast/sparse engines (see
         :mod:`repro.sampling.runtime`): ``"auto"`` (default — the
@@ -142,13 +166,23 @@ class CollapsedGibbsSampler:
         ``"python"`` or ``"numba"``.  The resolved name is exposed as
         :attr:`backend`; the reference engine is interpreted by
         definition and ignores the choice (it is still validated).
+    rebuild_every:
+        Per-word draw count between stale-table rebuilds of the alias
+        engine (ignored by the other engines).  Larger values amortize
+        the rebuild further but make proposals staler: the per-token MH
+        transition stays exactly invariant at any cadence, while the
+        *chain-level* staleness adaptation (tables snapshot counts that
+        include tokens resampled later) introduces a bias on the order
+        of the staleness window over the per-word token count —
+        vanishing at corpus scale, visible on toy corpora.
     """
 
     def __init__(self, state: GibbsState, kernel: TopicWeightKernel,
                  rng: np.random.Generator,
                  scan: ScanStrategy | None = None,
                  engine: str = "fast",
-                 backend: str | TokenLoopBackend = "auto") -> None:
+                 backend: str | TokenLoopBackend = "auto",
+                 rebuild_every: int = DEFAULT_REBUILD_EVERY) -> None:
         if kernel.state is not state:
             raise ValueError("kernel is bound to a different state")
         if engine not in ENGINES:
@@ -170,8 +204,20 @@ class CollapsedGibbsSampler:
             self._sweep_engine = SparseSweepEngine(state, kernel, rng,
                                                    scan=self.scan,
                                                    backend=resolved)
+        elif engine == "alias":
+            self._sweep_engine = AliasSweepEngine(state, kernel, rng,
+                                                  scan=self.scan,
+                                                  backend=resolved,
+                                                  rebuild_every=rebuild_every)
         else:
             self._sweep_engine = None
+
+    @property
+    def acceptance_rate(self) -> float | None:
+        """MH acceptance rate of the alias engine's proposals so far;
+        ``None`` for the other engines, before any sweep, or when the
+        kernel made ``engine="alias"`` fall back."""
+        return getattr(self._sweep_engine, "acceptance_rate", None)
 
     def sweep(self) -> None:
         """One full pass reassigning every token (the inner loops of

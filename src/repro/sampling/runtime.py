@@ -40,21 +40,32 @@ mask kernel) or a non-serial scan strategy always samples on the
 interpreted loop, whatever backend was requested.
 
 The RNG contract is unchanged from the engines this module absorbed:
-one uniform per token, pre-drawn in chunks through ``rng.random(n)``
+a fixed number of uniforms per token — one for the dense/sparse/fold-in
+lanes, four for the alias/MH lane (word proposal, word coin, doc
+proposal, doc coin) — pre-drawn in chunks through ``rng.random(n)``
 (NumPy consumes the bit stream identically whether asked ``n`` times or
 once with size ``n``), so backends can be swapped without shifting a
 shared random stream — the same property the alias-table split trick
 relies on.
+
+The alias/MH training lane (:class:`AliasMHTable`,
+:func:`run_alias_mh_chunk`) is the amortized-O(1) counterpart of the
+sparse bucket walk: stale proposal tables plus Metropolis-Hastings
+correction against the exact conditional, per AliasLDA (Li et al., KDD
+2014) and LightLDA (Yuan et al., WWW 2015).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Callable, ClassVar
 
 import numpy as np
 
+from repro.sampling.alias import (alias_draw, alias_draw_many,
+                                  build_alias_table)
 from repro.sampling.scans import last_positive_index
 
 #: Segment size (as a shift) of the source lanes' two-level floor walk:
@@ -265,6 +276,8 @@ class SourceBijectiveTable:
     position: int = 0
     doc_len: int = 0
     nd_row: np.ndarray | None = None
+    # Compiled-backend scratch (lazily populated by runtime_numba).
+    compiled: object = None
 
 
 @dataclass(eq=False)
@@ -284,6 +297,112 @@ class FoldInTable:
     prior_mass: np.ndarray | None = None  # (V,) alpha * sum_t phi
     alias_accept: np.ndarray | None = None
     alias_topic: np.ndarray | None = None
+
+
+@dataclass(eq=False)
+class AliasMHTable:
+    """Stale-proposal Metropolis-Hastings structure of the alias engine.
+
+    The alias/MH lane (AliasLDA, Li et al. KDD 2014; LightLDA, Yuan et
+    al. WWW 2015) replaces the per-token bucket walk with two
+    Metropolis-Hastings sub-steps against *stale* proposal
+    distributions, each O(1) amortized:
+
+    * the **word proposal** is an additive mixture of two independently
+      refreshed frozen components over the word-dependent weight factor
+      — a per-word sparse component (stale nonzero word-topic weights,
+      rebuilt every :attr:`rebuild_every` draws of that word) plus a
+      shared dense component (the smoothing/epsilon-floor factor,
+      snapshotted per sweep into a Walker alias table).  Because every
+      component stores its own frozen weights and mass, the proposal
+      density ``q(t)`` is *exactly* evaluable no matter how stale any
+      component is — rebuild cadence affects acceptance rate, never
+      correctness;
+    * the **doc proposal** reuses LightLDA's token-slice trick: one
+      uniform either picks a random *other* token of the document (a
+      draw proportional to the live decremented ``nd`` row) or a
+      uniform topic (the ``alpha`` smoothing arm), so it is never stale
+      and needs no per-document tables.
+
+    Acceptance tests use the exact conditional from the live counts,
+    and both proposals are constructed to be independent of the topic
+    being resampled (word components rebuild only after the token's
+    decrement; the doc slice skips the token's own slot), so one
+    alias/MH transition leaves the same per-token conditional invariant
+    that the other engines sample directly (pinned by the chi-squared
+    invariance test in ``tests/test_alias_engine.py``).
+
+    Three modes share the structure: ``"lda"`` (live factor
+    ``(nw + b) / (nt + V b)``), ``"eda"`` (frozen phi — the per-word
+    proposal is a static stacked Walker table, never stale) and
+    ``"source_bijective"`` (live factor ``nw * C + D`` through the
+    shared lambda caches, sparse component over the word's nonzero
+    counts plus article-correction support, dense component over the
+    stale epsilon floor ``E1``).
+
+    The python lane keeps the per-word components as plain lists
+    (bisect beats numpy scalar calls at these sizes); the compiled
+    backend lazily mirrors them into flat arrays on
+    :attr:`compiled`.  ``mh_counts`` accumulates ``[proposals,
+    accepts]`` across sweeps for acceptance-rate reporting.
+    """
+
+    kind: ClassVar[str] = "alias_mh"
+
+    mode: str                    # "lda" | "eda" | "source_bijective"
+    alpha: float
+    num_topics: int
+    rebuild_every: int
+    mh_counts: np.ndarray        # (2,) [proposals, accepts]
+    # Document token-slice machinery (LightLDA doc proposal).
+    doc_starts: list
+    doc_lengths: list
+    doc_z: np.ndarray
+    # Per-word stale sparse component (None in eda mode): stale support
+    # topics (sorted), their frozen weights, the running cumsum used by
+    # proposal draws, the component mass, and the per-word draw counter
+    # driving the rebuild cadence.
+    word_topics: list | None = None
+    word_vals: list | None = None
+    word_cum: list | None = None
+    word_mass: list | None = None
+    draws_since: list | None = None
+    # Shared dense stale component (None in eda mode): frozen weights,
+    # mass and the Walker alias table built over them per sweep.
+    dense_vals: list | None = None
+    dense_accept: list | None = None
+    dense_alias: list | None = None
+    dense_mass: float = 0.0
+    # lda-mode live-conditional operands.
+    beta: float = 0.0
+    beta_sum: float = 0.0
+    # eda-mode static proposal tables (phi never goes stale).
+    phi_by_word: np.ndarray | None = None
+    eda_accept: np.ndarray | None = None
+    eda_alias: np.ndarray | None = None
+    eda_validated: bool = False
+    # source_bijective-mode live lambda caches (shared with the fast
+    # path; refreshed per topic change exactly like the other lanes).
+    E: np.ndarray | None = None
+    E_flat: np.ndarray | None = None
+    E1: np.ndarray | None = None
+    C: np.ndarray | None = None
+    aug: np.ndarray | None = None
+    omega: np.ndarray | None = None
+    sum_delta: np.ndarray | None = None
+    flat: np.ndarray | None = None
+    ratio_buf: np.ndarray | None = None
+    column_buf: np.ndarray | None = None
+    corr_ptr: list | None = None
+    corr_flat: np.ndarray | None = None
+    corr_topics: np.ndarray | None = None
+    # Document cursor (persists across chunk calls within a sweep).
+    current_doc: int = -1
+    position: int = 0
+    doc_len: int = 0
+    nd_row: np.ndarray | None = None
+    # Compiled-backend scratch (lazily populated by runtime_numba).
+    compiled: object = None
 
 
 # ----------------------------------------------------------------------
@@ -313,6 +432,12 @@ class TokenLoopBackend(ABC):
         """One full bucketed sweep for a
         :class:`~repro.sampling.sparse_engine.SparseSweepEngine` whose
         kernel has a sparse path."""
+
+    @abstractmethod
+    def sweep_alias(self, engine) -> None:
+        """One full alias/MH sweep for an
+        :class:`~repro.sampling.alias_engine.AliasSweepEngine` whose
+        kernel has an alias path."""
 
     @abstractmethod
     def foldin_exact(self, table: FoldInTable, word_ids: np.ndarray,
@@ -806,6 +931,38 @@ class PythonBackend(TokenLoopBackend):
                 if new_topics:
                     z[start:start + len(new_topics)] = new_topics
 
+    # ------------------------------------------------------------ alias
+    def sweep_alias(self, engine) -> None:
+        """Alias/MH sweep: the chunk loop over an :class:`AliasMHTable`.
+
+        Each token consumes exactly **four** pre-drawn uniforms (word
+        proposal, word MH coin, doc proposal, doc MH coin) — coins are
+        consumed even on self-proposals and rebuilds consume no RNG, so
+        the stream position after a sweep depends only on the token
+        count, never on proposal outcomes or rebuild cadence.
+        """
+        state = engine.state
+        path = engine._path
+        z = state.z
+        rng_random = engine.rng.random
+        chunk = engine.chunk_size
+
+        path.begin_sweep()
+        table = path.alias_table()
+        for start in range(0, state.num_tokens, chunk):
+            stop = min(start + chunk, state.num_tokens)
+            words = state.words[start:stop].tolist()
+            doc_ids = state.doc_ids[start:stop].tolist()
+            old_topics = z[start:stop].tolist()
+            uniforms = rng_random(4 * (stop - start)).tolist()
+            new_topics: list[int] = []
+            try:
+                run_alias_mh_chunk(state, table, words, doc_ids,
+                                   old_topics, uniforms, new_topics)
+            finally:
+                if new_topics:
+                    z[start:start + len(new_topics)] = new_topics
+
     # ---------------------------------------------------------- fold-in
     def foldin_exact(self, table: FoldInTable, word_ids: np.ndarray,
                      rng: np.random.Generator, scratch) -> np.ndarray:
@@ -933,20 +1090,15 @@ class PythonBackend(TokenLoopBackend):
                     # Prior bucket: proportional to phi_w over all
                     # topics.  The leftover fraction of the uniform is
                     # itself uniform on [0, 1); one alias lookup turns
-                    # it into the topic.  This inlines
-                    # repro.sampling.alias.alias_draw (per-token call
-                    # overhead matters here) minus its all-zero poison
-                    # check, which is unreachable: reaching this branch
-                    # requires x >= r_mass with total > 0, impossible
-                    # when s_mass == 0.
+                    # it into the topic.  ``check=False`` skips the
+                    # all-zero poison test, which is unreachable here:
+                    # reaching this branch requires x >= r_mass with
+                    # total > 0, impossible when s_mass == 0 (the tables
+                    # were validated at build time by the fold-in
+                    # engine's phi checks).
                     v = (x - r_mass) / s_mass
-                    scaled = v * num_topics
-                    cell = int(scaled)
-                    if cell >= num_topics:
-                        cell = num_topics - 1
-                    accept = alias_accept[word]
-                    topic = (cell if (scaled - cell) < accept[cell]
-                             else int(alias_topic[word, cell]))
+                    topic = alias_draw(alias_accept[word],
+                                       alias_topic[word], v, check=False)
                 assignments[position] = topic
                 if doc_counts[topic] == 0.0:
                     doc_topics.add(topic)
@@ -1155,6 +1307,336 @@ def run_source_bijective_chunk(state, table: SourceBijectiveTable,
         table.position = position
         table.doc_len = length
         table.nd_row = nd_row
+
+
+# ----------------------------------------------------------------------
+# The alias/MH lane: stale proposal components + MH correction.
+
+def rebuild_alias_word(table: AliasMHTable, state, word: int) -> None:
+    """Refresh ``word``'s stale sparse proposal component from the live
+    counts.
+
+    The support is the word's nonzero-count topics (plus, in the
+    source mode, the word's article-correction topics, where the
+    dense-minus-floor residue ``D - E1`` is nonzero); the stored values
+    freeze the live word factor minus the dense component's target at
+    this instant.  O(support) with vectorized gathers — amortized over
+    :attr:`~AliasMHTable.rebuild_every` draws of the word.
+
+    The chunk loop only calls this with the current token already
+    removed from the counts, so the frozen component never includes the
+    topic being resampled (a prerequisite for the fixed-proposal MH
+    test to be exact).
+    """
+    nw_row = state.nw[word]
+    support = np.flatnonzero(nw_row)
+    if table.mode == "lda":
+        vals = nw_row.take(support) / (state.nt.take(support)
+                                       + table.beta_sum)
+    else:  # source_bijective
+        lo = table.corr_ptr[word]
+        hi = table.corr_ptr[word + 1]
+        if hi > lo:
+            support = np.union1d(support, table.corr_topics[lo:hi])
+        d_vals = table.E_flat.take(table.flat[word].take(support))
+        vals = (nw_row.take(support) * table.C.take(support)
+                + d_vals - table.E1.take(support))
+        # D - E1 can dip a hair below zero through float error on
+        # off-article support topics (where it is exactly zero in real
+        # arithmetic); proposal weights must stay non-negative.
+        np.maximum(vals, 0.0, out=vals)
+    cum = np.cumsum(vals)
+    table.word_topics[word] = support.tolist()
+    table.word_vals[word] = vals.tolist()
+    table.word_cum[word] = cum.tolist()
+    table.word_mass[word] = float(cum[-1]) if vals.shape[0] else 0.0
+    table.draws_since[word] = 0
+
+
+def rebuild_alias_dense(table: AliasMHTable, state) -> None:
+    """Snapshot the shared dense proposal component (once per sweep).
+
+    LDA mode freezes the smoothing factor ``beta / (nt + V * beta)``;
+    the source mode freezes the epsilon floor ``E1``.  Both are strictly
+    positive, so the mixture proposal covers every topic regardless of
+    how stale the sparse components are — the MH support condition holds
+    unconditionally.
+    """
+    if table.mode == "lda":
+        vals = table.beta / (state.nt + table.beta_sum)
+    else:
+        vals = table.E1.copy()
+    accept, alias_idx = build_alias_table(vals)
+    table.dense_vals = vals.tolist()
+    table.dense_mass = float(vals.sum())
+    table.dense_accept = accept.tolist()
+    table.dense_alias = alias_idx.tolist()
+
+
+def run_alias_mh_chunk(state, table: AliasMHTable, words: list,
+                       doc_ids: list, old_topics: list, uniforms: list,
+                       out: list) -> None:
+    """Chunk loop of the alias/MH lane (LightLDA-style cycled MH).
+
+    Per token, two Metropolis-Hastings sub-steps against the exact live
+    conditional ``pi``:
+
+    1. **word proposal** from the stale mixture (per-word sparse
+       component + shared dense component; EDA draws its static stacked
+       alias rows in one batched call instead), accepted with
+       ``u * pi(s) * q(t) < pi(t) * q(s)``;
+    2. **doc proposal** from the document's token slice — minus the
+       current token's slot — plus the uniform ``alpha`` arm (never
+       stale), accepted with the analogous test against
+       ``q_d(t) = nd_dec[t] + alpha``.
+
+    Both proposals are kept independent of the topic being resampled:
+    the stale word component is only ever rebuilt *after* the token's
+    decrement, and the doc slice excludes the token's own slot.  A
+    proposal that saw the current assignment would make ``q`` a
+    function of the state, and the fixed-proposal acceptance test
+    ``u * pi(s) * q(t) < pi(t) * q(s)`` would no longer leave the
+    exact conditional invariant (the chi-squared pin in
+    ``tests/test_alias_engine.py`` catches the resulting bias).
+
+    ``uniforms`` holds exactly ``4 * len(words)`` variates; coins are
+    consumed even on self-proposals, and stale-table rebuilds draw no
+    RNG, so the stream is pinned by token count alone.  The strict
+    ``<`` in both tests rejects the ``0 < 0`` case, which keeps
+    zero-probability states (EDA's zero-phi topics) from being entered
+    through float ties.  Proposal/acceptance totals accumulate on
+    ``table.mh_counts``.
+    """
+    nw = state.nw
+    nt = state.nt
+    nd = state.nd
+    z = state.z
+    mode = table.mode
+    is_lda = mode == "lda"
+    is_eda = mode == "eda"
+    is_source = mode == "source_bijective"
+    alpha = table.alpha
+    num_topics = table.num_topics
+    alpha_times_t = alpha * num_topics
+    rebuild_every = table.rebuild_every
+    doc_starts = table.doc_starts
+    doc_lengths = table.doc_lengths
+    doc_z_full = table.doc_z
+    append_out = out.append
+    proposals = 0
+    accepts = 0
+    # Stale word-proposal components (non-eda modes).
+    word_topics = table.word_topics
+    word_vals = table.word_vals
+    word_cum = table.word_cum
+    word_mass = table.word_mass
+    draws_since = table.draws_since
+    dense_vals = table.dense_vals
+    dense_accept = table.dense_accept
+    dense_alias = table.dense_alias
+    dense_mass = table.dense_mass
+    # Mode-specific live-conditional operands.
+    beta = table.beta
+    beta_sum = table.beta_sum
+    phi_by_word = table.phi_by_word
+    if is_source:
+        e_flat = table.E_flat
+        e_matrix = table.E
+        aug = table.aug
+        omega = table.omega
+        sum_delta = table.sum_delta
+        ratio = table.ratio_buf
+        column = table.column_buf
+        c_per_topic = table.C
+        flat = table.flat
+        np_add = np.add
+        np_divide = np.divide
+        np_matmul = np.matmul
+    if is_eda:
+        # All word proposals of the chunk in one vectorized batch — the
+        # static per-word tables never go stale, so nothing per-token
+        # needs rebuilding.  The poison check is skipped entirely when
+        # the phi rows were validated at table build time.
+        word_props = alias_draw_many(
+            table.eda_accept, table.eda_alias,
+            np.asarray(uniforms[0::4]),
+            rows=np.asarray(words, dtype=np.int64),
+            check=not table.eda_validated).tolist()
+    current_doc = table.current_doc
+    nd_row = table.nd_row
+    doc_len = table.doc_len
+    position = table.position
+    doc_z = doc_z_full[:doc_len]
+    cursor = 0
+    index = 0
+    try:
+        for word, doc, s0 in zip(words, doc_ids, old_topics):
+            u1 = uniforms[cursor]
+            u2 = uniforms[cursor + 1]
+            u3 = uniforms[cursor + 2]
+            u4 = uniforms[cursor + 3]
+            cursor += 4
+            if doc != current_doc:
+                doc_len = doc_lengths[doc]
+                start_token = doc_starts[doc]
+                nd_row = nd[doc]
+                doc_z_full[:doc_len] = z[start_token:start_token
+                                         + doc_len]
+                position = 0
+                current_doc = doc
+                doc_z = doc_z_full[:doc_len]
+            nw_row = nw[word]
+            phi_row = phi_by_word[word] if is_eda else None
+            # Remove the token from the counts (the conditional both MH
+            # tests target excludes the current token).
+            nw_row[s0] -= 1.0
+            nt[s0] -= 1.0
+            nd_row[s0] -= 1.0
+            if is_source:
+                np_add(nt[s0], sum_delta[s0], out=ratio)
+                np_divide(omega, ratio, out=ratio)
+                np_matmul(aug[s0], ratio, out=column)
+                e_matrix[:, s0] = column
+                flat_row = flat[word]
+            if not is_eda:
+                # Rebuild *after* the decrement: the frozen component
+                # must never include the topic being resampled, or the
+                # proposal depends on the current state and the
+                # fixed-proposal MH test stops being exact (the
+                # chi-squared invariance pin detects the resulting
+                # flattening bias).
+                if draws_since[word] >= rebuild_every:
+                    rebuild_alias_word(table, state, word)
+                draws_since[word] += 1
+            s = s0
+            # pi(s) carries across the two sub-steps; None means "not
+            # computed yet" (self-proposals skip the evaluation).
+            pi_s = None
+            # ---------------------------------------- word sub-step
+            if is_eda:
+                t = word_props[index]
+            else:
+                wm = word_mass[word]
+                x = u1 * (wm + dense_mass)
+                if x < wm:
+                    cum = word_cum[word]
+                    i = bisect_right(cum, x)
+                    if i >= len(cum):  # float boundary
+                        i = len(cum) - 1
+                    t = word_topics[word][i]
+                else:
+                    v = (x - wm) / dense_mass
+                    scaled = v * num_topics
+                    cell = int(scaled)
+                    if cell >= num_topics:
+                        cell = num_topics - 1
+                    t = (cell if scaled - cell < dense_accept[cell]
+                         else dense_alias[cell])
+            proposals += 1
+            if t != s:
+                if is_lda:
+                    pi_s = (nw_row[s] + beta) / (nt[s] + beta_sum) \
+                        * (nd_row[s] + alpha)
+                    pi_t = (nw_row[t] + beta) / (nt[t] + beta_sum) \
+                        * (nd_row[t] + alpha)
+                elif is_eda:
+                    pi_s = phi_row[s] * (nd_row[s] + alpha)
+                    pi_t = phi_row[t] * (nd_row[t] + alpha)
+                else:
+                    pi_s = (nw_row[s] * c_per_topic[s]
+                            + e_flat[flat_row[s]]) * (nd_row[s] + alpha)
+                    pi_t = (nw_row[t] * c_per_topic[t]
+                            + e_flat[flat_row[t]]) * (nd_row[t] + alpha)
+                if is_eda:
+                    q_s = phi_row[s]
+                    q_t = phi_row[t]
+                else:
+                    topics = word_topics[word]
+                    vals = word_vals[word]
+                    i = bisect_left(topics, s)
+                    q_s = dense_vals[s] + (
+                        vals[i] if i < len(topics) and topics[i] == s
+                        else 0.0)
+                    i = bisect_left(topics, t)
+                    q_t = dense_vals[t] + (
+                        vals[i] if i < len(topics) and topics[i] == t
+                        else 0.0)
+                if u2 * pi_s * q_t < pi_t * q_s:
+                    s = t
+                    pi_s = pi_t
+                    accepts += 1
+            else:
+                accepts += 1
+            # ----------------------------------------- doc sub-step
+            # Proposal over the document's *other* tokens plus the
+            # uniform alpha arm: q_d(t) = nd_dec[t] + alpha.  The
+            # current token's slot is skipped so q_d, like the word
+            # proposal, never depends on the topic being resampled
+            # (LightLDA's self-inclusive slice is cheaper but makes
+            # the proposal state-dependent, which the fixed-proposal
+            # acceptance test does not correct for).
+            others = doc_len - 1
+            x = u3 * (others + alpha_times_t)
+            if x < others:
+                j = int(x)
+                if j >= others:  # float boundary
+                    j = others - 1
+                if j >= position:
+                    j += 1
+                t = int(doc_z[j])
+            else:
+                t = int((x - others) / alpha)
+                if t >= num_topics:  # float boundary
+                    t = num_topics - 1
+            proposals += 1
+            if t != s:
+                if is_lda:
+                    if pi_s is None:
+                        pi_s = (nw_row[s] + beta) / (nt[s] + beta_sum) \
+                            * (nd_row[s] + alpha)
+                    pi_t = (nw_row[t] + beta) / (nt[t] + beta_sum) \
+                        * (nd_row[t] + alpha)
+                elif is_eda:
+                    if pi_s is None:
+                        pi_s = phi_row[s] * (nd_row[s] + alpha)
+                    pi_t = phi_row[t] * (nd_row[t] + alpha)
+                else:
+                    if pi_s is None:
+                        pi_s = (nw_row[s] * c_per_topic[s]
+                                + e_flat[flat_row[s]]) \
+                            * (nd_row[s] + alpha)
+                    pi_t = (nw_row[t] * c_per_topic[t]
+                            + e_flat[flat_row[t]]) * (nd_row[t] + alpha)
+                # histogram(doc_z minus the skipped slot) == nd_dec:
+                # slots before ``position`` hold this sweep's updated
+                # topics and nd is updated token by token.
+                qd_s = nd_row[s] + alpha
+                qd_t = nd_row[t] + alpha
+                if u4 * pi_s * qd_t < pi_t * qd_s:
+                    s = t
+                    accepts += 1
+            else:
+                accepts += 1
+            # Put the token back under its (possibly new) topic.
+            nw_row[s] += 1.0
+            nt[s] += 1.0
+            nd_row[s] += 1.0
+            if is_source:
+                np_add(nt[s], sum_delta[s], out=ratio)
+                np_divide(omega, ratio, out=ratio)
+                np_matmul(aug[s], ratio, out=column)
+                e_matrix[:, s] = column
+            doc_z[position] = s
+            position += 1
+            index += 1
+            append_out(s)
+    finally:
+        table.current_doc = current_doc
+        table.position = position
+        table.doc_len = doc_len
+        table.nd_row = nd_row
+        table.mh_counts[0] += proposals
+        table.mh_counts[1] += accepts
 
 
 register_backend(PythonBackend())

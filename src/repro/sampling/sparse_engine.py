@@ -111,6 +111,10 @@ class SparseKernelPath(ABC):
     """
 
     alpha: float
+    #: Compiled-lane tag for the numba backend (``"lda"``/``"eda"``);
+    #: ``None`` keeps the path on the interpreted per-token lane (the
+    #: table lane is tagged by :meth:`sparse_table` instead).
+    lane: str | None = None
 
     def __init__(self, state: GibbsState) -> None:
         self.state = state

@@ -46,12 +46,22 @@ class TestThroughputMetrics:
             "tokens_per_second": 4000,
             "accuracy": 0.93,                 # not throughput: ignored
             "flags": {"docs_per_second_ok": True},  # bool: ignored
-            "ratio": None,
+            "ratio": None,                    # null off-path: ignored
         }}
         flat = compare.throughput_metrics(payload)
         assert flat == {"docs_per_second.1": 100.0,
                         "docs_per_second.8": 250.0,
                         "tokens_per_second": 4000.0}
+
+    def test_null_throughput_leaf_is_kept_as_none(self, compare):
+        # A null on a throughput path means "not measured in this
+        # run" — it must surface as None so compare_dirs can skip it
+        # with a reason, not vanish from the flattened view.
+        payload = {"metrics": {
+            "tokens_per_second": {"python": 900.0, "numba": None}}}
+        flat = compare.throughput_metrics(payload)
+        assert flat == {"tokens_per_second.python": 900.0,
+                        "tokens_per_second.numba": None}
 
 
 class TestCompareDirs:
@@ -127,6 +137,23 @@ class TestCompareDirs:
         assert [c.bench for c in comparisons] == ["serving"]
         assert [name for name, _reason in skipped] == ["sweep"]
         assert "backend mismatch" in skipped[0][1]
+
+    def test_null_metric_is_skipped_with_reason(self, compare, tmp_path):
+        """A throughput series that is null on either side (a series
+        the bench could not measure in that run's configuration) must
+        be skipped with a printed reason — not compared as a number
+        and not silently dropped."""
+        _write_result(tmp_path / "base", "sweep", {"tokens_per_second": {
+            "python": 1000.0, "numba": None}})
+        _write_result(tmp_path / "fresh", "sweep", {"tokens_per_second": {
+            "python": 950.0, "numba": 4000.0}})
+        comparisons, skipped = compare.compare_dirs(tmp_path / "base",
+                                                    tmp_path / "fresh")
+        assert [c.metric for c in comparisons] == [
+            "tokens_per_second.python"]
+        assert skipped == [("sweep:tokens_per_second.numba",
+                            "null on baseline side — not measured in "
+                            "that run's configuration")]
 
     def test_unstamped_baseline_still_gates(self, compare, tmp_path):
         """Pre-stamp results (no "backend" key) must keep gating

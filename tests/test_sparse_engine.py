@@ -301,7 +301,7 @@ class TestDistributionalEquivalence:
 
 class TestEngineSelection:
     def test_engines_tuple(self):
-        assert ENGINES == ("fast", "sparse", "reference")
+        assert ENGINES == ("fast", "sparse", "alias", "reference")
 
     def test_invalid_engine_rejected(self, tiny_corpus, rng):
         state = make_state(tiny_corpus, 2)
