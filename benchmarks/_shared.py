@@ -17,6 +17,7 @@ Expensive experiment runs are memoized so that figure pairs sharing a run
 from __future__ import annotations
 
 import json
+import resource
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping
@@ -80,14 +81,23 @@ def record(name: str, text: str,
     process's resolved ``"auto"`` backend; benches that pin a backend
     (the engine-comparison runs) pass the pinned name explicitly so
     the stamp matches what actually ran.
+
+    Every record is also stamped with the process's peak RSS
+    (``peak_rss_bytes``, from ``getrusage``) at write time — a coarse
+    memory trajectory alongside the throughput one.  It sits at the
+    payload top level, not under ``metrics``, so throughput diffing
+    ignores it; ``compare.py --memory-threshold`` gates on it.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    # ru_maxrss is kilobytes on Linux.
+    peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
     payload = {
         "schema": RESULTS_SCHEMA,
         "schema_version": RESULTS_SCHEMA_VERSION,
         "name": name,
         "backend": backend or resolve_backend("auto").name,
+        "peak_rss_bytes": int(peak_rss),
         "metrics": _jsonify(dict(metrics or {})),
         "params": _jsonify(dict(params or {})),
     }

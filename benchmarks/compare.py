@@ -37,6 +37,13 @@ without numba, an engine a kernel falls back from).  A throughput path
 that is ``null`` on either side is likewise **skipped with a printed
 reason** — a null is "not measured here", never a zero, and must not
 gate or crash the numeric diff.
+
+Results are also stamped with the process's ``peak_rss_bytes``
+(``benchmarks/_shared.record``).  Passing ``--memory-threshold``
+additionally fails the gate when a bench's peak RSS *grew* by more
+than that fraction; pairs where either side predates the stamp are
+skipped.  The memory gate is opt-in because RSS is even noisier than
+wall-clock (allocator reuse, import order) — use a generous threshold.
 """
 
 from __future__ import annotations
@@ -160,6 +167,31 @@ def compare_dirs(baseline_dir: Path, fresh_dir: Path
     return comparisons, skipped
 
 
+def memory_comparisons(baseline_dir: Path, fresh_dir: Path
+                       ) -> list[Comparison]:
+    """``peak_rss_bytes`` pairs for results present (and stamped) on
+    both sides.  Reuses :class:`Comparison` with the memory value in
+    the throughput slots; note memory regressions are ratios *above*
+    1, not below."""
+    rows: list[Comparison] = []
+    for baseline_path in sorted(baseline_dir.glob("*.json")):
+        fresh_path = fresh_dir / baseline_path.name
+        if not fresh_path.is_file():
+            continue
+        baseline = load_result(baseline_path)
+        fresh = load_result(fresh_path)
+        if baseline is None or fresh is None:
+            continue
+        base_rss = baseline.get("peak_rss_bytes")
+        fresh_rss = fresh.get("peak_rss_bytes")
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               and v > 0 for v in (base_rss, fresh_rss)):
+            rows.append(Comparison(
+                bench=baseline_path.stem, metric="peak_rss_bytes",
+                baseline=float(base_rss), fresh=float(fresh_rss)))
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when fresh bench throughput regresses vs the "
@@ -175,6 +207,10 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_THRESHOLD,
                         help="tolerated fractional throughput drop "
                              f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--memory-threshold", type=float, default=None,
+                        help="also fail when a bench's peak_rss_bytes "
+                             "grew by more than this fraction "
+                             "(default: memory does not gate)")
     args = parser.parse_args(argv)
     if not args.baseline.is_dir():
         print(f"baseline directory {args.baseline} does not exist",
@@ -202,9 +238,26 @@ def main(argv: list[str] | None = None) -> int:
               f"x{comparison.ratio:.3f}  {flag}")
     for name, reason in skipped:
         print(f"{name}: skipped ({reason})")
+    memory_regressions: list[Comparison] = []
+    if args.memory_threshold is not None:
+        memory = memory_comparisons(args.baseline, args.fresh)
+        memory_regressions = [
+            c for c in memory
+            if c.ratio > 1.0 + args.memory_threshold]
+        for comparison in memory:
+            flag = ("REGRESSED" if comparison in memory_regressions
+                    else "ok")
+            print(f"{comparison.bench}:peak_rss  "
+                  f"base {comparison.baseline / 2**20:>9.1f}M  "
+                  f"fresh {comparison.fresh / 2**20:>9.1f}M  "
+                  f"x{comparison.ratio:.3f}  {flag}")
     if regressions:
         print(f"\n{len(regressions)} throughput metric(s) regressed "
               f"more than {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    if memory_regressions:
+        print(f"\n{len(memory_regressions)} bench(es) grew peak RSS "
+              f"more than {args.memory_threshold:.0%}", file=sys.stderr)
         return 1
     print(f"\nall {len(comparisons)} throughput metrics within "
           f"{args.threshold:.0%} of baseline")

@@ -50,7 +50,13 @@ class FittedTopicModel:
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.phi = np.asarray(self.phi, dtype=np.float64)
+        # Lazy phi views (the sharded-artifact loads of
+        # repro.serving.sharding, marked by `is_lazy`) expose shape/
+        # dtype/row access without holding the matrix; coercing them
+        # through np.asarray would materialize — and for an out-of-core
+        # model, OOM — so they pass through as-is.
+        if not getattr(self.phi, "is_lazy", False):
+            self.phi = np.asarray(self.phi, dtype=np.float64)
         self.theta = np.asarray(self.theta, dtype=np.float64)
         if self.phi.ndim != 2 or self.theta.ndim != 2:
             raise ValueError("phi and theta must be 2-d")

@@ -94,6 +94,14 @@ def build_alias_rows(weight_rows: np.ndarray
     vectorized lockstep replays the same pop/push/float sequence for
     every row; see the module docstring), at a fraction of the
     interpreter cost.
+
+    Because each row's pop/push sequence depends only on that row's
+    weights, the result is also independent of how rows are *batched*:
+    building tables for any row-block partition of ``weight_rows``
+    (e.g. one call per phi shard in
+    :mod:`repro.serving.sharding`-backed serving) yields rows
+    bit-identical to one whole-matrix call.  Sharded fold-in relies on
+    this to keep draws independent of the shard layout.
     """
     weight_rows = np.asarray(weight_rows, dtype=np.float64)
     if weight_rows.ndim != 2:

@@ -67,12 +67,40 @@ from repro.sampling.scans import ScanStrategy, SerialScan
 from repro.sampling.sparse_engine import SparseSweepEngine
 from repro.sampling.state import GibbsState
 
-__all__ = ["AliasKernelPath", "AliasSweepEngine"]
+__all__ = ["AliasKernelPath", "AliasSweepEngine",
+           "resolve_rebuild_every"]
 
 #: Default per-word draw count between stale-table rebuilds.  Small
 #: enough to keep acceptance high on fast-mixing counts, large enough
 #: that the O(support) rebuild amortizes to a constant per draw.
 DEFAULT_REBUILD_EVERY = 64
+
+
+def resolve_rebuild_every(rebuild_every: int | str,
+                          num_topics: int) -> int:
+    """Resolve a ``rebuild_every`` setting to a concrete cadence.
+
+    ``"auto"`` scales the cadence with the topic count:
+    ``max(DEFAULT_REBUILD_EVERY, num_topics // 64)``.  The per-word
+    rebuild costs O(support) and support grows with ``T``, so a fixed
+    cadence makes rebuild cost an increasing fraction of each draw as
+    ``T`` grows; scaling the cadence keeps the amortized rebuild cost
+    per draw roughly constant (the MH transition is exactly invariant
+    at any cadence, so only proposal staleness trades off).  At
+    ``T <= 4096`` auto equals the default 64.
+
+    Integers pass through after validation (``>= 1``).
+    """
+    if rebuild_every == "auto":
+        return max(DEFAULT_REBUILD_EVERY, int(num_topics) // 64)
+    if isinstance(rebuild_every, str):
+        raise ValueError(
+            f"rebuild_every must be an int >= 1 or 'auto', got "
+            f"{rebuild_every!r}")
+    if isinstance(rebuild_every, bool) or rebuild_every < 1:
+        raise ValueError(
+            f"rebuild_every must be >= 1, got {rebuild_every}")
+    return int(rebuild_every)
 
 
 class AliasKernelPath(ABC):
@@ -121,7 +149,9 @@ class AliasSweepEngine:
 
     Parameters mirror :class:`~repro.sampling.sparse_engine
     .SparseSweepEngine` (including ``backend``), plus ``rebuild_every``
-    — the per-word draw count between stale-table rebuilds.  Kernels
+    — the per-word draw count between stale-table rebuilds, an int or
+    ``"auto"`` (cadence scaled with the topic count; see
+    :func:`resolve_rebuild_every`).  Kernels
     without an alias path run on an internal sparse engine (which
     itself falls back to the fast engine when no sparse path exists),
     so ``engine="alias"`` is safe on every kernel.
@@ -131,18 +161,20 @@ class AliasSweepEngine:
                  scan: ScanStrategy | None = None,
                  chunk_size: int = 65536,
                  backend: str | TokenLoopBackend = "auto",
-                 rebuild_every: int = DEFAULT_REBUILD_EVERY) -> None:
+                 rebuild_every: int | str = DEFAULT_REBUILD_EVERY,
+                 ) -> None:
         if chunk_size < 1:
             raise ValueError(
                 f"chunk_size must be >= 1, got {chunk_size}")
-        if rebuild_every < 1:
-            raise ValueError(
-                f"rebuild_every must be >= 1, got {rebuild_every}")
+        rebuild_every = resolve_rebuild_every(rebuild_every,
+                                              state.num_topics)
         self.state = state
         self.kernel = kernel
         self.rng = rng
         self.scan = scan or SerialScan()
         self.chunk_size = chunk_size
+        #: The concrete rebuild cadence after ``"auto"`` resolution.
+        self.rebuild_every = rebuild_every
         self.backend = resolve_backend(backend)
         self._path: AliasKernelPath | None = kernel.alias_path()
         self._fallback: SparseSweepEngine | None = None

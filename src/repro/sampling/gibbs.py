@@ -168,7 +168,10 @@ class CollapsedGibbsSampler:
         definition and ignores the choice (it is still validated).
     rebuild_every:
         Per-word draw count between stale-table rebuilds of the alias
-        engine (ignored by the other engines).  Larger values amortize
+        engine (ignored by the other engines); an int, or ``"auto"`` to
+        scale the cadence with the topic count
+        (:func:`~repro.sampling.alias_engine.resolve_rebuild_every`).
+        Larger values amortize
         the rebuild further but make proposals staler: the per-token MH
         transition stays exactly invariant at any cadence, while the
         *chain-level* staleness adaptation (tables snapshot counts that
@@ -182,7 +185,8 @@ class CollapsedGibbsSampler:
                  scan: ScanStrategy | None = None,
                  engine: str = "fast",
                  backend: str | TokenLoopBackend = "auto",
-                 rebuild_every: int = DEFAULT_REBUILD_EVERY) -> None:
+                 rebuild_every: int | str = DEFAULT_REBUILD_EVERY,
+                 ) -> None:
         if kernel.state is not state:
             raise ValueError("kernel is bound to a different state")
         if engine not in ENGINES:

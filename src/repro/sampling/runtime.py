@@ -286,6 +286,14 @@ class FoldInTable:
 
     ``prior_mass``/``alias_accept``/``alias_topic`` are ``None`` on the
     exact lane (which cumulative-sums the dense weight instead).
+
+    The array fields are duck-typed: backends only require per-word row
+    access (``table.phi_by_word[word]``, ``prior_mass[word]``, …) and a
+    ``take(word_ids, axis=0)`` gather.  Column-sharded serving
+    (:mod:`repro.serving.sharding`) exploits this by installing lazy
+    views that map and build per-shard tables on first touch; compiled
+    backends detect a non-``ndarray`` field and densify per document
+    before entering the kernel.
     """
 
     kind: ClassVar[str] = "foldin"
@@ -293,7 +301,7 @@ class FoldInTable:
     alpha: float
     iterations: int
     num_topics: int
-    phi_by_word: np.ndarray               # (V, T) frozen
+    phi_by_word: np.ndarray               # (V, T) frozen, maybe lazy
     prior_mass: np.ndarray | None = None  # (V,) alpha * sum_t phi
     alias_accept: np.ndarray | None = None
     alias_topic: np.ndarray | None = None

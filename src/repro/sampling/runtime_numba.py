@@ -1173,6 +1173,16 @@ class NumbaBackend(PythonBackend):
         length = int(word_ids.shape[0])
         iterations = table.iterations
         num_topics = table.num_topics
+        phi_by_word = table.phi_by_word
+        if not isinstance(phi_by_word, np.ndarray):
+            # Lazy (sharded) phi: gather this document's rows into a
+            # dense block and remap word ids onto it.  The gathered
+            # rows are byte-identical to the whole-matrix rows, so the
+            # compiled kernel consumes the same numbers — and the same
+            # RNG stream — as the unsharded path.
+            phi_by_word = np.ascontiguousarray(
+                phi_by_word.take(word_ids, axis=0))
+            word_ids = np.arange(length, dtype=np.int64)
         assignments = rng.integers(0, num_topics, size=length)
         # One draw covering all sweeps: rng.random consumes the bit
         # stream identically in one call or per-sweep calls, so the
@@ -1180,7 +1190,7 @@ class NumbaBackend(PythonBackend):
         uniforms = rng.random(iterations * length)
         doc_counts = np.empty(num_topics)
         theta = np.empty(num_topics)
-        _foldin_exact_doc(word_ids, table.phi_by_word, table.alpha,
+        _foldin_exact_doc(word_ids, phi_by_word, table.alpha,
                           iterations, assignments, uniforms,
                           scratch.work, scratch.cumulative,
                           scratch.accumulated, doc_counts, theta)
@@ -1191,15 +1201,33 @@ class NumbaBackend(PythonBackend):
         length = int(word_ids.shape[0])
         iterations = table.iterations
         num_topics = table.num_topics
+        phi_by_word = table.phi_by_word
+        prior_mass = table.prior_mass
+        alias_accept = table.alias_accept
+        alias_topic = table.alias_topic
+        if not isinstance(phi_by_word, np.ndarray):
+            # Same gather-and-remap as foldin_exact, extended to the
+            # per-word alias rows and prior masses (all row-independent
+            # quantities, so the gathered values match the unsharded
+            # tables bit for bit).
+            phi_by_word = np.ascontiguousarray(
+                phi_by_word.take(word_ids, axis=0))
+            prior_mass = np.ascontiguousarray(
+                prior_mass.take(word_ids, axis=0))
+            alias_accept = np.ascontiguousarray(
+                alias_accept.take(word_ids, axis=0))
+            alias_topic = np.ascontiguousarray(
+                alias_topic.take(word_ids, axis=0))
+            word_ids = np.arange(length, dtype=np.int64)
         assignments = rng.integers(0, num_topics, size=length)
         uniforms = rng.random(iterations * length)
         doc_counts = np.empty(num_topics)
         members = np.empty(num_topics, dtype=np.int64)
         member_pos = np.empty(num_topics, dtype=np.int64)
         theta = np.empty(num_topics)
-        _foldin_sparse_doc(word_ids, table.phi_by_word,
-                           table.prior_mass, table.alias_accept,
-                           table.alias_topic, table.alpha, iterations,
+        _foldin_sparse_doc(word_ids, phi_by_word,
+                           prior_mass, alias_accept,
+                           alias_topic, table.alpha, iterations,
                            assignments, uniforms, members, member_pos,
                            scratch.cumulative, scratch.accumulated,
                            doc_counts, theta)

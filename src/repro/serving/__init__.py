@@ -6,6 +6,9 @@ The serving subsystem has two halves:
 fitted model (all six model classes) as a schema-versioned directory of
 compressed arrays plus a JSON manifest, and :class:`ModelRegistry`
 resolves named, versioned artifacts with an LRU cache of loaded models.
+``save_model(shard_words=N)`` writes the phi matrix column-sharded
+(schema v3) so loads serve out-of-core through a lazy
+:class:`ShardedPhi` view that maps only the shards a batch touches.
 
 **Inference** — :class:`InferenceSession` answers theta / top-topics /
 label queries for batches of unseen raw-text documents, tokenizing and
@@ -37,6 +40,8 @@ from repro.serving.parallel import (EngineSpec, ParallelFoldIn,
 from repro.serving.registry import ModelRecord, ModelRegistry
 from repro.serving.session import (InferenceResult, InferenceSession,
                                    TopicScore)
+from repro.serving.sharding import (ShardedPhi, TransposedShardedPhi,
+                                    plan_shard_starts)
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -53,9 +58,12 @@ __all__ = [
     "PHI_MEMBER_FILENAME",
     "ParallelFoldIn",
     "SCHEMA_VERSION",
+    "ShardedPhi",
     "TopicScore",
+    "TransposedShardedPhi",
     "available_cpus",
     "load_model",
+    "plan_shard_starts",
     "read_manifest",
     "save_model",
     "validate_phi",

@@ -22,36 +22,49 @@ An *artifact* is one directory holding everything needed to reload a
     word-major layout is exactly what the fold-in engine gathers from,
     so serving from the map is copy-free; ``.T`` restores the canonical
     ``(T, V)`` phi as a zero-copy view, bit-identical to what was saved.
+``phi_shard_<k>.npy`` (schema v3, optional)
+    ``save_model(..., shard_words=N)`` splits the same word-major
+    matrix along the **vocabulary axis** into contiguous blocks of
+    ``N`` words each.  The manifest's ``phi_storage`` carries the shard
+    map — per-shard word ranges, total probability masses and SHA-256
+    checksums — and :func:`load_model` returns a lazy
+    :class:`~repro.serving.sharding.ShardedPhi` view that maps shards
+    read-only on first touch, so a query batch's phi footprint is the
+    shards its words live in, not the whole matrix (out-of-core
+    serving; models bigger than RAM load fine).
 
 The manifest is the compatibility surface: :func:`load_model` refuses
 artifacts whose ``schema_version`` is newer than this build understands
 (and anything that is not an artifact at all), so stale servers fail
 loudly instead of misreading future layouts.  Writers record the
 *minimum* version their layout needs — v1 when everything lives in the
-``.npz`` (readable by every release of this library), v2 only when phi
-is externalized — and this build reads both.  All six model classes
-(LDA, EDA, CTM and the Source-LDA family) round-trip through the same
-two functions — the model class is recorded as a name, not pickled, so
-artifacts stay portable and auditable.
+``.npz`` (readable by every release of this library), v2 when phi is
+externalized whole, v3 when it is sharded — and this build reads all
+three.  All six model classes (LDA, EDA, CTM and the Source-LDA family)
+round-trip through the same two functions — the model class is recorded
+as a name, not pickled, so artifacts stay portable and auditable.
 """
 
 from __future__ import annotations
 
 import json
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from repro.models.base import FittedTopicModel
+from repro.serving.sharding import (ShardedPhi, _sha256_file,
+                                    plan_shard_starts)
 from repro.text.vocabulary import Vocabulary
 
 #: Newest artifact schema version this build reads; bump on layout
 #: changes.  Writers stamp the minimum version their layout needs
-#: (1 = everything in the npz, 2 = phi externalized for mmap).
-SCHEMA_VERSION = 2
+#: (1 = everything in the npz, 2 = phi externalized for mmap,
+#: 3 = phi column-sharded along the vocabulary axis).
+SCHEMA_VERSION = 3
 #: Format tag distinguishing artifacts from arbitrary JSON + NPZ pairs.
 ARTIFACT_FORMAT = "repro.serving/model-artifact"
 
@@ -60,6 +73,12 @@ ARRAYS_FILENAME = "arrays.npz"
 #: The v2 uncompressed phi member — ``phi.T`` as a contiguous ``(V, T)``
 #: array, written by ``save_model(..., mmap_phi=True)``.
 PHI_MEMBER_FILENAME = "phi_word_major.npy"
+#: The v3 shard members — contiguous word-major vocabulary ranges,
+#: written by ``save_model(..., shard_words=N)``.
+PHI_SHARD_TEMPLATE = "phi_shard_{index}.npy"
+#: Glob matching every possible phi shard member, for stale cleanup on
+#: overwrite.
+PHI_SHARD_GLOB = "phi_shard_*.npy"
 
 #: Reserved npz keys for the model's own arrays; metadata arrays get
 #: generated ``meta_<n>`` keys that never collide with these.
@@ -166,7 +185,8 @@ def _scalar_hyperparameters(metadata: dict[str, Any]) -> dict[str, Any]:
 def save_model(model: FittedTopicModel, path: str | Path,
                model_class: str | None = None,
                overwrite: bool = False,
-               mmap_phi: bool = False) -> Path:
+               mmap_phi: bool = False,
+               shard_words: int | None = None) -> Path:
     """Persist ``model`` as a versioned artifact directory at ``path``.
 
     Parameters
@@ -185,6 +205,16 @@ def save_model(model: FittedTopicModel, path: str | Path,
         can memory-map one shared copy; everything else stays in the
         compressed ``.npz``.  Costs disk (phi no longer compresses)
         and buys zero-copy multi-process loading.
+    shard_words:
+        Shard the word-major phi into contiguous ``phi_shard_<k>.npy``
+        members of ``shard_words`` vocabulary words each (schema v3;
+        the last shard takes the remainder).  The manifest records the
+        shard map — word ranges, per-shard probability masses and
+        SHA-256 checksums — and loads come back as a lazy
+        :class:`~repro.serving.sharding.ShardedPhi` that maps only the
+        shards a query batch touches.  Shard members are plain ``.npy``
+        files and therefore always mappable, so ``mmap_phi`` is
+        implied (and ignored) when sharding.
 
     Returns the artifact directory path.
     """
@@ -194,6 +224,14 @@ def save_model(model: FittedTopicModel, path: str | Path,
         raise ArtifactError(
             f"artifact already exists at {path}; pass overwrite=True to "
             f"replace it")
+    if shard_words is not None:
+        if shard_words < 1:
+            raise ArtifactError(
+                f"shard_words must be >= 1, got {shard_words}")
+        # Sharded members are bare .npy files — mappable by
+        # construction — so the v2 whole-matrix member would be
+        # redundant; the shard layout wins.
+        mmap_phi = False
     path.mkdir(parents=True, exist_ok=True)
 
     arrays: dict[str, np.ndarray] = {}
@@ -206,7 +244,8 @@ def save_model(model: FittedTopicModel, path: str | Path,
         "format": ARTIFACT_FORMAT,
         # The minimum version that can describe this layout, so v1-only
         # readers keep loading artifacts that never asked for mmap.
-        "schema_version": 2 if mmap_phi else 1,
+        "schema_version": (3 if shard_words is not None
+                           else 2 if mmap_phi else 1),
         "model_class": model_class,
         "num_topics": model.num_topics,
         "num_documents": model.num_documents,
@@ -219,7 +258,29 @@ def save_model(model: FittedTopicModel, path: str | Path,
         "hyperparameters": _scalar_hyperparameters(model.metadata),
         "metadata": metadata_tree,
     }
-    if mmap_phi:
+    sharded = shard_words is not None
+    externalize = mmap_phi or sharded
+    word_major: np.ndarray | None = None
+    if externalize:
+        word_major = np.ascontiguousarray(
+            np.asarray(model.phi, dtype=np.float64).T)
+    shard_entries: list[dict[str, Any]] = []
+    if sharded:
+        starts = plan_shard_starts(model.vocab_size, shard_words)
+        stops = starts[1:] + (model.vocab_size,)
+        for index, (start, stop) in enumerate(zip(starts, stops)):
+            shard_entries.append({
+                "member": PHI_SHARD_TEMPLATE.format(index=index),
+                "start": int(start), "stop": int(stop),
+                # The shard's total probability mass: lets the fold-in
+                # engine sanity-check stochasticity (sum over shards
+                # ~= T) without mapping a single block.
+                "mass": float(word_major[start:stop].sum()),
+            })
+        manifest["phi_storage"] = {"layout": "word_major_sharded",
+                                   "shard_words": int(shard_words),
+                                   "shards": shard_entries}
+    elif mmap_phi:
         manifest["phi_storage"] = {"member": PHI_MEMBER_FILENAME,
                                    "layout": "word_major"}
     if len(vocabulary) != model.vocab_size:
@@ -244,15 +305,22 @@ def save_model(model: FittedTopicModel, path: str | Path,
         "log_likelihoods": np.asarray(model.log_likelihoods,
                                       dtype=np.float64),
     }
-    if not mmap_phi:
-        model_arrays["phi"] = model.phi
+    if not externalize:
+        model_arrays["phi"] = np.asarray(model.phi, dtype=np.float64)
     with open(arrays_tmp, "wb") as handle:
         np.savez_compressed(handle, **model_arrays, **arrays)
     phi_tmp = path / (PHI_MEMBER_FILENAME + ".tmp")
     if mmap_phi:
         with open(phi_tmp, "wb") as handle:
+            np.save(handle, word_major)
+    for entry in shard_entries:
+        shard_tmp = path / (entry["member"] + ".tmp")
+        with open(shard_tmp, "wb") as handle:
             np.save(handle, np.ascontiguousarray(
-                np.asarray(model.phi, dtype=np.float64).T))
+                word_major[entry["start"]:entry["stop"]]))
+        # Checksum the staged bytes — what the rename publishes is
+        # exactly what was hashed.
+        entry["sha256"] = _sha256_file(shard_tmp)
     manifest_tmp.write_text(json.dumps(manifest, indent=2) + "\n")
     # --- swap window: old manifest gone first, new manifest last ---
     if manifest_path.exists():
@@ -260,12 +328,71 @@ def save_model(model: FittedTopicModel, path: str | Path,
     if mmap_phi:
         phi_tmp.replace(phi_member)
     elif phi_member.exists():
-        # Overwriting a v2 artifact with a v1 layout: drop the stale
+        # Overwriting a v2 artifact with a v1/v3 layout: drop the stale
         # member so nothing can ever mmap an outdated phi.
         phi_member.unlink()
+    new_members = {entry["member"] for entry in shard_entries}
+    for stale in path.glob(PHI_SHARD_GLOB):
+        # Overwriting a v3 artifact with fewer shards (or a v1/v2
+        # layout): stale shard members beyond the new map must go, or a
+        # future layout with more shards could resurrect them.
+        if stale.name not in new_members:
+            stale.unlink()
+    for entry in shard_entries:
+        (path / (entry["member"] + ".tmp")).replace(path / entry["member"])
     arrays_tmp.replace(path / ARRAYS_FILENAME)
     manifest_tmp.replace(manifest_path)
     return path
+
+
+class _MmapGuard:
+    """Owns a v2 load's memory-mapped phi member for deterministic
+    release.
+
+    ``np.memmap`` never closes its file handle deterministically —
+    loads were leaking one descriptor + mapping each until garbage
+    collection got around to them.  :meth:`close` closes the map now
+    (best-effort: while the model's phi view still exports the buffer,
+    ``mmap.close`` raises ``BufferError`` and the collector keeps
+    ownership); a guard collected without ``close`` warns
+    ``ResourceWarning`` so leaks surface in tests instead of as fd
+    exhaustion in production.
+    """
+
+    __slots__ = ("_array", "_where", "_closed", "__weakref__")
+
+    def __init__(self, array: np.ndarray, where: Path) -> None:
+        self._array = array
+        self._where = str(where)
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        array, self._array = self._array, None
+        mm = getattr(array, "_mmap", None)
+        if mm is not None:
+            try:
+                mm.close()
+            except BufferError:
+                # A live view still exports the buffer; the collector
+                # will close the map when the last view dies.
+                pass
+
+    def __del__(self) -> None:
+        try:
+            if not self._closed:
+                warnings.warn(
+                    f"unclosed memory-mapped phi member {self._where}; "
+                    f"call LoadedModel.close()",
+                    ResourceWarning, source=self)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
 
 @dataclass(frozen=True)
@@ -275,9 +402,16 @@ class LoadedModel:
     ``phi_path`` points at the artifact's uncompressed word-major phi
     member when the artifact has one (schema v2); serving layers hand
     it to worker processes so each can map the same file.
-    ``phi_mmapped`` records whether this load actually mapped it
-    (``load_model(..., mmap_phi=True)``) rather than reading it into
-    memory.
+    ``phi_mmapped`` records whether this load actually mapped phi
+    (``load_model(..., mmap_phi=True)``, or any schema-v3 load — shard
+    blocks always map read-only) rather than reading it into memory.
+    ``shard_map`` is the v3 artifact's per-shard ``(start, stop)`` word
+    ranges (``None`` for v1/v2); the model's ``phi`` is then a lazy
+    :class:`~repro.serving.sharding.TransposedShardedPhi`.
+
+    Loads that map files own them until :meth:`close`: call it (the
+    registry does on cache eviction) to release maps and descriptors
+    deterministically instead of waiting on garbage collection.
     """
 
     model: FittedTopicModel
@@ -287,6 +421,21 @@ class LoadedModel:
     manifest: dict[str, Any]
     phi_path: Path | None = None
     phi_mmapped: bool = False
+    shard_map: tuple[tuple[int, int], ...] | None = None
+    #: The closeable map owner — a :class:`_MmapGuard` (v2) or the
+    #: :class:`~repro.serving.sharding.ShardedPhi` itself (v3).
+    phi_resource: Any = field(default=None, repr=False)
+
+    def close(self) -> None:
+        """Release the load's mapped phi resources (idempotent).
+
+        v2: closes the word-major map (best-effort while views of it
+        are live).  v3: drops the shard block cache and closes every
+        mapped shard file; the lazy view stays usable and re-maps on
+        the next gather.  v1 (nothing mapped): no-op.
+        """
+        if self.phi_resource is not None:
+            self.phi_resource.close()
 
 
 def read_manifest(path: str | Path) -> dict[str, Any]:
@@ -321,6 +470,55 @@ def read_manifest(path: str | Path) -> dict[str, Any]:
     return manifest
 
 
+def _read_shard_map(manifest: dict[str, Any], phi_storage: dict,
+                    path: Path) -> ShardedPhi:
+    """Validate a v3 ``phi_storage`` shard map and build the lazy view."""
+    shards = phi_storage.get("shards")
+    vocab_size = manifest.get("vocab_size")
+    num_topics = manifest.get("num_topics")
+    if not isinstance(shards, list) or not shards \
+            or not isinstance(vocab_size, int) \
+            or not isinstance(num_topics, int):
+        raise ManifestError(
+            f"sharded artifact manifest needs a non-empty shard list "
+            f"plus integer vocab_size/num_topics, got "
+            f"{phi_storage!r}")
+    cursor = 0
+    for entry in shards:
+        if not isinstance(entry, dict) \
+                or not isinstance(entry.get("member"), str) \
+                or not isinstance(entry.get("start"), int) \
+                or not isinstance(entry.get("stop"), int):
+            raise ManifestError(
+                f"malformed phi shard entry {entry!r}")
+        if entry["start"] != cursor or entry["stop"] <= entry["start"]:
+            raise ManifestError(
+                f"phi shard ranges must tile the vocabulary "
+                f"contiguously; shard {entry['member']!r} covers "
+                f"[{entry['start']}, {entry['stop']}) after offset "
+                f"{cursor}")
+        cursor = entry["stop"]
+    if cursor != vocab_size:
+        raise ManifestError(
+            f"phi shards cover {cursor} words but the vocabulary has "
+            f"{vocab_size}")
+    shard_paths = tuple(path / entry["member"] for entry in shards)
+    for shard_path in shard_paths:
+        if not shard_path.is_file():
+            raise ArtifactError(
+                f"artifact phi shard missing at {shard_path}")
+    masses = (tuple(float(entry["mass"]) for entry in shards)
+              if all(isinstance(entry.get("mass"), (int, float))
+                     for entry in shards) else None)
+    checksums = (tuple(entry["sha256"] for entry in shards)
+                 if all(isinstance(entry.get("sha256"), str)
+                        for entry in shards) else None)
+    return ShardedPhi(shard_paths,
+                      tuple(entry["start"] for entry in shards),
+                      vocab_size, num_topics, mmap=True,
+                      masses=masses, checksums=checksums)
+
+
 def load_model(path: str | Path, mmap_phi: bool = False) -> LoadedModel:
     """Reload an artifact written by :func:`save_model`.
 
@@ -334,6 +532,13 @@ def load_model(path: str | Path, mmap_phi: bool = False) -> LoadedModel:
     physical copy.  v1 artifacts (phi inside the ``.npz``, which can
     never be mapped) still load, falling back to an in-memory phi with
     a warning.
+
+    Schema-v3 (sharded) artifacts load **lazily** regardless of
+    ``mmap_phi``: ``model.phi`` becomes the ``(T, V)`` face of a
+    :class:`~repro.serving.sharding.ShardedPhi` that maps shard blocks
+    read-only on first touch, so loading never materializes the matrix
+    and serving maps only the shards queries actually reference
+    (materializing via ``np.asarray(model.phi)`` stays bit-exact).
     """
     path = Path(path)
     manifest = read_manifest(path)
@@ -342,17 +547,25 @@ def load_model(path: str | Path, mmap_phi: bool = False) -> LoadedModel:
         raise ArtifactError(f"artifact arrays missing at {arrays_path}")
     phi_storage = manifest.get("phi_storage")
     phi_path: Path | None = None
+    sharded: ShardedPhi | None = None
     if phi_storage is not None:
-        if not isinstance(phi_storage, dict) \
-                or phi_storage.get("layout") != "word_major" \
-                or not isinstance(phi_storage.get("member"), str):
+        if not isinstance(phi_storage, dict):
             raise ManifestError(
                 f"artifact manifest has unsupported phi_storage "
                 f"{phi_storage!r}")
-        phi_path = path / phi_storage["member"]
-        if not phi_path.is_file():
-            raise ArtifactError(
-                f"artifact phi member missing at {phi_path}")
+        layout = phi_storage.get("layout")
+        if layout == "word_major_sharded":
+            sharded = _read_shard_map(manifest, phi_storage, path)
+        elif layout == "word_major" \
+                and isinstance(phi_storage.get("member"), str):
+            phi_path = path / phi_storage["member"]
+            if not phi_path.is_file():
+                raise ArtifactError(
+                    f"artifact phi member missing at {phi_path}")
+        else:
+            raise ManifestError(
+                f"artifact manifest has unsupported phi_storage "
+                f"{phi_storage!r}")
     elif mmap_phi:
         warnings.warn(
             f"artifact at {path} stores phi inside the compressed "
@@ -361,19 +574,26 @@ def load_model(path: str | Path, mmap_phi: bool = False) -> LoadedModel:
             f"mmap_phi=True for a mappable artifact",
             RuntimeWarning, stacklevel=2)
         mmap_phi = False
+    externalized = phi_path is not None or sharded is not None
     required = tuple(key for key in _MODEL_ARRAY_KEYS
-                     if key != "phi" or phi_path is None)
+                     if key != "phi" or not externalized)
+    phi_resource: Any = None
     with np.load(arrays_path) as arrays:
         missing = [key for key in required if key not in arrays]
         if missing:
             raise ArtifactError(
                 f"artifact arrays at {arrays_path} are missing {missing}")
-        if phi_path is None:
+        if sharded is not None:
+            phi = sharded.T  # canonical (T, V) face, still lazy
+            phi_resource = sharded
+        elif phi_path is None:
             phi = arrays["phi"]
         else:
             word_major = np.load(
                 phi_path, mmap_mode="r" if mmap_phi else None)
             phi = word_major.T  # canonical (T, V); zero-copy view
+            if mmap_phi:
+                phi_resource = _MmapGuard(word_major, phi_path)
         theta = arrays["theta"]
         flat = arrays["assignments_flat"]
         lengths = arrays["assignment_lengths"]
@@ -405,4 +625,9 @@ def load_model(path: str | Path, mmap_phi: bool = False) -> LoadedModel:
                        schema_version=int(manifest["schema_version"]),
                        path=path, manifest=manifest,
                        phi_path=phi_path,
-                       phi_mmapped=bool(mmap_phi and phi_path is not None))
+                       phi_mmapped=bool(sharded is not None
+                                        or (mmap_phi
+                                            and phi_path is not None)),
+                       shard_map=(sharded.shard_ranges
+                                  if sharded is not None else None),
+                       phi_resource=phi_resource)

@@ -63,10 +63,27 @@ Two sampling lanes:
     previously each hit paid a binary search over a per-word cumulative
     sum.  Statistically equivalent to the exact lane (same conditional
     distribution), not draw-for-draw identical.
+
+Sharded phi (schema-v3 artifacts): when ``phi`` is the lazy
+``(T, V)`` face of a :class:`~repro.serving.sharding.ShardedPhi`, the
+engine goes **shard-aware** instead of materializing.  The exact lane
+gathers through the view's shard-local ``take``; the sparse lane's
+prior masses and alias tables are built **per shard, on first touch**
+(:class:`_ShardedFoldInTables`) — per-word row sums and
+:func:`~repro.sampling.alias.build_alias_rows` are row-independent, so
+the per-shard tables are bit-identical to whole-matrix tables row for
+row and the served theta never depends on the shard layout (pinned by
+``tests/test_sharded_serving.py``).  A single-shard view takes the
+dense fast path (its one block *is* the v2 word-major matrix), keeping
+shards=1 serving throughput at parity with unsharded.
+:meth:`FoldInEngine.touch` prefetches exactly the shards a batch
+needs; :meth:`FoldInEngine.theta` touches each batch before sampling
+it.
 """
 
 from __future__ import annotations
 
+import threading
 import warnings
 from typing import Sequence
 
@@ -76,6 +93,7 @@ from repro.sampling.alias import build_alias_rows
 from repro.sampling.rng import ensure_rng
 from repro.sampling.runtime import (FoldInTable, TokenLoopBackend,
                                     TopicSet, resolve_backend)
+from repro.serving.sharding import ShardedPhi, TransposedShardedPhi
 
 #: Fold-in sampling lanes.
 MODES = ("exact", "sparse")
@@ -113,6 +131,130 @@ def validate_phi(phi: np.ndarray) -> np.ndarray:
             RuntimeWarning, stacklevel=3)
         phi = phi / sums[:, np.newaxis]
     return phi
+
+
+def _as_sharded(phi) -> ShardedPhi | None:
+    """The word-major sharded view behind a ``phi`` argument, if any.
+
+    Engines take phi in the canonical ``(T, V)`` orientation, so a
+    sharded model arrives as the lazy transpose face; a bare
+    (word-major) :class:`ShardedPhi` is rejected rather than silently
+    served transposed.
+    """
+    if isinstance(phi, TransposedShardedPhi):
+        return phi.T
+    if isinstance(phi, ShardedPhi):
+        raise TypeError(
+            "FoldInEngine takes phi in (T, V) orientation; pass the "
+            "sharded view's transpose face (sharded.T), not the bare "
+            "word-major ShardedPhi")
+    return None
+
+
+class _ShardedFoldInTables:
+    """Sparse-lane tables for a sharded phi, built per shard on first
+    touch.
+
+    Holds one ``(prior_mass, alias_accept, alias_topic)`` triple per
+    shard — the same arrays an unsharded engine precomputes for the
+    whole vocabulary, restricted to the shard's word rows.  Both are
+    row-independent constructions (per-word sums;
+    :func:`~repro.sampling.alias.build_alias_rows` replays an identical
+    per-row pop/push sequence whatever rows share a block), so every
+    row is bit-identical to its whole-matrix counterpart — the
+    foundation of the sharded == unsharded serving contract.
+
+    The :class:`_ShardedRows` views expose the ``table[word]`` /
+    ``table.take(word_ids)`` surface the runtime lanes already use, so
+    :class:`~repro.sampling.runtime.FoldInTable` carries them in place
+    of arrays and the python backend samples unchanged.  Construction
+    is lock-guarded (engines are shared across threads); reads are
+    lock-free.
+    """
+
+    def __init__(self, sharded: ShardedPhi, alpha: float) -> None:
+        self._sharded = sharded
+        self._alpha = alpha
+        self._tables: list[tuple[np.ndarray, np.ndarray, np.ndarray]
+                           | None] = [None] * sharded.num_shards
+        self._lock = threading.Lock()
+        self.prior_mass = _ShardedRows(self, 0)
+        self.alias_accept = _ShardedRows(self, 1)
+        self.alias_topic = _ShardedRows(self, 2)
+
+    @property
+    def sharded(self) -> ShardedPhi:
+        return self._sharded
+
+    def shard(self, index: int
+              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        tables = self._tables[index]
+        if tables is None:
+            tables = self._build(index)
+        return tables
+
+    def _build(self, index: int
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        with self._lock:
+            tables = self._tables[index]
+            if tables is not None:
+                return tables
+            block = self._sharded.block(index)
+            prior_mass = self._alpha * block.sum(axis=1)
+            accept, alias = build_alias_rows(block)
+            tables = (prior_mass, accept, alias)
+            self._tables[index] = tables
+            return tables
+
+    def ensure(self, shard_ids: Sequence[int]) -> None:
+        """Build the tables of the given shards now (prefetch)."""
+        for index in shard_ids:
+            self.shard(int(index))
+
+
+class _ShardedRows:
+    """Word-indexed view over one column of a
+    :class:`_ShardedFoldInTables` triple (0 = prior mass, 1 = alias
+    accept rows, 2 = alias topic rows).
+
+    ``view[word]`` answers the sparse lane's per-token lookups;
+    :meth:`take` gathers whole documents for backends that need dense
+    operands (the compiled lanes).  Both return the same values the
+    unsharded arrays would.
+    """
+
+    __slots__ = ("_tables", "_column")
+
+    def __init__(self, tables: _ShardedFoldInTables, column: int) -> None:
+        self._tables = tables
+        self._column = column
+
+    def __getitem__(self, word):
+        shard, local = self._tables.sharded.locate(word)
+        return self._tables.shard(shard)[self._column][local]
+
+    def take(self, word_ids, axis=0):
+        if axis != 0:
+            raise ValueError(
+                f"sharded fold-in tables gather along the word axis "
+                f"(axis=0), got axis={axis}")
+        ids = np.asarray(word_ids, dtype=np.int64)
+        shard_ids = self._tables.sharded.shard_of(ids)
+        out: np.ndarray | None = None
+        for shard in np.unique(shard_ids):
+            shard = int(shard)
+            table = self._tables.shard(shard)[self._column]
+            if out is None:
+                out = np.empty(ids.shape + table.shape[1:],
+                               dtype=table.dtype)
+            start = self._tables.sharded.shard_ranges[shard][0]
+            sel = np.flatnonzero(shard_ids == shard)
+            out[sel] = table[ids[sel] - start]
+        if out is None:
+            probe = self._tables.shard(0)[self._column]
+            out = np.empty(ids.shape + probe.shape[1:],
+                           dtype=probe.dtype)
+        return out
 
 
 class FoldInScratch:
@@ -196,33 +338,74 @@ class FoldInEngine:
         if batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {batch_size}")
-        phi = validate_phi(phi) if validate \
-            else np.asarray(phi, dtype=np.float64)
+        sharded = _as_sharded(phi)
+        if sharded is None:
+            phi = validate_phi(phi) if validate \
+                else np.asarray(phi, dtype=np.float64)
+            num_topics, vocab_size = phi.shape
+        else:
+            # Row-stochasticity checks would map every shard, defeating
+            # the lazy view; the shard map itself was validated at load
+            # (contiguous coverage) and the manifest's per-shard masses
+            # give a whole-matrix stochasticity check for free.
+            vocab_size, num_topics = sharded.shape
+            if validate:
+                masses = sharded.shard_masses
+                if masses is not None and not np.isclose(
+                        sum(masses), num_topics, rtol=0.0,
+                        atol=PHI_RENORM_ATOL * num_topics):
+                    raise ValueError(
+                        f"sharded phi mass {sum(masses):.6g} is not the "
+                        f"topic count {num_topics}; the artifact's phi "
+                        f"rows cannot all sum to 1")
         self.alpha = float(alpha)
         self.iterations = int(iterations)
         self.mode = mode
         self.batch_size = int(batch_size)
-        self.num_topics = int(phi.shape[0])
-        self.vocab_size = int(phi.shape[1])
+        self.num_topics = int(num_topics)
+        self.vocab_size = int(vocab_size)
         self._backend = resolve_backend(backend)
-        #: ``(V, T)`` layout for per-word row gathers.  When ``phi`` is
-        #: the transpose view of an already word-major array (the mmap
-        #: artifact layout), this is that array itself — no copy.
-        self._phi_by_word = np.ascontiguousarray(phi.T)
-        if mode == "sparse":
+        self._sharded = sharded
+        self._sparse_tables: _ShardedFoldInTables | None = None
+        if sharded is not None and sharded.num_shards == 1:
+            # One shard *is* the v2 word-major matrix: serve the dense
+            # fast path off its block so the per-token loop is
+            # byte-for-byte the unsharded one (no per-word shard
+            # lookups), while touch()/mapped-bytes accounting keep
+            # working through the view.
+            phi_by_word = sharded.block(0)
+        elif sharded is not None:
+            phi_by_word = sharded
+        else:
+            #: ``(V, T)`` layout for per-word row gathers.  When ``phi``
+            #: is the transpose view of an already word-major array (the
+            #: mmap artifact layout), this is that array itself — no
+            #: copy.
+            phi_by_word = np.ascontiguousarray(phi.T)
+        self._phi_by_word = phi_by_word
+        if mode != "sparse":
+            self._prior_mass = None
+            self._alias_accept = None
+            self._alias_topic = None
+        elif isinstance(phi_by_word, ShardedPhi):
+            # Multi-shard sparse lane: per-shard tables, built on first
+            # touch of each shard so cold start maps nothing and a
+            # batch's table-build cost tracks its shard working set.
+            self._sparse_tables = _ShardedFoldInTables(phi_by_word,
+                                                       self.alpha)
+            self._prior_mass = self._sparse_tables.prior_mass
+            self._alias_accept = self._sparse_tables.alias_accept
+            self._alias_topic = self._sparse_tables.alias_topic
+        else:
             #: Static prior-bucket mass per word: ``alpha * sum_t phi``.
-            self._prior_mass = self.alpha * self._phi_by_word.sum(axis=1)
+            self._prior_mass = self.alpha * phi_by_word.sum(axis=1)
             #: Per-word Walker alias tables over ``phi[:, w]`` — a
             #: prior-bucket hit costs one table lookup instead of a
             #: binary search over a per-word cumulative sum.  Built once
             #: per engine (O(V * T), same as the cumulative sums they
             #: replace) and frozen thereafter.
             self._alias_accept, self._alias_topic = \
-                build_alias_rows(self._phi_by_word)
-        else:
-            self._prior_mass = None
-            self._alias_accept = None
-            self._alias_topic = None
+                build_alias_rows(phi_by_word)
         #: The frozen-phi prior/doc split as a flat runtime kernel
         #: table — what any backend (and every worker process)
         #: actually samples from.
@@ -237,6 +420,28 @@ class FoldInEngine:
     def backend_name(self) -> str:
         """The resolved token-loop backend executing this engine."""
         return self._backend.name
+
+    @property
+    def sharded(self) -> ShardedPhi | None:
+        """The lazy sharded phi this engine serves from, if any."""
+        return self._sharded
+
+    def touch(self, word_ids: np.ndarray) -> tuple[int, ...]:
+        """Prefetch the shards (and their sparse-lane tables) that
+        ``word_ids`` touch; returns the touched shard indices.
+
+        No-op (empty tuple) for unsharded engines.  :meth:`theta` calls
+        this per batch, so a batch's phi working set is mapped in one
+        pass rather than one page fault at a time mid-sampling; callers
+        that know a request's vocabulary ahead of time can warm shards
+        explicitly the same way.
+        """
+        if self._sharded is None:
+            return ()
+        shards = self._sharded.touch(word_ids)
+        if self._sparse_tables is not None:
+            self._sparse_tables.ensure(shards)
+        return shards
 
     # ------------------------------------------------------------------
     def new_scratch(self) -> FoldInScratch:
@@ -282,6 +487,15 @@ class FoldInEngine:
         theta = np.empty((len(documents), self.num_topics))
         for start in range(0, len(documents), self.batch_size):
             batch = documents[start:start + self.batch_size]
+            if self._sharded is not None and self._sharded.num_shards > 1:
+                # Map exactly this batch's shard working set up front
+                # (and build its sparse tables), instead of faulting
+                # shards in token by token mid-sampling.  Single-shard
+                # engines already run the dense fast path; scanning
+                # every batch's word ids would be pure overhead there.
+                occupied = [doc for doc in batch if doc.shape[0]]
+                if occupied:
+                    self.touch(np.concatenate(occupied))
             if self.mode == "exact":
                 # Only the exact lane gathers (Nd, T) probability
                 # blocks; sizing the buffer in sparse mode would pin

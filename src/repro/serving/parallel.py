@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.sampling.rng import document_rng, ensure_seed_sequence
 from repro.serving.foldin import MODES, FoldInEngine, FoldInScratch
+from repro.serving.sharding import ShardedPhi
 
 
 def _pool_context():
@@ -90,13 +91,17 @@ def _pool_context():
 class EngineSpec:
     """Everything a worker needs to rebuild the fold-in engine.
 
-    Exactly one of ``phi`` / ``phi_path`` is set — both in the
-    word-major ``(V, T)`` layout the engine gathers from, so rebuilding
-    an engine from either is copy-free.  ``phi`` ships the validated
-    array to the worker (pickled once at pool start); ``phi_path``
-    names the uncompressed ``.npy`` member written by
+    Exactly one of ``phi`` / ``phi_path`` / ``sharded`` is set — all in
+    the word-major ``(V, T)`` layout the engine gathers from, so
+    rebuilding an engine from any of them is copy-free.  ``phi`` ships
+    the validated array to the worker (pickled once at pool start);
+    ``phi_path`` names the uncompressed ``.npy`` member written by
     ``save_model(..., mmap_phi=True)``, which every worker maps
-    read-only so a large model exists once in physical memory.
+    read-only so a large model exists once in physical memory;
+    ``sharded`` is a schema-v3 lazy
+    :class:`~repro.serving.sharding.ShardedPhi` whose pickle carries
+    only the shard *map* — each worker unpickles an unmapped view and
+    lazily maps just the shards its own documents touch.
     ``phi`` is stored pre-validated, so workers skip re-validation (and
     can never renormalize differently than the parent did).
     """
@@ -106,22 +111,31 @@ class EngineSpec:
     mode: str
     phi: np.ndarray | None = None
     phi_path: str | None = None
+    sharded: ShardedPhi | None = None
     #: Resolved token-loop backend name (never "auto": workers must
     #: sample on the same backend the parent resolved, not re-resolve
     #: in an environment that might differ).
     backend: str = "python"
 
     def __post_init__(self) -> None:
-        if (self.phi is None) == (self.phi_path is None):
+        provided = sum(source is not None
+                       for source in (self.phi, self.phi_path,
+                                      self.sharded))
+        if provided != 1:
             raise ValueError(
-                "exactly one of phi / phi_path must be provided")
+                "exactly one of phi / phi_path / sharded must be "
+                "provided")
         if self.mode not in MODES:
             raise ValueError(
                 f"mode must be one of {MODES}, got {self.mode!r}")
 
     def build_engine(self) -> FoldInEngine:
-        word_major = (np.load(self.phi_path, mmap_mode="r")
-                      if self.phi_path is not None else self.phi)
+        if self.sharded is not None:
+            word_major = self.sharded
+        elif self.phi_path is not None:
+            word_major = np.load(self.phi_path, mmap_mode="r")
+        else:
+            word_major = self.phi
         # The engine re-transposes to word-major internally; handing it
         # the (T, V) transpose view makes that a no-op, not a copy.
         return FoldInEngine(word_major.T, self.alpha,
@@ -202,33 +216,46 @@ class ParallelFoldIn:
                 f"num_workers must be >= 1, got {num_workers}")
         self.engine = engine
         self.num_workers = int(num_workers)
-        phi_by_word = engine._phi_by_word
-        share_file = False
-        if phi_path is not None:
-            # Only hand workers the file if the parent engine is really
-            # serving from *this* file: validate_phi may have
-            # renormalized into a private copy, and an engine built
-            # from one artifact could be paired with another artifact's
-            # path — either way workers would silently serve different
-            # phi than the parent, so the mapped filename must match.
-            target = Path(phi_path).resolve()
-            base = phi_by_word
-            while base is not None:
-                if isinstance(base, np.memmap):
-                    mapped = getattr(base, "filename", None)
-                    share_file = (mapped is not None
-                                  and Path(mapped).resolve() == target)
-                    break
-                base = getattr(base, "base", None)
-        # Ship the *resolved* path: a relative one would be resolved
-        # against whatever cwd a non-fork worker (or a later chdir)
-        # happens to have.
-        self._spec = EngineSpec(
-            alpha=engine.alpha, iterations=engine.iterations,
-            mode=engine.mode,
-            phi=None if share_file else phi_by_word,
-            phi_path=str(target) if share_file else None,
-            backend=engine.backend_name)
+        if engine.sharded is not None:
+            # Sharded engines ship the shard map, never the matrix: the
+            # ShardedPhi pickle is a few paths + offsets, and each
+            # non-fork worker maps only the shards its documents touch.
+            # (Fork workers inherit the parent's view copy-on-write and
+            # do the same.)
+            self._spec = EngineSpec(
+                alpha=engine.alpha, iterations=engine.iterations,
+                mode=engine.mode, sharded=engine.sharded,
+                backend=engine.backend_name)
+        else:
+            phi_by_word = engine._phi_by_word
+            share_file = False
+            if phi_path is not None:
+                # Only hand workers the file if the parent engine is
+                # really serving from *this* file: validate_phi may
+                # have renormalized into a private copy, and an engine
+                # built from one artifact could be paired with another
+                # artifact's path — either way workers would silently
+                # serve different phi than the parent, so the mapped
+                # filename must match.
+                target = Path(phi_path).resolve()
+                base = phi_by_word
+                while base is not None:
+                    if isinstance(base, np.memmap):
+                        mapped = getattr(base, "filename", None)
+                        share_file = (mapped is not None
+                                      and Path(mapped).resolve()
+                                      == target)
+                        break
+                    base = getattr(base, "base", None)
+            # Ship the *resolved* path: a relative one would be
+            # resolved against whatever cwd a non-fork worker (or a
+            # later chdir) happens to have.
+            self._spec = EngineSpec(
+                alpha=engine.alpha, iterations=engine.iterations,
+                mode=engine.mode,
+                phi=None if share_file else phi_by_word,
+                phi_path=str(target) if share_file else None,
+                backend=engine.backend_name)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._local = threading.local()
@@ -302,6 +329,21 @@ class ParallelFoldIn:
                     documents[index], document_rng(call_seed, index),
                     scratch)
             return theta
+        sharded = self.engine.sharded
+        if sharded is not None and sharded.num_shards > 1:
+            # Shard-affine assignment: order pending documents by their
+            # dominant phi shard (ties by batch index) before the
+            # contiguous split below, so a task's documents cluster on
+            # the same shards and each worker maps a subset of the
+            # shard files instead of all of them.  Pure scheduling:
+            # every document still samples on its index-keyed stream,
+            # so theta is invariant to this reorder — and to any shard
+            # layout.
+            def dominant_shard(index: int) -> int:
+                counts = np.bincount(sharded.shard_of(documents[index]))
+                return int(counts.argmax())
+            pending.sort(key=lambda index: (dominant_shard(index),
+                                            index))
         # Task granularity: one near-equal shard per worker, but never
         # more than the engine's batch_size documents per task — small
         # batch_size buys finer load balancing when document lengths

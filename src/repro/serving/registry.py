@@ -40,6 +40,28 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_DIR_RE = re.compile(r"^v(\d+)$")
 
 
+def _phi_fingerprint(manifest: dict) -> str:
+    """Stable summary of how an artifact stores phi.
+
+    Folded into the load-cache key so two artifacts that resolve to the
+    same ``(name, version)`` but carry different storage shapes — e.g. a
+    re-published sharded flavor interleaved with an in-memory one — can
+    never satisfy each other's cache lookups.
+    """
+    schema = manifest.get("schema_version", 1)
+    storage = manifest.get("phi_storage")
+    if not isinstance(storage, dict):
+        return f"v{schema}:npz"
+    layout = storage.get("layout", "word_major")
+    if layout == "word_major_sharded":
+        shards = storage.get("shards")
+        spans = ",".join(
+            f"{entry.get('start')}-{entry.get('stop')}"
+            for entry in shards) if isinstance(shards, list) else "?"
+        return f"v{schema}:sharded:{spans}"
+    return f"v{schema}:{layout}"
+
+
 @dataclass(frozen=True)
 class ModelRecord:
     """One resolved (name, version) → artifact directory mapping."""
@@ -67,8 +89,8 @@ class ModelRegistry:
                 f"cache_size must be >= 0, got {cache_size}")
         self.root = Path(root)
         self.cache_size = int(cache_size)
-        self._cache: OrderedDict[tuple[str, int, bool], LoadedModel] \
-            = OrderedDict()
+        self._cache: OrderedDict[tuple[str, int, bool, str],
+                                 LoadedModel] = OrderedDict()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -142,7 +164,8 @@ class ModelRegistry:
     def publish(self, name: str, model: FittedTopicModel,
                 model_class: str | None = None,
                 version: int | None = None,
-                mmap_phi: bool = False) -> ModelRecord:
+                mmap_phi: bool = False,
+                shard_words: int | None = None) -> ModelRecord:
         """Save ``model`` as the next (or an explicit new) version of
         ``name``.
 
@@ -151,8 +174,9 @@ class ModelRegistry:
         concurrent publishers can never both write the same version:
         the loser of a ``mkdir`` race rescans and takes the next free
         number (auto-versioning) or fails loudly (explicit version).
-        ``mmap_phi`` is forwarded to :func:`save_model` (schema-v2
-        artifact with a mappable phi member).
+        ``mmap_phi`` and ``shard_words`` are forwarded to
+        :func:`save_model` (schema-v2 artifact with a mappable phi
+        member, or a schema-v3 column-sharded artifact).
         """
         self._check_name(name)
         (self.root / name).mkdir(parents=True, exist_ok=True)
@@ -186,7 +210,7 @@ class ModelRegistry:
                              path=self.root / name / f"v{version}")
         try:
             save_model(model, record.path, model_class=model_class,
-                       mmap_phi=mmap_phi)
+                       mmap_phi=mmap_phi, shard_words=shard_words)
         except BaseException:
             # The claim is ours (exclusive mkdir) and no manifest landed,
             # so nothing can be reading it: release the version number
@@ -203,20 +227,33 @@ class ModelRegistry:
         Resolving ``version=None`` re-checks the directory for the
         latest version on every call, so freshly published models are
         picked up; the cache key is the concrete resolved version plus
-        the load flavor (a memory-mapped and an in-memory load of the
-        same version are distinct cache entries).
+        the load flavor (``mmap_phi``) plus a fingerprint of the
+        artifact's phi storage (schema version, layout and — for
+        sharded artifacts — the shard map), so a memory-mapped and an
+        in-memory load, or two storage flavors interleaved at the same
+        coordinates, are distinct cache entries.
+
+        Evicted entries (LRU overflow or a stale fingerprint at the
+        same coordinates) have ``close()`` called so their mmap
+        handles are released promptly instead of waiting for GC.
         """
         record = self.resolve(name, version)
-        key = (record.name, record.version, bool(mmap_phi))
+        fingerprint = _phi_fingerprint(read_manifest(record.path))
+        key = (record.name, record.version, bool(mmap_phi), fingerprint)
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             return cached
+        # Purge cache entries for the same (name, version, flavor) whose
+        # stored fingerprint no longer matches the on-disk artifact.
+        stale = [k for k in self._cache if k[:3] == key[:3]]
+        for stale_key in stale:
+            self._cache.pop(stale_key).close()
         loaded = load_model(record.path, mmap_phi=mmap_phi)
         if self.cache_size > 0:
             self._cache[key] = loaded
             while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+                self._cache.popitem(last=False)[1].close()
         return loaded
 
     def manifest(self, name: str, version: int | None = None) -> dict:
@@ -224,13 +261,16 @@ class ModelRegistry:
         return read_manifest(self.resolve(name, version).path)
 
     @property
-    def cached_keys(self) -> tuple[tuple[str, int, bool], ...]:
-        """Current cache contents as ``(name, version, mmap)`` keys,
-        least recently used first (for tests and monitoring)."""
+    def cached_keys(self) -> tuple[tuple[str, int, bool, str], ...]:
+        """Current cache contents as ``(name, version, mmap,
+        phi-fingerprint)`` keys, least recently used first (for tests
+        and monitoring)."""
         return tuple(self._cache)
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        """Drop every cached model, closing their mmap handles."""
+        while self._cache:
+            self._cache.popitem(last=False)[1].close()
 
     def __repr__(self) -> str:
         return (f"ModelRegistry(root={str(self.root)!r}, "

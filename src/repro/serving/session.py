@@ -159,7 +159,10 @@ class InferenceSession:
         value.  Sessions built from
         ``load_model(..., mmap_phi=True)`` artifacts hand workers the
         artifact's phi member path, so the whole pool shares one
-        physical phi.
+        physical phi; sessions over schema-v3 column-sharded artifacts
+        ship workers the shard *map* instead, and each worker maps only
+        the shards its documents touch (out-of-core serving; see
+        :mod:`repro.serving.sharding`).
     """
 
     def __init__(self, model: FittedTopicModel, *,
@@ -201,7 +204,9 @@ class InferenceSession:
                                     backend=backend)
         # LoadedModel wrappers of v2 artifacts carry the mappable phi
         # member path; worker processes re-map it instead of receiving
-        # a pickled copy.
+        # a pickled copy.  v3 (sharded) artifacts need no path here:
+        # ParallelFoldIn detects the engine's lazy sharded phi and
+        # ships workers the shard map.
         self._foldin = ParallelFoldIn(
             self._engine, num_workers=num_workers,
             phi_path=getattr(wrapper, "phi_path", None))

@@ -25,7 +25,8 @@ def compare():
 
 
 def _write_result(directory: Path, name: str, metrics: dict,
-                  backend: str | None = None) -> None:
+                  backend: str | None = None,
+                  peak_rss: int | None = None) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     payload = {
         "schema": "repro.benchmarks/result",
@@ -36,6 +37,8 @@ def _write_result(directory: Path, name: str, metrics: dict,
     }
     if backend is not None:
         payload["backend"] = backend
+    if peak_rss is not None:
+        payload["peak_rss_bytes"] = peak_rss
     (directory / f"{name}.json").write_text(json.dumps(payload))
 
 
@@ -167,6 +170,45 @@ class TestCompareDirs:
                                                     tmp_path / "fresh")
         assert skipped == []
         assert comparisons[0].regressed(0.3)
+
+
+class TestMemoryGate:
+    def test_pairs_require_stamps_on_both_sides(self, compare, tmp_path):
+        _write_result(tmp_path / "base", "stamped",
+                      {"docs_per_second": 10.0}, peak_rss=100 * 2**20)
+        _write_result(tmp_path / "fresh", "stamped",
+                      {"docs_per_second": 10.0}, peak_rss=150 * 2**20)
+        _write_result(tmp_path / "base", "prestamp",
+                      {"docs_per_second": 10.0})
+        _write_result(tmp_path / "fresh", "prestamp",
+                      {"docs_per_second": 10.0}, peak_rss=900 * 2**20)
+        rows = compare.memory_comparisons(tmp_path / "base",
+                                          tmp_path / "fresh")
+        assert [c.bench for c in rows] == ["stamped"]
+        assert rows[0].ratio == pytest.approx(1.5)
+
+    def test_memory_gate_is_opt_in_and_directional(self, compare,
+                                                   tmp_path, capsys):
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": 100.0}, peak_rss=100 * 2**20)
+        # Throughput fine, memory doubled.
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": 101.0}, peak_rss=200 * 2**20)
+        base = ["--baseline", str(tmp_path / "base")]
+        fresh = str(tmp_path / "fresh")
+        # Without the flag memory never gates.
+        assert compare.main([fresh] + base) == 0
+        # With it, growth beyond the threshold fails...
+        assert compare.main([fresh, "--memory-threshold", "0.5"]
+                            + base) == 1
+        # ...tolerated growth passes, and shrinkage is never a failure.
+        assert compare.main([fresh, "--memory-threshold", "1.5"]
+                            + base) == 0
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": 101.0}, peak_rss=50 * 2**20)
+        assert compare.main([fresh, "--memory-threshold", "0.1"]
+                            + base) == 0
+        capsys.readouterr()  # swallow table output
 
 
 class TestMain:

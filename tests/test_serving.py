@@ -346,7 +346,8 @@ class TestModelRegistry:
         assert registry.load("a") is first          # cache hit
         registry.load("b")
         registry.load("c")                          # evicts "a"
-        assert registry.cached_keys == (("b", 1, False), ("c", 1, False))
+        assert registry.cached_keys == (("b", 1, False, "v1:npz"),
+                                        ("c", 1, False, "v1:npz"))
         assert registry.load("a") is not first      # reloaded from disk
         registry.clear_cache()
         assert registry.cached_keys == ()
@@ -376,8 +377,9 @@ class TestModelRegistry:
         assert mapped is registry.load("demo", mmap_phi=True)
         assert plain is not mapped
         assert mapped.phi_mmapped
-        assert registry.cached_keys == (("demo", 1, False),
-                                        ("demo", 1, True))
+        assert registry.cached_keys == (
+            ("demo", 1, False, "v2:word_major"),
+            ("demo", 1, True, "v2:word_major"))
 
 
 class TestRegistryConcurrentPublish:
