@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import resource
+import sys
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping
@@ -69,7 +70,8 @@ def _jsonify(value: Any) -> Any:
 def record(name: str, text: str,
            metrics: Mapping[str, Any] | None = None,
            params: Mapping[str, Any] | None = None,
-           backend: str | None = None) -> None:
+           backend: str | None = None,
+           telemetry: Mapping[str, Any] | None = None) -> None:
     """Print a bench's table and persist it under benchmarks/results/.
 
     ``metrics`` are the quantities the bench asserts on (its perf/quality
@@ -87,11 +89,21 @@ def record(name: str, text: str,
     memory trajectory alongside the throughput one.  It sits at the
     payload top level, not under ``metrics``, so throughput diffing
     ignores it; ``compare.py --memory-threshold`` gates on it.
+
+    ``telemetry`` optionally attaches an
+    ``InMemoryRecorder.snapshot()``-style dict at the payload top level
+    (like ``peak_rss_bytes``): a per-run breakdown of where time and
+    work went, for humans and dashboards.  Throughput diffing only
+    reads ``metrics``, so the snapshot never affects the compare gate.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    # ru_maxrss is kilobytes on Linux.
-    peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    # ru_maxrss is kilobytes on Linux but bytes on macOS (the BSD
+    # getrusage lineage) — an unscaled read would inflate mac results
+    # 1024x and trip every cross-platform memory gate.
+    rss_scale = 1 if sys.platform == "darwin" else 1024
+    peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss \
+        * rss_scale
     payload = {
         "schema": RESULTS_SCHEMA,
         "schema_version": RESULTS_SCHEMA_VERSION,
@@ -101,6 +113,8 @@ def record(name: str, text: str,
         "metrics": _jsonify(dict(metrics or {})),
         "params": _jsonify(dict(params or {})),
     }
+    if telemetry is not None:
+        payload["telemetry"] = _jsonify(dict(telemetry))
     (RESULTS_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n{text}\n")

@@ -44,6 +44,14 @@ additionally fails the gate when a bench's peak RSS *grew* by more
 than that fraction; pairs where either side predates the stamp are
 skipped.  The memory gate is opt-in because RSS is even noisier than
 wall-clock (allocator reuse, import order) — use a generous threshold.
+
+``--json <path>`` additionally writes the verdicts as machine-readable
+JSON (schema ``repro.benchmarks/compare``: per-metric
+``ok``/``regressed`` rows with both values and the ratio, skipped
+results with their reasons, the memory rows when gated, and the exit
+code) so CI consumes the gate structurally instead of parsing stdout.
+The file is written on every outcome that reaches comparison — pass,
+regression, and the no-comparable-metrics exit 2.
 """
 
 from __future__ import annotations
@@ -192,6 +200,44 @@ def memory_comparisons(baseline_dir: Path, fresh_dir: Path
     return rows
 
 
+#: Schema of the ``--json`` report; bump on layout changes.
+COMPARE_SCHEMA = "repro.benchmarks/compare"
+COMPARE_SCHEMA_VERSION = 1
+
+
+def build_report(comparisons: list[Comparison],
+                 regressions: list[Comparison],
+                 skipped: list[tuple[str, str]],
+                 memory: list[Comparison],
+                 memory_regressions: list[Comparison],
+                 threshold: float,
+                 memory_threshold: float | None,
+                 exit_code: int) -> dict:
+    """The machine-readable verdict structure behind ``--json``."""
+    return {
+        "schema": COMPARE_SCHEMA,
+        "schema_version": COMPARE_SCHEMA_VERSION,
+        "threshold": threshold,
+        "memory_threshold": memory_threshold,
+        "verdicts": [
+            {"bench": c.bench, "metric": c.metric,
+             "baseline": c.baseline, "fresh": c.fresh,
+             "ratio": c.ratio,
+             "verdict": "regressed" if c in regressions else "ok"}
+            for c in comparisons],
+        "skipped": [{"name": name, "reason": reason}
+                    for name, reason in skipped],
+        "memory": [
+            {"bench": c.bench, "metric": c.metric,
+             "baseline": c.baseline, "fresh": c.fresh,
+             "ratio": c.ratio,
+             "verdict": ("regressed" if c in memory_regressions
+                         else "ok")}
+            for c in memory],
+        "exit_code": exit_code,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when fresh bench throughput regresses vs the "
@@ -211,6 +257,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="also fail when a bench's peak_rss_bytes "
                              "grew by more than this fraction "
                              "(default: memory does not gate)")
+    parser.add_argument("--json", type=Path, default=None,
+                        dest="json_path", metavar="PATH",
+                        help="also write the verdicts as "
+                             "machine-readable JSON to PATH")
     args = parser.parse_args(argv)
     if not args.baseline.is_dir():
         print(f"baseline directory {args.baseline} does not exist",
@@ -221,14 +271,34 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     comparisons, skipped = compare_dirs(args.baseline, args.fresh)
+    regressions = [c for c in comparisons
+                   if c.regressed(args.threshold)]
+    memory: list[Comparison] = []
+    memory_regressions: list[Comparison] = []
+    if comparisons and args.memory_threshold is not None:
+        memory = memory_comparisons(args.baseline, args.fresh)
+        memory_regressions = [
+            c for c in memory
+            if c.ratio > 1.0 + args.memory_threshold]
+    if not comparisons:
+        exit_code = 2
+    elif regressions or memory_regressions:
+        exit_code = 1
+    else:
+        exit_code = 0
+    if args.json_path is not None:
+        report = build_report(comparisons, regressions, skipped,
+                              memory, memory_regressions,
+                              args.threshold, args.memory_threshold,
+                              exit_code)
+        args.json_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
     if not comparisons:
         for name, reason in skipped:
             print(f"{name}: skipped ({reason})", file=sys.stderr)
         print("no comparable throughput metrics found — check the "
               "directories", file=sys.stderr)
-        return 2
-    regressions = [c for c in comparisons
-                   if c.regressed(args.threshold)]
+        return exit_code
     width = max(len(f"{c.bench}:{c.metric}") for c in comparisons)
     for comparison in comparisons:
         flag = "REGRESSED" if comparison in regressions else "ok"
@@ -238,30 +308,24 @@ def main(argv: list[str] | None = None) -> int:
               f"x{comparison.ratio:.3f}  {flag}")
     for name, reason in skipped:
         print(f"{name}: skipped ({reason})")
-    memory_regressions: list[Comparison] = []
-    if args.memory_threshold is not None:
-        memory = memory_comparisons(args.baseline, args.fresh)
-        memory_regressions = [
-            c for c in memory
-            if c.ratio > 1.0 + args.memory_threshold]
-        for comparison in memory:
-            flag = ("REGRESSED" if comparison in memory_regressions
-                    else "ok")
-            print(f"{comparison.bench}:peak_rss  "
-                  f"base {comparison.baseline / 2**20:>9.1f}M  "
-                  f"fresh {comparison.fresh / 2**20:>9.1f}M  "
-                  f"x{comparison.ratio:.3f}  {flag}")
+    for comparison in memory:
+        flag = ("REGRESSED" if comparison in memory_regressions
+                else "ok")
+        print(f"{comparison.bench}:peak_rss  "
+              f"base {comparison.baseline / 2**20:>9.1f}M  "
+              f"fresh {comparison.fresh / 2**20:>9.1f}M  "
+              f"x{comparison.ratio:.3f}  {flag}")
     if regressions:
         print(f"\n{len(regressions)} throughput metric(s) regressed "
               f"more than {args.threshold:.0%}", file=sys.stderr)
-        return 1
+        return exit_code
     if memory_regressions:
         print(f"\n{len(memory_regressions)} bench(es) grew peak RSS "
               f"more than {args.memory_threshold:.0%}", file=sys.stderr)
-        return 1
+        return exit_code
     print(f"\nall {len(comparisons)} throughput metrics within "
           f"{args.threshold:.0%} of baseline")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,87 @@
+"""Telemetry overhead gate: a live recorder must be (nearly) free.
+
+Regenerates: recorder-off vs recorder-on docs/sec of a
+:class:`repro.serving.FoldInEngine` folding in a B=2000 query-document
+workload on the sparse lane, interleaved best-of-repeats so machine
+noise hits both sides alike (:func:`repro.experiments
+.run_telemetry_overhead`).
+
+The instrumentation contract this gate enforces:
+
+* recorder **off** (the default) costs one pointer comparison per
+  batch — the off-side throughput IS the engine's plain throughput;
+* recorder **on** (a live :class:`repro.telemetry.InMemoryRecorder`)
+  stays within ``MAX_OVERHEAD`` of off, because fold-in instruments
+  per *batch*, not per token or per document;
+* theta is **bit-identical** on vs off — recording never touches the
+  draw stream.
+
+The bench record carries the live recorder's final ``snapshot()`` under
+the payload's top-level ``"telemetry"`` key (ignored by
+``benchmarks/compare.py`` throughput diffing) — the machine-readable
+per-run breakdown of batches, documents, tokens and batch-latency
+quantiles behind the measured numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _shared import record
+
+from repro.experiments import (format_telemetry_overhead,
+                               run_telemetry_overhead)
+
+#: Tolerated throughput loss with a live recorder attached.
+MAX_OVERHEAD = 0.05
+
+NUM_DOCUMENTS = 2000
+DOCUMENT_LENGTH = 40
+FOLDIN_ITERATIONS = 5
+REPEATS = 3
+
+
+def test_bench_telemetry_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_telemetry_overhead(num_documents=NUM_DOCUMENTS,
+                                       document_length=DOCUMENT_LENGTH,
+                                       foldin_iterations=FOLDIN_ITERATIONS,
+                                       repeats=REPEATS, seed=0),
+        rounds=1, iterations=1)
+    record(
+        "telemetry_overhead", format_telemetry_overhead(result),
+        metrics={
+            "docs_per_second": {"off": result.docs_per_second_off,
+                                "on": result.docs_per_second_on},
+            "overhead_ratio": result.overhead_ratio,
+            "identical": result.identical,
+        },
+        params={
+            "num_topics": result.num_topics,
+            "num_documents": result.num_documents,
+            "document_length": result.document_length,
+            "foldin_iterations": result.foldin_iterations,
+            "mode": result.mode,
+            "repeats": result.repeats,
+            "max_overhead": MAX_OVERHEAD,
+        },
+        telemetry=result.snapshot)
+
+    assert np.isfinite(result.docs_per_second_off) \
+        and result.docs_per_second_off > 0
+    # Recording must never change a single sampled bit.
+    assert result.identical
+    # The gate: a live recorder costs at most MAX_OVERHEAD throughput.
+    assert result.overhead_ratio >= 1.0 - MAX_OVERHEAD, (
+        f"live recorder costs "
+        f"{(1 - result.overhead_ratio):.1%} throughput "
+        f"(gate: <= {MAX_OVERHEAD:.0%})")
+    # And it actually recorded the run: one histogram entry per batch,
+    # every document and token accounted for.
+    counters = result.snapshot["counters"]
+    assert counters["serving.foldin.documents"] == NUM_DOCUMENTS
+    assert counters["serving.foldin.tokens"] \
+        == NUM_DOCUMENTS * DOCUMENT_LENGTH
+    latency = result.snapshot["histograms"][
+        f"serving.foldin.batch_seconds{{mode={result.mode}}}"]
+    assert latency["count"] >= 1
+    assert 0 < latency["p50"] <= latency["p99"]

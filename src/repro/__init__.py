@@ -23,6 +23,12 @@ Serving
     :func:`~repro.serving.load_model`,
     :class:`~repro.serving.ModelRegistry` and
     :class:`~repro.serving.InferenceSession`.
+Telemetry
+    Counters, latency histograms and span traces in
+    :mod:`repro.telemetry`: pass an
+    :class:`~repro.telemetry.InMemoryRecorder` as ``recorder=`` to any
+    sampler/serving constructor; ``None`` (default) records nothing at
+    zero overhead.
 """
 
 from repro.core import (BijectiveSourceLDA, MixtureSourceLDA,
@@ -34,6 +40,8 @@ from repro.knowledge import (KnowledgeSource, SyntheticReuters,
 from repro.models import CTM, EDA, LDA, FittedTopicModel, TopicModel
 from repro.serving import (InferenceSession, ModelRegistry, load_model,
                            save_model)
+from repro.telemetry import (InMemoryRecorder, JsonlTraceWriter,
+                             NullRecorder, Recorder)
 from repro.text import Corpus, Document, Tokenizer, Vocabulary
 
 __version__ = "1.0.0"
@@ -45,11 +53,15 @@ __all__ = [
     "Document",
     "EDA",
     "FittedTopicModel",
+    "InMemoryRecorder",
     "InferenceSession",
+    "JsonlTraceWriter",
     "KnowledgeSource",
     "LDA",
     "MixtureSourceLDA",
     "ModelRegistry",
+    "NullRecorder",
+    "Recorder",
     "SmoothingFunction",
     "SourceLDA",
     "SourcePrior",

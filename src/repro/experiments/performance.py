@@ -996,3 +996,109 @@ def format_scaling(result: ScalingResult) -> str:
     verdict = (f"single-thread time linear in B: "
                f"{result.is_linear_in_topics()}")
     return table + "\n" + verdict
+
+
+@dataclass
+class TelemetryOverhead:
+    """Recorder-on vs recorder-off fold-in throughput on one workload."""
+
+    docs_per_second_off: float
+    docs_per_second_on: float
+    identical: bool
+    """Bit-identical theta recorder-on vs off on the same seed."""
+    snapshot: dict
+    """The live recorder's final ``snapshot()`` (one timed run's worth
+    of counters/histograms — stamped into the bench record)."""
+    num_topics: int
+    num_documents: int
+    document_length: int
+    foldin_iterations: int
+    mode: str
+    repeats: int
+
+    @property
+    def overhead_ratio(self) -> float:
+        """``on / off`` throughput: 1.0 = recording is free, 0.95 =
+        5% throughput lost to the live recorder."""
+        return self.docs_per_second_on / self.docs_per_second_off
+
+
+def run_telemetry_overhead(num_topics: int = 50,
+                           vocab_size: int = 2000,
+                           num_documents: int = 2000,
+                           document_length: int = 40,
+                           foldin_iterations: int = 5,
+                           mode: str = "sparse",
+                           repeats: int = 3,
+                           seed: int = 0) -> TelemetryOverhead:
+    """Measure what a live :class:`~repro.telemetry.InMemoryRecorder`
+    costs on a batched fold-in workload.
+
+    Two engines over the same random-Dirichlet phi — one with the
+    default null recorder, one with a live in-memory recorder — fold in
+    the same ``num_documents`` Zipf-drawn query documents on the same
+    seed.  Runs are **interleaved best-of-``repeats``** (off, on, off,
+    on, ...) so machine noise hits both sides alike, and the thetas are
+    compared bit for bit: instrumentation must never touch the draw
+    stream.  Fold-in instrumentation is per *batch*, so the measured
+    overhead is a handful of recorder calls per ``batch_size``
+    documents — the property the <= 5% gate in
+    ``benchmarks/test_bench_telemetry_overhead.py`` enforces.
+    """
+    from repro.serving import FoldInEngine
+    from repro.telemetry import InMemoryRecorder
+
+    rng = ensure_rng(seed)
+    phi = rng.dirichlet(np.full(vocab_size, 0.05), size=num_topics)
+    pmf = zipf_probabilities(vocab_size)
+    documents = [rng.choice(vocab_size, size=document_length, p=pmf)
+                 .astype(np.int64) for _ in range(num_documents)]
+
+    alpha = default_alpha(num_topics)
+    engine_off = FoldInEngine(phi, alpha, iterations=foldin_iterations,
+                              mode=mode, validate=False)
+    recorder = InMemoryRecorder()
+    engine_on = FoldInEngine(phi, alpha, iterations=foldin_iterations,
+                             mode=mode, validate=False,
+                             recorder=recorder)
+
+    warm = documents[:64]
+    theta_off = theta_on = None
+    best_off = best_on = float("inf")
+    for engine in (engine_off, engine_on):  # buffers, tables, caches
+        engine.theta(warm, rng=ensure_rng(seed))
+    for _ in range(repeats):
+        recorder.reset()  # keep the snapshot to one timed run's worth
+        start = perf_counter()
+        theta_off = engine_off.theta(documents, rng=ensure_rng(seed))
+        best_off = min(best_off, perf_counter() - start)
+        start = perf_counter()
+        theta_on = engine_on.theta(documents, rng=ensure_rng(seed))
+        best_on = min(best_on, perf_counter() - start)
+
+    return TelemetryOverhead(
+        docs_per_second_off=num_documents / best_off,
+        docs_per_second_on=num_documents / best_on,
+        identical=bool(np.array_equal(theta_off, theta_on)),
+        snapshot=recorder.snapshot(),
+        num_topics=num_topics,
+        num_documents=num_documents,
+        document_length=document_length,
+        foldin_iterations=foldin_iterations,
+        mode=mode,
+        repeats=repeats)
+
+
+def format_telemetry_overhead(result: TelemetryOverhead) -> str:
+    table = format_table(
+        ["recorder", "docs/sec"],
+        [["off (NullRecorder)", result.docs_per_second_off],
+         ["on (InMemoryRecorder)", result.docs_per_second_on]],
+        title=(f"Telemetry overhead - fold-in, T={result.num_topics}, "
+               f"{result.num_documents} docs x "
+               f"{result.document_length} tokens, "
+               f"{result.foldin_iterations} sweeps, mode={result.mode}, "
+               f"best of {result.repeats}"))
+    verdict = (f"throughput ratio on/off: {result.overhead_ratio:.3f}  "
+               f"bit-identical theta: {result.identical}")
+    return table + "\n" + verdict

@@ -38,7 +38,7 @@ def log_likelihood_importance_sampling(
     For each document: ``log p(w_d) ~= logmeanexp_s sum_n log
     (theta_s . phi[:, w_n])`` with ``theta_s ~ Dir(alpha)``.
     """
-    phi = _validate_phi(phi)
+    phi = _validate_phi(phi, stacklevel=3)
     if alpha <= 0:
         raise ValueError(f"alpha must be positive, got {alpha}")
     if num_samples < 1:
@@ -67,6 +67,11 @@ def perplexity_importance_sampling(
     tokens = corpus.num_tokens
     if tokens == 0:
         raise ValueError("cannot compute perplexity of an empty corpus")
+    # Validate here so a renormalization warning names the caller of
+    # *this* function (the inner validate would name this module); the
+    # re-check inside log_likelihood_importance_sampling then passes
+    # silently on the already-normalized matrix.
+    phi = _validate_phi(phi, stacklevel=3)
     log_p = log_likelihood_importance_sampling(phi, corpus, alpha,
                                                num_samples, rng)
     return float(np.exp(-log_p / tokens))
@@ -90,7 +95,12 @@ def heldout_gibbs_theta(phi: np.ndarray, corpus: Corpus, alpha: float,
     per-token loop on any fixed seed (pinned by
     ``tests/test_serving.py``).
     """
-    engine = FoldInEngine(phi, alpha, iterations=iterations, mode="exact")
+    # Validate here (naming the caller's line if phi drifted) and build
+    # the engine on the validated matrix directly, skipping its second
+    # O(T * V) pass.
+    phi = _validate_phi(phi, stacklevel=3)
+    engine = FoldInEngine(phi, alpha, iterations=iterations,
+                          mode="exact", validate=False)
     return engine.theta([doc.word_ids for doc in corpus],
                         rng=ensure_rng(rng))
 
@@ -103,7 +113,7 @@ def perplexity_heldout_gibbs(phi: np.ndarray, corpus: Corpus, alpha: float,
     tokens = corpus.num_tokens
     if tokens == 0:
         raise ValueError("cannot compute perplexity of an empty corpus")
-    phi = _validate_phi(phi)
+    phi = _validate_phi(phi, stacklevel=3)
     # phi is already validated; build the fold-in engine directly so the
     # likelihood read-off below shares the same (possibly renormalized)
     # matrix without a second O(T * V) validation pass.

@@ -203,3 +203,14 @@ class AliasSweepEngine:
         if counts[0] == 0:
             return None
         return float(counts[1] / counts[0])
+
+    @property
+    def mh_totals(self) -> tuple[int, int, int] | None:
+        """Cumulative ``(proposals, accepts, rebuilds)`` of the alias
+        lane, or ``None`` on fallback.  The sampler's telemetry diffs
+        these across sweeps into per-sweep counter increments."""
+        if self._path is None:
+            return None
+        table = self._path.alias_table()
+        return (int(table.mh_counts[0]), int(table.mh_counts[1]),
+                int(table.rebuilds[0]))

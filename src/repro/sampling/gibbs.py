@@ -53,6 +53,7 @@ from repro.sampling.runtime import TokenLoopBackend, resolve_backend
 from repro.sampling.scans import ScanStrategy, SerialScan
 from repro.sampling.sparse_engine import SparseKernelPath, SparseSweepEngine
 from repro.sampling.state import GibbsState
+from repro.telemetry import NULL_RECORDER, Recorder, ensure_recorder
 
 #: Valid values for the sampler's ``engine`` argument.
 ENGINES = ("fast", "sparse", "alias", "reference")
@@ -186,6 +187,7 @@ class CollapsedGibbsSampler:
                  engine: str = "fast",
                  backend: str | TokenLoopBackend = "auto",
                  rebuild_every: int | str = DEFAULT_REBUILD_EVERY,
+                 recorder: Recorder | None = None,
                  ) -> None:
         if kernel.state is not state:
             raise ValueError("kernel is bound to a different state")
@@ -200,6 +202,10 @@ class CollapsedGibbsSampler:
         self.engine = engine
         self.backend = resolved.name
         self.timings = SweepTimings()
+        # Telemetry sink; NULL_RECORDER by default.  Instrumentation
+        # reads counts and clocks only — never the RNG stream — so
+        # sweeps are draw-for-draw identical recorder-on vs off.
+        self.recorder = ensure_recorder(recorder)
         if engine == "fast":
             self._sweep_engine = FastSweepEngine(state, kernel, rng,
                                                  scan=self.scan,
@@ -226,10 +232,30 @@ class CollapsedGibbsSampler:
     def sweep(self) -> None:
         """One full pass reassigning every token (the inner loops of
         Algorithm 1), executed by the selected engine."""
-        if self._sweep_engine is not None:
-            self._sweep_engine.sweep()
-        else:
-            self._sweep_reference()
+        recorder = self.recorder
+        if recorder is NULL_RECORDER:
+            if self._sweep_engine is not None:
+                self._sweep_engine.sweep()
+            else:
+                self._sweep_reference()
+            return
+        mh_before = getattr(self._sweep_engine, "mh_totals", None)
+        with recorder.span("train.sweep_seconds", engine=self.engine):
+            if self._sweep_engine is not None:
+                self._sweep_engine.sweep()
+            else:
+                self._sweep_reference()
+        recorder.count("train.sweeps", engine=self.engine)
+        recorder.count("train.tokens_sampled", self.state.num_tokens,
+                       engine=self.engine)
+        mh_after = getattr(self._sweep_engine, "mh_totals", None)
+        if mh_before is not None and mh_after is not None:
+            recorder.count("train.mh_proposals",
+                           mh_after[0] - mh_before[0])
+            recorder.count("train.mh_accepted",
+                           mh_after[1] - mh_before[1])
+            recorder.count("train.alias_rebuilds",
+                           mh_after[2] - mh_before[2])
 
     def _sweep_reference(self) -> None:
         """The literal per-token loop of Algorithm 1 (exactness oracle)."""

@@ -59,7 +59,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, ClassVar
 
 import numpy as np
@@ -366,6 +366,10 @@ class AliasMHTable:
     doc_starts: list
     doc_lengths: list
     doc_z: np.ndarray
+    # (1,) count of stale word-component rebuilds (array so compiled
+    # lanes and in-place accumulation share one cell).
+    rebuilds: np.ndarray = field(
+        default_factory=lambda: np.zeros(1, dtype=np.int64))
     # Per-word stale sparse component (None in eda mode): stale support
     # topics (sorted), their frozen weights, the running cumsum used by
     # proposal draws, the component mass, and the per-word draw counter
@@ -1336,6 +1340,7 @@ def rebuild_alias_word(table: AliasMHTable, state, word: int) -> None:
     topic being resampled (a prerequisite for the fixed-proposal MH
     test to be exact).
     """
+    table.rebuilds[0] += 1
     nw_row = state.nw[word]
     support = np.flatnonzero(nw_row)
     if table.mode == "lda":

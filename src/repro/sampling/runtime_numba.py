@@ -788,7 +788,7 @@ def _alias_lda_chunk(words, doc_ids, old_topics, uniforms, z, start,
     per token, coins consumed on self-proposals, rebuilds draw no RNG —
     the same stream pin as the interpreted lane.  ``int_state`` carries
     ``[current_doc, position, doc_len]``; ``mh_out`` accumulates
-    ``[proposals, accepts]``."""
+    ``[proposals, accepts, rebuilds]``."""
     num_topics = nt.shape[0]
     alpha_times_t = alpha * num_topics
     current_doc = int_state[0]
@@ -796,6 +796,7 @@ def _alias_lda_chunk(words, doc_ids, old_topics, uniforms, z, start,
     doc_len = int_state[2]
     proposals = 0
     accepts = 0
+    rebuilds = 0
     for i in range(words.shape[0]):
         word = words[i]
         doc = doc_ids[i]
@@ -820,6 +821,7 @@ def _alias_lda_chunk(words, doc_ids, old_topics, uniforms, z, start,
         # stops being exact.
         base = sup_ptr[word]
         if draws_since[word] >= rebuild_every:
+            rebuilds += 1
             count = 0
             acc = 0.0
             for t in range(num_topics):
@@ -917,6 +919,7 @@ def _alias_lda_chunk(words, doc_ids, old_topics, uniforms, z, start,
     int_state[2] = doc_len
     mh_out[0] += proposals
     mh_out[1] += accepts
+    mh_out[2] += rebuilds
 
 
 def _word_topic_csr(state):
@@ -1106,7 +1109,7 @@ class NumbaBackend(PythonBackend):
         dense_accept = np.asarray(table.dense_accept)
         dense_alias = np.asarray(table.dense_alias, dtype=np.int64)
         int_state = np.array([-1, 0, 0], dtype=np.int64)
-        mh_out = np.zeros(2, dtype=np.int64)
+        mh_out = np.zeros(3, dtype=np.int64)
         try:
             for start in range(0, state.num_tokens, chunk):
                 stop = min(start + chunk, state.num_tokens)
@@ -1125,6 +1128,7 @@ class NumbaBackend(PythonBackend):
         finally:
             table.mh_counts[0] += mh_out[0]
             table.mh_counts[1] += mh_out[1]
+            table.rebuilds[0] += mh_out[2]
 
     def sweep_dense(self, engine) -> None:
         path = engine._path

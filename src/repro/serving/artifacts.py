@@ -519,7 +519,8 @@ def _read_shard_map(manifest: dict[str, Any], phi_storage: dict,
                       masses=masses, checksums=checksums)
 
 
-def load_model(path: str | Path, mmap_phi: bool = False) -> LoadedModel:
+def load_model(path: str | Path, mmap_phi: bool = False, *,
+               stacklevel: int = 2) -> LoadedModel:
     """Reload an artifact written by :func:`save_model`.
 
     ``phi``/``theta``/assignments/labels/metadata are restored bit-exact
@@ -539,6 +540,12 @@ def load_model(path: str | Path, mmap_phi: bool = False) -> LoadedModel:
     read-only on first touch, so loading never materializes the matrix
     and serving maps only the shards queries actually reference
     (materializing via ``np.asarray(model.phi)`` stays bit-exact).
+
+    ``stacklevel`` positions the v1 mmap-fallback warning (standard
+    :func:`warnings.warn` convention counted from this function; the
+    default 2 names the direct caller).  Wrappers loading on a caller's
+    behalf — ``ModelRegistry.load`` — pass 3 so the warning lands on
+    the caller's line.
     """
     path = Path(path)
     manifest = read_manifest(path)
@@ -572,7 +579,7 @@ def load_model(path: str | Path, mmap_phi: bool = False) -> LoadedModel:
             f"archive (schema v1), which cannot be memory-mapped; "
             f"loading phi into memory instead — re-save with "
             f"mmap_phi=True for a mappable artifact",
-            RuntimeWarning, stacklevel=2)
+            RuntimeWarning, stacklevel=stacklevel)
         mmap_phi = False
     externalized = phi_path is not None or sharded is not None
     required = tuple(key for key in _MODEL_ARRAY_KEYS

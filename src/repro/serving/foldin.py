@@ -94,6 +94,7 @@ from repro.sampling.rng import ensure_rng
 from repro.sampling.runtime import (FoldInTable, TokenLoopBackend,
                                     TopicSet, resolve_backend)
 from repro.serving.sharding import ShardedPhi, TransposedShardedPhi
+from repro.telemetry import NULL_RECORDER, Recorder, ensure_recorder
 
 #: Fold-in sampling lanes.
 MODES = ("exact", "sparse")
@@ -105,7 +106,7 @@ PHI_SUM_ATOL = 1e-6
 PHI_RENORM_ATOL = 1e-3
 
 
-def validate_phi(phi: np.ndarray) -> np.ndarray:
+def validate_phi(phi: np.ndarray, *, stacklevel: int = 2) -> np.ndarray:
     """Check and return ``phi`` as a float64 ``(T, V)`` stochastic matrix.
 
     Rows must be non-negative and sum to 1 within ``PHI_SUM_ATOL``; rows
@@ -113,6 +114,12 @@ def validate_phi(phi: np.ndarray) -> np.ndarray:
     signature) are renormalized with a warning.  Shared by the fold-in
     engine and every perplexity estimator in
     :mod:`repro.metrics.perplexity`.
+
+    ``stacklevel`` positions the renormalization warning and follows
+    the :func:`warnings.warn` convention counted from this function:
+    the default 2 points at the direct caller; wrappers validating on a
+    caller's behalf pass 3 so the warning lands on *their* caller's
+    line.
     """
     phi = np.asarray(phi, dtype=np.float64)
     if phi.ndim != 2:
@@ -128,7 +135,7 @@ def validate_phi(phi: np.ndarray) -> np.ndarray:
             f"{PHI_SUM_ATOL:g} (max |sum - 1| = "
             f"{float(np.abs(sums - 1.0).max()):.2e}, consistent with a "
             "float32 round-trip); renormalizing rows",
-            RuntimeWarning, stacklevel=3)
+            RuntimeWarning, stacklevel=stacklevel)
         phi = phi / sums[:, np.newaxis]
     return phi
 
@@ -172,9 +179,14 @@ class _ShardedFoldInTables:
     lock-free.
     """
 
-    def __init__(self, sharded: ShardedPhi, alpha: float) -> None:
+    def __init__(self, sharded: ShardedPhi, alpha: float,
+                 owner: "FoldInEngine | None" = None) -> None:
         self._sharded = sharded
         self._alpha = alpha
+        # The owning engine, read (not captured) at build time so each
+        # shard-table construction lands on the engine's *current*
+        # recorder — workers reset theirs to NULL after fork.
+        self._owner = owner
         self._tables: list[tuple[np.ndarray, np.ndarray, np.ndarray]
                            | None] = [None] * sharded.num_shards
         self._lock = threading.Lock()
@@ -204,6 +216,9 @@ class _ShardedFoldInTables:
             accept, alias = build_alias_rows(block)
             tables = (prior_mass, accept, alias)
             self._tables[index] = tables
+            if self._owner is not None:
+                self._owner.recorder.count(
+                    "serving.foldin.shard_table_builds")
             return tables
 
     def ensure(self, shard_ids: Sequence[int]) -> None:
@@ -321,13 +336,25 @@ class FoldInEngine:
         :class:`~repro.sampling.runtime.TokenLoopBackend` also passes
         through.  The resolved name is exposed as
         :attr:`backend_name` (workers rebuild engines from it).
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder`; :meth:`theta`
+        records per-batch latency, document/token counts, shard
+        touches, the ``mapped_bytes`` gauge and lazy shard-table
+        builds.  ``None`` (default) runs with the zero-overhead null
+        recorder.  Recording never draws randomness, so theta is
+        bit-identical with and without one.  The attribute is the one
+        piece of mutable engine state — worker processes reset it to
+        the null recorder so a forked engine never writes into the
+        parent's (locked) sink; all other state stays frozen and
+        share-safe.
     """
 
     def __init__(self, phi: np.ndarray, alpha: float,
                  iterations: int = 30, mode: str = "exact",
                  batch_size: int = 64,
                  validate: bool = True,
-                 backend: str | TokenLoopBackend = "auto") -> None:
+                 backend: str | TokenLoopBackend = "auto",
+                 recorder: Recorder | None = None) -> None:
         if alpha <= 0:
             raise ValueError(f"alpha must be positive, got {alpha}")
         if iterations < 1:
@@ -338,9 +365,14 @@ class FoldInEngine:
         if batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {batch_size}")
+        # Telemetry sink (NULL_RECORDER by default); mutable on purpose
+        # so worker processes can neutralize an inherited recorder.
+        # Assigned before table construction: lazy shard-table builds
+        # read it through their owner reference.
+        self.recorder = ensure_recorder(recorder)
         sharded = _as_sharded(phi)
         if sharded is None:
-            phi = validate_phi(phi) if validate \
+            phi = validate_phi(phi, stacklevel=3) if validate \
                 else np.asarray(phi, dtype=np.float64)
             num_topics, vocab_size = phi.shape
         else:
@@ -392,7 +424,8 @@ class FoldInEngine:
             # touch of each shard so cold start maps nothing and a
             # batch's table-build cost tracks its shard working set.
             self._sparse_tables = _ShardedFoldInTables(phi_by_word,
-                                                       self.alpha)
+                                                       self.alpha,
+                                                       owner=self)
             self._prior_mass = self._sparse_tables.prior_mass
             self._alias_accept = self._sparse_tables.alias_accept
             self._alias_topic = self._sparse_tables.alias_topic
@@ -484,34 +517,65 @@ class FoldInEngine:
         documents = self.check_documents(documents)
         if scratch is None:
             scratch = self.new_scratch()
+        recorder = self.recorder
         theta = np.empty((len(documents), self.num_topics))
         for start in range(0, len(documents), self.batch_size):
             batch = documents[start:start + self.batch_size]
-            if self._sharded is not None and self._sharded.num_shards > 1:
-                # Map exactly this batch's shard working set up front
-                # (and build its sparse tables), instead of faulting
-                # shards in token by token mid-sampling.  Single-shard
-                # engines already run the dense fast path; scanning
-                # every batch's word ids would be pure overhead there.
-                occupied = [doc for doc in batch if doc.shape[0]]
-                if occupied:
-                    self.touch(np.concatenate(occupied))
-            if self.mode == "exact":
-                # Only the exact lane gathers (Nd, T) probability
-                # blocks; sizing the buffer in sparse mode would pin
-                # longest-doc * T floats nothing reads.
-                longest = max((doc.shape[0] for doc in batch), default=0)
-                scratch.ensure_gather(longest)
-            for offset, doc in enumerate(batch):
-                if doc.shape[0] == 0:
-                    theta[start + offset] = 1.0 / self.num_topics
-                elif self.mode == "exact":
-                    theta[start + offset] = \
-                        self._theta_exact(doc, rng, scratch)
-                else:
-                    theta[start + offset] = \
-                        self._theta_sparse(doc, rng, scratch)
+            if recorder is NULL_RECORDER:
+                self._theta_batch(batch, theta, start, rng, scratch)
+                continue
+            # Instrumentation is per batch (a handful of recorder calls
+            # per `batch_size` documents), never per token — the <= 5%
+            # overhead gate in benchmarks/test_bench_telemetry_overhead
+            # rides on this granularity.
+            with recorder.span("serving.foldin.batch_seconds",
+                               mode=self.mode):
+                shards = self._theta_batch(batch, theta, start, rng,
+                                           scratch)
+            recorder.count("serving.foldin.documents", len(batch))
+            recorder.count("serving.foldin.tokens",
+                           int(sum(doc.shape[0] for doc in batch)))
+            if shards:
+                recorder.count("serving.foldin.shard_touches",
+                               len(shards))
+            if self._sharded is not None:
+                recorder.gauge("serving.foldin.mapped_bytes",
+                               self._sharded.mapped_bytes)
         return theta
+
+    def _theta_batch(self, batch: Sequence[np.ndarray],
+                     out: np.ndarray, start: int,
+                     rng: np.random.Generator,
+                     scratch: FoldInScratch) -> tuple[int, ...]:
+        """Fold one batch into ``out[start:start + len(batch)]``;
+        returns the shard indices the batch touched (empty when
+        unsharded)."""
+        shards: tuple[int, ...] = ()
+        if self._sharded is not None and self._sharded.num_shards > 1:
+            # Map exactly this batch's shard working set up front
+            # (and build its sparse tables), instead of faulting
+            # shards in token by token mid-sampling.  Single-shard
+            # engines already run the dense fast path; scanning
+            # every batch's word ids would be pure overhead there.
+            occupied = [doc for doc in batch if doc.shape[0]]
+            if occupied:
+                shards = self.touch(np.concatenate(occupied))
+        if self.mode == "exact":
+            # Only the exact lane gathers (Nd, T) probability
+            # blocks; sizing the buffer in sparse mode would pin
+            # longest-doc * T floats nothing reads.
+            longest = max((doc.shape[0] for doc in batch), default=0)
+            scratch.ensure_gather(longest)
+        for offset, doc in enumerate(batch):
+            if doc.shape[0] == 0:
+                out[start + offset] = 1.0 / self.num_topics
+            elif self.mode == "exact":
+                out[start + offset] = \
+                    self._theta_exact(doc, rng, scratch)
+            else:
+                out[start + offset] = \
+                    self._theta_sparse(doc, rng, scratch)
+        return shards
 
     def theta_document(self, word_ids: np.ndarray,
                        rng: int | np.random.Generator | None,

@@ -39,7 +39,8 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from time import perf_counter
+from typing import Any, Sequence
 
 import multiprocessing
 
@@ -48,6 +49,7 @@ import numpy as np
 from repro.sampling.rng import document_rng, ensure_seed_sequence
 from repro.serving.foldin import MODES, FoldInEngine, FoldInScratch
 from repro.serving.sharding import ShardedPhi
+from repro.telemetry import NULL_RECORDER, Recorder, ensure_recorder
 
 
 def _pool_context():
@@ -166,22 +168,38 @@ def _init_worker(engine_or_spec: FoldInEngine | EngineSpec) -> None:
     _WORKER_ENGINE = (engine_or_spec if isinstance(engine_or_spec,
                                                    FoldInEngine)
                       else engine_or_spec.build_engine())
+    # A fork-inherited engine carries the parent's recorder — whose
+    # lock may have been mid-acquire at fork, and whose metrics would
+    # land in a dead copy anyway.  Workers never record directly; their
+    # accounting flows back to the parent as plain stats dicts.
+    _WORKER_ENGINE.recorder = NULL_RECORDER
     _WORKER_SCRATCH = _WORKER_ENGINE.new_scratch()
 
 
 def _fold_shard(documents: list[np.ndarray], indices: list[int],
-                call_seed: np.random.SeedSequence) -> np.ndarray:
+                call_seed: np.random.SeedSequence
+                ) -> tuple[np.ndarray, dict[str, Any]]:
     """Fold one shard of (already validated) documents in a worker.
 
     ``indices`` are the documents' positions in the full batch — the
     only thing their RNG streams are keyed by, which is what makes the
     shard assignment irrelevant to the result.
+
+    Returns ``(rows, stats)`` where ``stats`` is this task's
+    utilization accounting — ``{"worker": pid, "docs", "tokens",
+    "busy_seconds"}`` — merged by the parent into per-worker counters
+    (workers themselves never hold a live recorder).
     """
+    start = perf_counter()
     rows = np.empty((len(documents), _WORKER_ENGINE.num_topics))
+    tokens = 0
     for row, (doc, index) in enumerate(zip(documents, indices)):
         rows[row] = _WORKER_ENGINE.theta_document(
             doc, document_rng(call_seed, index), _WORKER_SCRATCH)
-    return rows
+        tokens += doc.shape[0]
+    stats = {"worker": os.getpid(), "docs": len(documents),
+             "tokens": tokens, "busy_seconds": perf_counter() - start}
+    return rows, stats
 
 
 class ParallelFoldIn:
@@ -207,15 +225,24 @@ class ParallelFoldIn:
         member.  When given (and the engine's phi actually is that
         mapping — renormalized copies disqualify), workers re-map the
         file instead of receiving a pickled copy.
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder` collecting
+        per-worker utilization (``serving.worker.{docs,tokens,
+        busy_seconds}`` keyed by worker pid), batch totals and task
+        latency.  Recorders never cross the process boundary — workers
+        return plain stats dicts and the parent merges them — so any
+        recorder (locks and all) is safe here with every pool context.
     """
 
     def __init__(self, engine: FoldInEngine, num_workers: int = 1,
-                 phi_path: str | Path | None = None) -> None:
+                 phi_path: str | Path | None = None,
+                 recorder: Recorder | None = None) -> None:
         if num_workers < 1:
             raise ValueError(
                 f"num_workers must be >= 1, got {num_workers}")
         self.engine = engine
         self.num_workers = int(num_workers)
+        self.recorder = ensure_recorder(recorder)
         if engine.sharded is not None:
             # Sharded engines ship the shard map, never the matrix: the
             # ShardedPhi pickle is a few paths + offsets, and each
@@ -324,10 +351,27 @@ class ParallelFoldIn:
         workers = min(self.num_workers, len(pending))
         if workers == 1:
             scratch = self._inline_scratch()
+            recorder = self.recorder
+            if recorder is NULL_RECORDER:
+                for index in pending:
+                    theta[index] = self.engine.theta_document(
+                        documents[index],
+                        document_rng(call_seed, index), scratch)
+                return theta
+            # Inline execution is one task run by this process: time it
+            # with the recorder's clock (injectable for deterministic
+            # tests) and merge it exactly like a worker's stats dict.
+            clock = getattr(recorder, "clock", perf_counter)
+            start_time = clock()
+            tokens = 0
             for index in pending:
                 theta[index] = self.engine.theta_document(
                     documents[index], document_rng(call_seed, index),
                     scratch)
+                tokens += documents[index].shape[0]
+            self._record_task({"worker": os.getpid(),
+                               "docs": len(pending), "tokens": tokens,
+                               "busy_seconds": clock() - start_time})
             return theta
         sharded = self.engine.sharded
         if sharded is not None and sharded.num_shards > 1:
@@ -359,9 +403,35 @@ class ParallelFoldIn:
                                    [documents[i] for i in indices],
                                    indices, call_seed)
                        for indices in shards]
+        record = self.recorder is not NULL_RECORDER
         for indices, future in zip(shards, futures):
-            theta[indices] = future.result()
+            rows, stats = future.result()
+            theta[indices] = rows
+            if record:
+                self._record_task(stats)
         return theta
+
+    def _record_task(self, stats: dict[str, Any]) -> None:
+        """Merge one task's worker-side stats into the recorder.
+
+        Per-worker series are keyed by the worker's pid — summing
+        ``serving.worker.busy_seconds`` across workers against wall
+        time gives pool utilization; the per-pid split shows balance.
+        Batch totals and the task-latency histogram are also fed here
+        so sequential and parallel serving expose the same series.
+        """
+        recorder = self.recorder
+        worker = stats["worker"]
+        recorder.count("serving.worker.docs", stats["docs"],
+                       worker=worker)
+        recorder.count("serving.worker.tokens", stats["tokens"],
+                       worker=worker)
+        recorder.count("serving.worker.busy_seconds",
+                       stats["busy_seconds"], worker=worker)
+        recorder.count("serving.foldin.documents", stats["docs"])
+        recorder.count("serving.foldin.tokens", stats["tokens"])
+        recorder.observe("serving.foldin.batch_seconds",
+                         stats["busy_seconds"], mode=self.engine.mode)
 
     # ------------------------------------------------------------------
     def warm_up(self) -> "ParallelFoldIn":

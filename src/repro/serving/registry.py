@@ -35,6 +35,7 @@ from repro.models.base import FittedTopicModel
 from repro.serving.artifacts import (ArtifactError, LoadedModel,
                                      load_model, read_manifest,
                                      save_model)
+from repro.telemetry import Recorder, ensure_recorder
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_DIR_RE = re.compile(r"^v(\d+)$")
@@ -81,14 +82,22 @@ class ModelRegistry:
     cache_size:
         Maximum number of loaded models kept in memory; least recently
         used artifacts are evicted first.  ``0`` disables caching.
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder` counting cache
+        hits/misses/evictions (``registry.cache_*``), publishes
+        (``registry.publishes``) and mmap lifecycle events
+        (``registry.mmap_opens`` / ``registry.mmap_closes``) — the
+        inputs to a cache-sizing or rollover dashboard.
     """
 
-    def __init__(self, root: str | Path, cache_size: int = 4) -> None:
+    def __init__(self, root: str | Path, cache_size: int = 4,
+                 recorder: Recorder | None = None) -> None:
         if cache_size < 0:
             raise ValueError(
                 f"cache_size must be >= 0, got {cache_size}")
         self.root = Path(root)
         self.cache_size = int(cache_size)
+        self.recorder = ensure_recorder(recorder)
         self._cache: OrderedDict[tuple[str, int, bool, str],
                                  LoadedModel] = OrderedDict()
 
@@ -211,6 +220,7 @@ class ModelRegistry:
         try:
             save_model(model, record.path, model_class=model_class,
                        mmap_phi=mmap_phi, shard_words=shard_words)
+            self.recorder.count("registry.publishes", name=name)
         except BaseException:
             # The claim is ours (exclusive mkdir) and no manifest landed,
             # so nothing can be reading it: release the version number
@@ -243,18 +253,31 @@ class ModelRegistry:
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
+            self.recorder.count("registry.cache_hits")
             return cached
+        self.recorder.count("registry.cache_misses")
         # Purge cache entries for the same (name, version, flavor) whose
         # stored fingerprint no longer matches the on-disk artifact.
         stale = [k for k in self._cache if k[:3] == key[:3]]
         for stale_key in stale:
-            self._cache.pop(stale_key).close()
-        loaded = load_model(record.path, mmap_phi=mmap_phi)
+            self._evict(self._cache.pop(stale_key))
+        loaded = load_model(record.path, mmap_phi=mmap_phi,
+                            stacklevel=3)
+        if loaded.phi_mmapped:
+            self.recorder.count("registry.mmap_opens")
         if self.cache_size > 0:
             self._cache[key] = loaded
             while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)[1].close()
+                self._evict(self._cache.popitem(last=False)[1])
         return loaded
+
+    def _evict(self, loaded: LoadedModel) -> None:
+        """Close one model leaving the cache, counting the eviction
+        (and the mmap release, when it held one)."""
+        self.recorder.count("registry.cache_evictions")
+        if loaded.phi_mmapped:
+            self.recorder.count("registry.mmap_closes")
+        loaded.close()
 
     def manifest(self, name: str, version: int | None = None) -> dict:
         """The manifest of a published model, without loading arrays."""
@@ -270,7 +293,7 @@ class ModelRegistry:
     def clear_cache(self) -> None:
         """Drop every cached model, closing their mmap handles."""
         while self._cache:
-            self._cache.popitem(last=False)[1].close()
+            self._evict(self._cache.popitem(last=False)[1])
 
     def __repr__(self) -> str:
         return (f"ModelRegistry(root={str(self.root)!r}, "

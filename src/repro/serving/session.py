@@ -36,8 +36,9 @@ import numpy as np
 
 from repro.models.base import FittedTopicModel, default_alpha
 from repro.sampling.rng import ensure_seed_sequence
-from repro.serving.foldin import MODES, FoldInEngine
+from repro.serving.foldin import MODES, FoldInEngine, validate_phi
 from repro.serving.parallel import ParallelFoldIn
+from repro.telemetry import NULL_RECORDER, Recorder, ensure_recorder
 from repro.text.tokenizer import Tokenizer
 from repro.text.vocabulary import Vocabulary
 
@@ -163,6 +164,13 @@ class InferenceSession:
         ship workers the shard *map* instead, and each worker maps only
         the shards its documents touch (out-of-core serving; see
         :mod:`repro.serving.sharding`).
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder`; shared with the
+        fold-in engine and worker-pool front so one sink collects
+        end-to-end request latency (``serving.request_seconds``),
+        request/document/token/OOV counters and per-worker utilization.
+        ``None`` (default) disables all recording at zero overhead, and
+        recording never changes inference results.
     """
 
     def __init__(self, model: FittedTopicModel, *,
@@ -175,7 +183,8 @@ class InferenceSession:
                  seed: int | np.random.SeedSequence
                  | np.random.Generator | None = None,
                  num_workers: int = 1,
-                 backend: str = "auto") -> None:
+                 backend: str = "auto",
+                 recorder: Recorder | None = None) -> None:
         wrapper = model
         model = getattr(model, "model", model)
         if not isinstance(model, FittedTopicModel):
@@ -193,15 +202,29 @@ class InferenceSession:
         self.model = model
         self.oov = oov
         self.tokenizer = tokenizer
+        self.recorder = ensure_recorder(recorder)
         self._seed = ensure_seed_sequence(seed)
         # SeedSequence.spawn mutates n_children_spawned without
         # synchronization; concurrent infer calls must not race it or
         # two calls can sample on the same child stream.
         self._seed_lock = threading.Lock()
-        self._engine = FoldInEngine(model.phi, alpha,
+        phi = model.phi
+        if isinstance(phi, np.ndarray):
+            # Validate here rather than inside the engine so a
+            # renormalization warning names the line that built the
+            # session, not library internals.  Sharded phi skips this
+            # (its stochasticity check rides the manifest's per-shard
+            # masses inside the engine, and raises rather than warns).
+            phi = validate_phi(phi, stacklevel=3)
+            validate = False
+        else:
+            validate = True
+        self._engine = FoldInEngine(phi, alpha,
                                     iterations=iterations, mode=mode,
                                     batch_size=batch_size,
-                                    backend=backend)
+                                    backend=backend,
+                                    validate=validate,
+                                    recorder=self.recorder)
         # LoadedModel wrappers of v2 artifacts carry the mappable phi
         # member path; worker processes re-map it instead of receiving
         # a pickled copy.  v3 (sharded) artifacts need no path here:
@@ -209,7 +232,8 @@ class InferenceSession:
         # ships workers the shard map.
         self._foldin = ParallelFoldIn(
             self._engine, num_workers=num_workers,
-            phi_path=getattr(wrapper, "phi_path", None))
+            phi_path=getattr(wrapper, "phi_path", None),
+            recorder=self.recorder)
 
     # ------------------------------------------------------------------
     @property
@@ -291,15 +315,23 @@ class InferenceSession:
     def infer(self, documents: Iterable[str | Sequence[str]],
               ) -> InferenceResult:
         """Fold in a batch of raw documents; returns theta + OOV stats."""
-        encoded, num_oov = self.encode(documents)
-        # One spawned child per call keeps successive calls on fresh,
-        # reproducible streams; within the call, documents are keyed by
-        # index, so num_workers/batch_size never change the bits.
-        with self._seed_lock:
-            call_seed = self._seed.spawn(1)[0]
-        theta = self._foldin.theta(encoded, seed=call_seed)
-        lengths = np.asarray([doc.shape[0] for doc in encoded],
-                             dtype=np.int64)
+        recorder = self.recorder
+        with recorder.span("serving.request_seconds"):
+            encoded, num_oov = self.encode(documents)
+            # One spawned child per call keeps successive calls on
+            # fresh, reproducible streams; within the call, documents
+            # are keyed by index, so num_workers/batch_size never
+            # change the bits.
+            with self._seed_lock:
+                call_seed = self._seed.spawn(1)[0]
+            theta = self._foldin.theta(encoded, seed=call_seed)
+            lengths = np.asarray([doc.shape[0] for doc in encoded],
+                                 dtype=np.int64)
+        if recorder is not NULL_RECORDER:
+            recorder.count("serving.requests")
+            recorder.count("serving.documents", len(encoded))
+            recorder.count("serving.tokens", int(lengths.sum()))
+            recorder.count("serving.oov_tokens", int(num_oov.sum()))
         return InferenceResult(theta=theta, num_tokens=lengths,
                                num_oov=num_oov)
 

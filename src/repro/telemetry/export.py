@@ -1,0 +1,105 @@
+"""Prometheus text-exposition rendering of recorder state.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``; our dotted names become underscored:
+``serving.foldin.batch_seconds`` -> ``serving_foldin_batch_seconds``),
+counters gain the conventional ``_total`` suffix, and histograms render
+as the standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``.  The output parses with any Prometheus scraper and
+round-trips through the sanity test in ``tests/test_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.telemetry.recorder import Histogram
+
+__all__ = ["to_prometheus", "sanitize_metric_name"]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+# key type shared with the recorder: (name, ((label, value), ...))
+_SeriesKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal dotted metric name onto the Prometheus grammar."""
+    sanitized = _NAME_BAD.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(sanitize_metric_name(k), _escape_label_value(v))
+             for k, v in labels] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _group_by_name(series: Mapping[_SeriesKey, object]
+                   ) -> dict[str, list[tuple[tuple[tuple[str, str], ...],
+                                             object]]]:
+    grouped: dict[str, list] = {}
+    for (name, labels), value in sorted(series.items()):
+        grouped.setdefault(name, []).append((labels, value))
+    return grouped
+
+
+def to_prometheus(counters: Mapping[_SeriesKey, float],
+                  gauges: Mapping[_SeriesKey, float],
+                  histograms: Mapping[_SeriesKey, Histogram]) -> str:
+    """Render recorder state as Prometheus text exposition format."""
+    lines: list[str] = []
+
+    for name, entries in _group_by_name(counters).items():
+        metric = sanitize_metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in entries:
+            lines.append(f"{metric}{_render_labels(labels)} "
+                         f"{_format_value(value)}")
+
+    for name, entries in _group_by_name(gauges).items():
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in entries:
+            lines.append(f"{metric}{_render_labels(labels)} "
+                         f"{_format_value(value)}")
+
+    for name, entries in _group_by_name(histograms).items():
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, histogram in entries:
+            for bound, cumulative in histogram.cumulative_buckets():
+                le = _render_labels(labels,
+                                    extra=(("le",
+                                            _format_value(bound)),))
+                lines.append(f"{metric}_bucket{le} {cumulative}")
+            lines.append(f"{metric}_sum{_render_labels(labels)} "
+                         f"{_format_value(histogram.total)}")
+            lines.append(f"{metric}_count{_render_labels(labels)} "
+                         f"{histogram.count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

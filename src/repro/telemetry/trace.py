@@ -1,0 +1,72 @@
+"""JSONL span traces: one line per finished span.
+
+Attach a :class:`JsonlTraceWriter` to an
+:class:`~repro.telemetry.recorder.InMemoryRecorder` and every
+``recorder.span(...)`` that exits appends one JSON object line::
+
+    {"name": "serving.request_seconds", "start": 12.25,
+     "duration": 0.0031, "labels": {"model": "news"}}
+
+``start`` is in the recorder's clock domain (monotonic seconds by
+default), so durations are exact but timestamps are only comparable
+within one process run — enough to reconstruct the nesting and
+ordering of spans for a trace viewer or a flame-graph script.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+__all__ = ["JsonlTraceWriter"]
+
+
+class JsonlTraceWriter:
+    """Thread-safe JSONL sink for span records.
+
+    Accepts a filesystem path (opened append-mode, owned and closed by
+    the writer) or any text file-like object (borrowed; ``close()``
+    leaves it open).  Usable as a context manager.
+    """
+
+    def __init__(self, target: str | Path | io.TextIOBase | Any) -> None:
+        self._lock = threading.Lock()
+        if isinstance(target, (str, Path)):
+            self._file = open(target, "a", encoding="utf-8")
+            self._owns_file = True
+        else:
+            if not hasattr(target, "write"):
+                raise TypeError(
+                    f"trace target must be a path or a writable "
+                    f"file-like object, got {type(target).__name__}")
+            self._file = target
+            self._owns_file = False
+        self.records_written = 0
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Append one span record as a single JSON line."""
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":"))
+        with self._lock:
+            self._file.write(line + "\n")
+            self.records_written += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush, and close the file if this writer opened it."""
+        with self._lock:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

@@ -211,6 +211,100 @@ class TestMemoryGate:
         capsys.readouterr()  # swallow table output
 
 
+class TestJsonReport:
+    def _run(self, compare, tmp_path, capsys, *extra):
+        report_path = tmp_path / "report.json"
+        code = compare.main([str(tmp_path / "fresh"), "--baseline",
+                             str(tmp_path / "base"), "--json",
+                             str(report_path)] + list(extra))
+        capsys.readouterr()  # swallow table output
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro.benchmarks/compare"
+        assert report["schema_version"] == 1
+        assert report["exit_code"] == code
+        return code, report
+
+    def test_ok_and_regressed_verdicts(self, compare, tmp_path, capsys):
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": {"1": 100.0, "8": 200.0}})
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": {"1": 40.0, "8": 195.0}})
+        code, report = self._run(compare, tmp_path, capsys)
+        assert code == 1
+        by_metric = {row["metric"]: row for row in report["verdicts"]}
+        bad = by_metric["docs_per_second.1"]
+        assert bad["verdict"] == "regressed"
+        assert bad["baseline"] == 100.0 and bad["fresh"] == 40.0
+        assert bad["ratio"] == pytest.approx(0.4)
+        assert by_metric["docs_per_second.8"]["verdict"] == "ok"
+        assert all(row["bench"] == "serving"
+                   for row in report["verdicts"])
+        assert report["threshold"] == pytest.approx(0.3)
+        assert report["skipped"] == []
+        assert report["memory"] == []
+
+    def test_skipped_rows_carry_reasons(self, compare, tmp_path, capsys):
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": 10.0})
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": 11.0})
+        _write_result(tmp_path / "base", "sweep",
+                      {"tokens_per_second": 900.0}, backend="python")
+        _write_result(tmp_path / "fresh", "sweep",
+                      {"tokens_per_second": 4000.0}, backend="numba")
+        _write_result(tmp_path / "base", "retired",
+                      {"docs_per_second": 5.0})
+        code, report = self._run(compare, tmp_path, capsys)
+        assert code == 0
+        skipped = {row["name"]: row["reason"]
+                   for row in report["skipped"]}
+        assert "backend mismatch" in skipped["sweep"]
+        assert "missing or unreadable" in skipped["retired"]
+        assert [row["verdict"] for row in report["verdicts"]] == ["ok"]
+
+    def test_memory_rows_when_gated(self, compare, tmp_path, capsys):
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": 100.0},
+                      peak_rss=100 * 2**20)
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": 101.0},
+                      peak_rss=200 * 2**20)
+        code, report = self._run(compare, tmp_path, capsys,
+                                 "--memory-threshold", "0.5")
+        assert code == 1
+        assert report["memory_threshold"] == pytest.approx(0.5)
+        (row,) = report["memory"]
+        assert row["metric"] == "peak_rss_bytes"
+        assert row["verdict"] == "regressed"
+        assert row["ratio"] == pytest.approx(2.0)
+        # Throughput itself was fine.
+        assert all(r["verdict"] == "ok" for r in report["verdicts"])
+
+    def test_written_even_when_nothing_is_comparable(self, compare,
+                                                     tmp_path, capsys):
+        """The exit-2 misconfiguration path must still leave a report —
+        CI reads the file to learn *why* the gate did not run."""
+        (tmp_path / "base").mkdir()
+        (tmp_path / "fresh").mkdir()
+        _write_result(tmp_path / "base", "only_here",
+                      {"docs_per_second": 1.0})
+        code, report = self._run(compare, tmp_path, capsys)
+        assert code == 2
+        assert report["verdicts"] == []
+        assert [row["name"] for row in report["skipped"]] \
+            == ["only_here"]
+
+    def test_no_file_without_the_flag(self, compare, tmp_path, capsys):
+        _write_result(tmp_path / "base", "serving",
+                      {"docs_per_second": 10.0})
+        _write_result(tmp_path / "fresh", "serving",
+                      {"docs_per_second": 11.0})
+        assert compare.main([str(tmp_path / "fresh"), "--baseline",
+                             str(tmp_path / "base")]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "report.json").exists()
+
+
 class TestMain:
     def test_exit_codes(self, compare, tmp_path, capsys):
         _write_result(tmp_path / "base", "serving",

@@ -305,6 +305,56 @@ class TestParallelFoldIn:
 
 
 # ----------------------------------------------------------------------
+# Per-worker utilization stats
+# ----------------------------------------------------------------------
+class TestWorkerUtilization:
+    def test_merged_stats_are_invariant_to_worker_count(self,
+                                                        frozen_phi,
+                                                        query_docs):
+        """Workers report ``{docs, tokens, busy_seconds}`` per task and
+        the parent merges them into per-worker counter series; however
+        the documents are sharded, the merged docs/tokens totals must
+        equal the single-worker totals (and theta must not move)."""
+        from repro.telemetry import InMemoryRecorder
+
+        totals = {}
+        reference = None
+        for workers in WORKER_COUNTS:
+            recorder = InMemoryRecorder()
+            engine = FoldInEngine(frozen_phi, 0.4, iterations=5,
+                                  mode="sparse")
+            with ParallelFoldIn(engine, num_workers=workers,
+                                recorder=recorder) as foldin:
+                theta = foldin.theta(query_docs, seed=12)
+            if reference is None:
+                reference = theta
+            else:
+                assert np.array_equal(reference, theta), workers
+            totals[workers] = {
+                "docs": recorder.counter_total("serving.worker.docs"),
+                "tokens": recorder.counter_total(
+                    "serving.worker.tokens"),
+            }
+            busy = recorder.counter_series(
+                "serving.worker.busy_seconds")
+            assert busy, workers
+            assert len(busy) <= workers
+            assert all(seconds >= 0 for seconds in busy.values())
+            # The shared fold-in totals mirror the per-worker sums:
+            # merging happens once, in the parent, with no double
+            # counting from worker-side recorders.
+            assert recorder.counter_value("serving.foldin.documents") \
+                == totals[workers]["docs"]
+            assert recorder.counter_value("serving.foldin.tokens") \
+                == totals[workers]["tokens"]
+        single = totals[WORKER_COUNTS[0]]
+        assert single["docs"] == sum(1 for d in query_docs if len(d))
+        assert single["tokens"] == sum(len(d) for d in query_docs)
+        for workers in WORKER_COUNTS[1:]:
+            assert totals[workers] == single, workers
+
+
+# ----------------------------------------------------------------------
 # End-to-end serving determinism
 # ----------------------------------------------------------------------
 @pytest.fixture(scope="module")

@@ -1,0 +1,157 @@
+"""Every warning in the serving stack must name the *caller's* file.
+
+``warnings.warn(..., stacklevel=...)`` is how a library points a
+warning at the line that can fix it.  A wrong stacklevel reports the
+warning against library internals (useless to operators, invisible to
+``filterwarnings`` rules keyed on the caller's module).  The convention
+(documented on each warning function): stacklevel counts from the
+warning function itself, the default 2 names the direct caller, and
+wrappers warning on a caller's behalf pass 3.
+
+Each test triggers one warning site and asserts the reported filename
+is THIS test module — the direct caller's file."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.metrics.perplexity import (heldout_gibbs_theta,
+                                      perplexity_heldout_gibbs,
+                                      perplexity_importance_sampling)
+from repro.models.base import FittedTopicModel
+from repro.serving import (FoldInEngine, InferenceSession, ModelRegistry,
+                           load_model, save_model)
+from repro.serving.foldin import validate_phi
+from repro.text.corpus import Corpus
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture(scope="module")
+def drifted_phi():
+    """Rows summing to 1 + 5e-4: inside the renormalization band
+    (PHI_RENORM_ATOL=1e-3), outside exactness (PHI_SUM_ATOL=1e-6) —
+    the float32 round-trip signature that triggers the warning."""
+    rng = np.random.default_rng(5)
+    phi = rng.dirichlet(np.full(20, 0.5), size=4)
+    return phi * (1 + 5e-4)
+
+
+@pytest.fixture(scope="module")
+def drifted_model(drifted_phi):
+    num_topics, vocab_size = drifted_phi.shape
+    vocab = Vocabulary(f"w{i}" for i in range(vocab_size))
+    vocab.freeze()
+    rng = np.random.default_rng(2)
+    return FittedTopicModel(
+        phi=drifted_phi,
+        theta=rng.dirichlet(np.full(num_topics, 0.5), size=2),
+        assignments=[rng.integers(0, num_topics, size=4)
+                     for _ in range(2)],
+        vocabulary=vocab,
+        metadata={"alpha": 0.4})
+
+
+@pytest.fixture(scope="module")
+def clean_model(drifted_model):
+    """The same model with exactly-stochastic phi, so artifact tests
+    see only the schema-v1 mmap-fallback warning."""
+    phi = drifted_model.phi / drifted_model.phi.sum(axis=1,
+                                                    keepdims=True)
+    return FittedTopicModel(
+        phi=phi, theta=drifted_model.theta,
+        assignments=drifted_model.assignments,
+        vocabulary=drifted_model.vocabulary,
+        metadata=drifted_model.metadata)
+
+
+@pytest.fixture(scope="module")
+def tiny_docs():
+    return Corpus.from_token_lists([["w0", "w1", "w2"], ["w3", "w4"]],
+                                   vocabulary=None)
+
+
+def _sole_warning(caught, category):
+    assert len(caught) == 1, [str(w.message) for w in caught]
+    assert issubclass(caught[0].category, category)
+    return caught[0]
+
+
+def test_validate_phi_names_its_direct_caller(drifted_phi):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        validate_phi(drifted_phi)
+    assert _sole_warning(caught, RuntimeWarning).filename == __file__
+
+
+def test_foldin_engine_names_the_construction_site(drifted_phi):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        FoldInEngine(drifted_phi, 0.4, iterations=2)
+    assert _sole_warning(caught, RuntimeWarning).filename == __file__
+
+
+def test_session_names_the_construction_site(drifted_model):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        session = InferenceSession(drifted_model, iterations=2, seed=0)
+    session.close()
+    assert _sole_warning(caught, RuntimeWarning).filename == __file__
+
+
+def test_session_alpha_fallback_names_the_construction_site(
+        drifted_model):
+    model = FittedTopicModel(
+        phi=drifted_model.phi / drifted_model.phi.sum(axis=1,
+                                                      keepdims=True),
+        theta=drifted_model.theta,
+        assignments=drifted_model.assignments,
+        vocabulary=drifted_model.vocabulary,
+        metadata={"alpha": "not-a-number"})
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        session = InferenceSession(model, iterations=2, seed=0)
+    session.close()
+    warning = _sole_warning(caught, RuntimeWarning)
+    assert "unusable alpha" in str(warning.message)
+    assert warning.filename == __file__
+
+
+@pytest.mark.parametrize("estimator", [
+    perplexity_importance_sampling,
+    perplexity_heldout_gibbs,
+    lambda phi, corpus, alpha: heldout_gibbs_theta(phi, corpus, alpha,
+                                                   iterations=2),
+])
+def test_perplexity_estimators_name_their_caller(estimator, drifted_phi,
+                                                 tiny_docs):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        estimator(drifted_phi, tiny_docs, 0.4)
+    for warning in caught:  # one warn per validate_phi pass
+        assert issubclass(warning.category, RuntimeWarning)
+        assert warning.filename == __file__
+    assert caught
+
+
+def test_v1_mmap_fallback_names_the_load_site(clean_model, tmp_path):
+    path = save_model(clean_model, tmp_path / "m")  # schema v1
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        load_model(path, mmap_phi=True)
+    warning = _sole_warning(caught, RuntimeWarning)
+    assert "cannot be memory-mapped" in str(warning.message)
+    assert warning.filename == __file__
+
+
+def test_registry_load_names_the_registry_caller(clean_model, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    registry.publish("news", clean_model)  # schema v1
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        registry.load("news", mmap_phi=True)
+    warning = _sole_warning(caught, RuntimeWarning)
+    assert "cannot be memory-mapped" in str(warning.message)
+    assert warning.filename == __file__
