@@ -51,7 +51,10 @@ JSON (schema ``repro.benchmarks/compare``: per-metric
 results with their reasons, the memory rows when gated, and the exit
 code) so CI consumes the gate structurally instead of parsing stdout.
 The file is written on every outcome that reaches comparison — pass,
-regression, and the no-comparable-metrics exit 2.
+regression, and the no-comparable-metrics exit 2.  The report rides on
+the shared verdict-report shape of :mod:`repro.analysis.report`, the
+same skeleton ``python -m repro.analysis --json`` emits, so CI parses
+one structure for both gates.
 """
 
 from __future__ import annotations
@@ -61,6 +64,16 @@ import json
 import sys
 from dataclasses import dataclass
 from pathlib import Path
+
+try:
+    from repro.analysis.report import (build_report as _shared_report,
+                                       skipped_row, verdict_row,
+                                       write_report)
+except ImportError:  # run as a bare script without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.analysis.report import (build_report as _shared_report,
+                                       skipped_row, verdict_row,
+                                       write_report)
 
 #: Metric key-path fragments treated as higher-is-better throughput.
 THROUGHPUT_MARKERS = ("per_second", "per_sec")
@@ -200,9 +213,21 @@ def memory_comparisons(baseline_dir: Path, fresh_dir: Path
     return rows
 
 
-#: Schema of the ``--json`` report; bump on layout changes.
+#: Schema of the ``--json`` report; bump on layout changes.  Version 2
+#: moved the rows onto the shared gate shape of
+#: :mod:`repro.analysis.report` (``bench`` key renamed to ``name``) so
+#: this gate and the invariant linter emit identically shaped verdicts.
 COMPARE_SCHEMA = "repro.benchmarks/compare"
-COMPARE_SCHEMA_VERSION = 1
+COMPARE_SCHEMA_VERSION = 2
+
+
+def _comparison_row(comparison: Comparison,
+                    regressions: list[Comparison]) -> dict:
+    return verdict_row(
+        name=comparison.bench, metric=comparison.metric,
+        verdict="regressed" if comparison in regressions else "ok",
+        baseline=comparison.baseline, fresh=comparison.fresh,
+        ratio=comparison.ratio)
 
 
 def build_report(comparisons: list[Comparison],
@@ -214,28 +239,17 @@ def build_report(comparisons: list[Comparison],
                  memory_threshold: float | None,
                  exit_code: int) -> dict:
     """The machine-readable verdict structure behind ``--json``."""
-    return {
-        "schema": COMPARE_SCHEMA,
-        "schema_version": COMPARE_SCHEMA_VERSION,
-        "threshold": threshold,
-        "memory_threshold": memory_threshold,
-        "verdicts": [
-            {"bench": c.bench, "metric": c.metric,
-             "baseline": c.baseline, "fresh": c.fresh,
-             "ratio": c.ratio,
-             "verdict": "regressed" if c in regressions else "ok"}
-            for c in comparisons],
-        "skipped": [{"name": name, "reason": reason}
-                    for name, reason in skipped],
-        "memory": [
-            {"bench": c.bench, "metric": c.metric,
-             "baseline": c.baseline, "fresh": c.fresh,
-             "ratio": c.ratio,
-             "verdict": ("regressed" if c in memory_regressions
-                         else "ok")}
-            for c in memory],
-        "exit_code": exit_code,
-    }
+    return _shared_report(
+        COMPARE_SCHEMA, COMPARE_SCHEMA_VERSION,
+        verdicts=[_comparison_row(c, regressions)
+                  for c in comparisons],
+        skipped=[skipped_row(name, reason)
+                 for name, reason in skipped],
+        exit_code=exit_code,
+        threshold=threshold,
+        memory_threshold=memory_threshold,
+        memory=[_comparison_row(c, memory_regressions)
+                for c in memory])
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -287,12 +301,11 @@ def main(argv: list[str] | None = None) -> int:
     else:
         exit_code = 0
     if args.json_path is not None:
-        report = build_report(comparisons, regressions, skipped,
-                              memory, memory_regressions,
-                              args.threshold, args.memory_threshold,
-                              exit_code)
-        args.json_path.write_text(
-            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        write_report(args.json_path,
+                     build_report(comparisons, regressions, skipped,
+                                  memory, memory_regressions,
+                                  args.threshold,
+                                  args.memory_threshold, exit_code))
     if not comparisons:
         for name, reason in skipped:
             print(f"{name}: skipped ({reason})", file=sys.stderr)

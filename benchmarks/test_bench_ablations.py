@@ -25,6 +25,7 @@ from repro.knowledge.wikipedia import SyntheticWikipedia
 from repro.metrics.accuracy import token_accuracy
 from repro.metrics.divergence import js_divergence
 from repro.sampling.integration import LambdaGrid
+from repro.sampling.rng import ensure_rng
 
 
 def _source_and_data(num_topics=12, seed=5):
@@ -145,7 +146,7 @@ def test_bench_ablation_epsilon(benchmark):
     reference = source_distribution(counts)
 
     def run():
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         rows = []
         for epsilon in (1e-4, 1e-2, 1e-1, 1.0):
             hyper = source_hyperparameters(counts, epsilon)

@@ -14,6 +14,7 @@ Run:  python examples/discover_new_topics.py
 import numpy as np
 
 from repro import EDA, Corpus, KnowledgeSource, SourceLDA
+from repro.sampling.rng import ensure_rng
 
 KNOWN_ARTICLES = {
     "Coffee": ("coffee coffee coffee beans beans arabica robusta harvest "
@@ -30,7 +31,7 @@ UNKNOWN_WORDS = ("chess knight bishop rook pawn checkmate opening endgame "
 
 
 def build_corpus(seed: int = 5, num_documents: int = 60) -> Corpus:
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     pools = {name: tokens for name, tokens in KNOWN_ARTICLES.items()}
     pools["(unknown)"] = list(UNKNOWN_WORDS)
     names = list(pools)

@@ -1,0 +1,121 @@
+"""``python -m repro.analysis``: lint the tree, exit nonzero on findings.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis src/repro
+    PYTHONPATH=src python -m repro.analysis src/repro examples \
+        --json analysis_report.json
+    PYTHONPATH=src python -m repro.analysis --list-rules
+    PYTHONPATH=src python -m repro.analysis src/repro --select RPR001,RPR002
+
+Exit codes: 0 clean, 1 violations found, 2 usage error (unknown rule
+code, no python files under the given paths).  ``--json`` writes the
+verdicts in the shared report shape of :mod:`repro.analysis.report`
+(schema ``repro.analysis/report``) — the same skeleton the perf gate's
+``compare.py --json`` emits — on every outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.core import (LintResult, Rule, all_rules,
+                                 lint_paths, resolve_rules)
+from repro.analysis.report import (build_report, skipped_row,
+                                   verdict_row, write_report)
+
+#: Schema of the ``--json`` report; bump on layout changes.
+ANALYSIS_SCHEMA = "repro.analysis/report"
+ANALYSIS_SCHEMA_VERSION = 1
+
+#: Default lint scope when no paths are given (resolved against cwd —
+#: the documented invocation runs from the repo root).
+DEFAULT_SCOPE = "src/repro"
+
+
+def build_analysis_report(result: LintResult, rules: tuple[Rule, ...],
+                          exit_code: int) -> dict:
+    """The linter's verdict report in the shared gate shape: one
+    ``verdicts`` row per standing violation, one ``skipped`` row per
+    ``noqa``-waived finding (reason = the pragma's justification)."""
+    verdicts = [
+        verdict_row(name=violation.location, metric=violation.code,
+                    verdict="violation", message=violation.message)
+        for violation in result.violations]
+    skipped = [
+        skipped_row(name=entry.violation.location,
+                    reason=f"noqa[{entry.violation.code}]: "
+                           f"{entry.reason}")
+        for entry in result.suppressed]
+    return build_report(
+        ANALYSIS_SCHEMA, ANALYSIS_SCHEMA_VERSION,
+        verdicts=verdicts, skipped=skipped, exit_code=exit_code,
+        files=result.files, rules=[rule.code for rule in rules])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Machine-check the repo's determinism, telemetry "
+                    "and concurrency contracts (rules RPR001-RPR006).")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help=f"files or directories to lint "
+                             f"(default: {DEFAULT_SCOPE})")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--json", type=Path, default=None,
+                        dest="json_path", metavar="PATH",
+                        help="also write the verdicts as machine-"
+                             "readable JSON to PATH")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.rationale}")
+        return 0
+
+    try:
+        rules = resolve_rules(
+            None if args.select is None
+            else [code.strip() for code in args.select.split(",")
+                  if code.strip()])
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    paths = args.paths or [Path(DEFAULT_SCOPE)]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"path does not exist: {path}", file=sys.stderr)
+        return 2
+    result = lint_paths(paths, rules)
+    if result.files == 0:
+        print("no python files found under the given paths",
+              file=sys.stderr)
+        return 2
+
+    exit_code = 1 if result.violations else 0
+    if args.json_path is not None:
+        write_report(args.json_path,
+                     build_analysis_report(result, rules, exit_code))
+    for violation in result.violations:
+        print(violation)
+    waived = len(result.suppressed)
+    summary = (f"{len(result.violations)} violation(s), {waived} "
+               f"waived, {result.files} file(s), "
+               f"{len(rules)} rule(s)")
+    if result.violations:
+        print(summary, file=sys.stderr)
+    else:
+        print(f"clean: {summary}")
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Shared machine-readable verdict-report shape.
+
+Both CI gates — the perf gate (``benchmarks/compare.py --json``) and
+the invariant linter (``python -m repro.analysis --json``) — emit the
+same report skeleton so CI consumes one structure::
+
+    {
+      "schema": "<tool schema id>",
+      "schema_version": N,
+      "verdicts": [{"name": ..., "metric": ..., "verdict": ..., ...}],
+      "skipped":  [{"name": ..., "reason": ...}],
+      "exit_code": 0 | 1 | 2,
+      ... tool-specific extras ...
+    }
+
+``verdicts`` rows always carry ``name`` (what was judged), ``metric``
+(which check judged it) and ``verdict`` (the outcome keyword); tools
+add their own value fields per row.  ``skipped`` rows are the findings
+deliberately *not* judged — unmeasured bench series there, ``noqa``-
+waived violations here — each with a human-readable reason, so waivers
+never silently vanish from the machine-readable record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def verdict_row(name: str, metric: str, verdict: str, **fields) -> dict:
+    """One judged finding; ``fields`` are the tool's value columns."""
+    row = {"name": name, "metric": metric, "verdict": verdict}
+    row.update(fields)
+    return row
+
+
+def skipped_row(name: str, reason: str) -> dict:
+    """One finding deliberately not judged, with its reason."""
+    return {"name": name, "reason": reason}
+
+
+def build_report(schema: str, schema_version: int, *,
+                 verdicts: list[dict], skipped: list[dict],
+                 exit_code: int, **extra) -> dict:
+    """The shared report skeleton plus tool-specific ``extra`` keys."""
+    report = {
+        "schema": schema,
+        "schema_version": schema_version,
+        "verdicts": verdicts,
+        "skipped": skipped,
+        "exit_code": exit_code,
+    }
+    report.update(extra)
+    return report
+
+
+def write_report(path: str | Path, report: dict) -> None:
+    """Write ``report`` as stable (sorted, indented) JSON."""
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")

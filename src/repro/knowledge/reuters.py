@@ -211,7 +211,11 @@ class SyntheticReuters:
 
     # ------------------------------------------------------------------
     def _generate(self) -> None:
-        rng = np.random.default_rng(self._seed + 1000)
+        # Function-local import: repro.knowledge initializes before
+        # the sampling package (repro.core.priors pulls it in
+        # mid-import).
+        from repro.sampling.rng import ensure_rng
+        rng = ensure_rng(self._seed + 1000)
         vocabulary = self._source.vocabulary().freeze()
         counts = self._source.count_matrix(vocabulary)
         hyper = source_hyperparameters(counts)

@@ -48,7 +48,10 @@ def make_lexicon(size: int, seed: int = 0,
     """
     if size < 0:
         raise ValueError(f"size must be non-negative, got {size}")
-    rng = np.random.default_rng(seed)
+    # Function-local import: repro.knowledge initializes before the
+    # sampling package (repro.core.priors pulls it in mid-import).
+    from repro.sampling.rng import ensure_rng
+    rng = ensure_rng(seed)
     words: list[str] = []
     seen: set[str] = set()
     while len(words) < size:
@@ -167,7 +170,8 @@ class SyntheticWikipedia:
     def article(self, name: str) -> list[str]:
         """Generate the (deterministic) article token stream for ``name``."""
         spec = self._specs[name]
-        rng = np.random.default_rng(_stable_topic_seed(self._seed + 1, name))
+        from repro.sampling.rng import ensure_rng
+        rng = ensure_rng(_stable_topic_seed(self._seed + 1, name))
         core_pmf = zipf_probabilities(len(spec.core_words))
         # Shuffle which core word is most frequent so topics with curated
         # alphabetical lists do not all peak on their first entry.

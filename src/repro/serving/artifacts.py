@@ -387,7 +387,7 @@ class _MmapGuard:
     def __del__(self) -> None:
         try:
             if not self._closed:
-                warnings.warn(
+                warnings.warn(  # repro: noqa[RPR002] finalizer: no caller frame; source= names the allocation site
                     f"unclosed memory-mapped phi member {self._where}; "
                     f"call LoadedModel.close()",
                     ResourceWarning, source=self)

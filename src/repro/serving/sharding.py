@@ -380,7 +380,7 @@ class ShardedPhi:
     def __del__(self) -> None:
         try:
             if not self._released:
-                warnings.warn(
+                warnings.warn(  # repro: noqa[RPR002] finalizer: no caller frame; source= names the allocation site
                     f"unclosed ShardedPhi "
                     f"({len(self.mapped_shards)} shard(s) still mapped "
                     f"under {Path(self._paths[0]).parent}); call "

@@ -202,7 +202,10 @@ class Corpus:
         if not 0.0 < train_fraction < 1.0:
             raise ValueError("train_fraction must be in (0, 1), got "
                              f"{train_fraction}")
-        rng = np.random.default_rng(seed)
+        # Function-local import: repro.text sits below repro.sampling
+        # in the layering (the sampling engines import Corpus).
+        from repro.sampling.rng import ensure_rng
+        rng = ensure_rng(seed)
         order = rng.permutation(len(self))
         cut = max(1, int(round(train_fraction * len(self))))
         cut = min(cut, len(self) - 1)

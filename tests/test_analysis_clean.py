@@ -1,0 +1,65 @@
+"""The shipped tree must satisfy its own invariant linter.
+
+The in-process check is tier-1: any new global-RNG call, missing
+``stacklevel``, frozen-engine mutation, unsafe nopython construct,
+impure telemetry plumbing, or unpicklable worker-spec resource fails
+the suite with the rule code and location.  The CLI round-trip over
+the whole tree (examples and benchmarks included) is heavier and runs
+under the ``bench`` marker.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths
+from repro.analysis.cli import ANALYSIS_SCHEMA, ANALYSIS_SCHEMA_VERSION
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_src_repro_is_clean():
+    result = lint_paths([REPO / "src" / "repro"])
+    assert result.files > 50  # the scan actually covered the tree
+    locations = [f"{v.code} {v.location}: {v.message}"
+                 for v in result.violations]
+    assert result.violations == (), "\n".join(locations)
+
+
+def test_src_repro_waivers_are_justified():
+    # Every noqa pragma in the shipped tree must carry a justification;
+    # a bare waiver hides debt.
+    result = lint_paths([REPO / "src" / "repro"])
+    for entry in result.suppressed:
+        assert entry.reason != "waived by pragma", \
+            f"{entry.violation.location} has an unjustified noqa"
+
+
+@pytest.mark.bench
+def test_cli_whole_tree_golden_report(tmp_path):
+    report_path = tmp_path / "analysis.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis",
+         "src/repro", "examples",
+         "--json", str(report_path)],
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == ANALYSIS_SCHEMA
+    assert report["schema_version"] == ANALYSIS_SCHEMA_VERSION
+    assert report["exit_code"] == 0
+    assert report["verdicts"] == []
+    assert report["rules"] == [rule.code for rule in all_rules()]
+    assert report["files"] > 50
+    # The two known finalizer waivers surface as skipped rows with
+    # their justifications, mirroring compare.py's skipped benches.
+    reasons = {row["reason"] for row in report["skipped"]}
+    assert all(r.startswith("noqa[RPR") for r in reasons)
+    assert len(report["skipped"]) >= 2

@@ -220,7 +220,7 @@ class TestJsonReport:
         capsys.readouterr()  # swallow table output
         report = json.loads(report_path.read_text())
         assert report["schema"] == "repro.benchmarks/compare"
-        assert report["schema_version"] == 1
+        assert report["schema_version"] == 2
         assert report["exit_code"] == code
         return code, report
 
@@ -237,7 +237,9 @@ class TestJsonReport:
         assert bad["baseline"] == 100.0 and bad["fresh"] == 40.0
         assert bad["ratio"] == pytest.approx(0.4)
         assert by_metric["docs_per_second.8"]["verdict"] == "ok"
-        assert all(row["bench"] == "serving"
+        # Schema v2: rows carry the shared gate shape's "name" key
+        # (v1 called it "bench").
+        assert all(row["name"] == "serving"
                    for row in report["verdicts"])
         assert report["threshold"] == pytest.approx(0.3)
         assert report["skipped"] == []
