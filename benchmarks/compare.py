@@ -4,8 +4,8 @@
 Every bench writes a machine-readable ``benchmarks/results/<name>.json``
 (schema ``repro.benchmarks/result``: ``metrics`` + ``params``).  This
 tool compares a freshly generated results directory against the
-committed baseline and **exits nonzero when any throughput metric
-regressed by more than the threshold** — turning
+committed baseline and **exits nonzero when any throughput or latency
+metric regressed by more than the threshold** — turning
 ``pytest benchmarks -m bench`` from a log into a gate::
 
     PYTHONPATH=src python -m pytest benchmarks -m bench \
@@ -14,9 +14,12 @@ regressed by more than the threshold** — turning
     python benchmarks/compare.py <fresh-dir> \
         --baseline benchmarks/results --threshold 0.3
 
-Only throughput-shaped metrics gate (key paths containing
-``per_second`` / ``per_sec`` — docs/sec, tokens/sec), where *lower is
-worse* is unambiguous; quality metrics (accuracy, divergence,
+Two metric shapes gate, each with an unambiguous direction:
+**throughput** (key paths containing ``per_second`` / ``per_sec`` —
+docs/sec, tokens/sec), where lower is worse, and **latency** (paths
+containing ``_seconds`` / ``latency`` — wall timings and p50/p95/p99
+percentiles), where *higher* is worse; a path matching both markers
+counts as throughput.  Quality metrics (accuracy, divergence,
 perplexity) have their own asserts inside the benches.  Fresh files
 missing a committed counterpart (new benches) and vice versa (retired
 benches) are reported but never fail the gate; having **no**
@@ -78,18 +81,22 @@ except ImportError:  # run as a bare script without PYTHONPATH=src
 #: Metric key-path fragments treated as higher-is-better throughput.
 THROUGHPUT_MARKERS = ("per_second", "per_sec")
 
+#: Metric key-path fragments treated as lower-is-better latency (wall
+#: timings, tail percentiles).  A path also matching a throughput
+#: marker is throughput — ``per_second`` paths never gate as latency.
+LATENCY_MARKERS = ("_seconds", "latency")
+
 #: Default tolerated fractional drop (bench timings are noisy on
 #: shared CI machines; sustained regressions larger than this are real).
 DEFAULT_THRESHOLD = 0.30
 
 
-def throughput_metrics(payload: dict,
-                       prefix: str = "") -> dict[str, float | None]:
-    """Flatten ``payload["metrics"]`` to ``path -> value`` rows, keeping
-    numeric leaves on a throughput-marked path.  A ``null`` leaf on a
-    throughput path is kept as ``None`` (the bench declared the series
-    unmeasured in that run) so the comparison can skip it with a
-    reason instead of silently dropping it."""
+def _flat_leaves(payload: dict,
+                 prefix: str = "") -> dict[str, float | None]:
+    """Flatten ``payload["metrics"]`` to every ``path -> leaf`` row:
+    numeric leaves as floats, ``null`` leaves as ``None`` (the bench
+    declared the series unmeasured in that run), everything else
+    dropped."""
     tree = payload.get("metrics", {}) if not prefix else payload
     flat: dict[str, float | None] = {}
     if not isinstance(tree, dict):
@@ -97,9 +104,7 @@ def throughput_metrics(payload: dict,
     for key, value in tree.items():
         path = f"{prefix}.{key}" if prefix else str(key)
         if isinstance(value, dict):
-            flat.update(throughput_metrics(value, path))
-        elif not any(marker in path for marker in THROUGHPUT_MARKERS):
-            continue
+            flat.update(_flat_leaves(value, path))
         elif value is None:
             flat[path] = None
         elif isinstance(value, (int, float)) \
@@ -108,21 +113,51 @@ def throughput_metrics(payload: dict,
     return flat
 
 
+def throughput_metrics(payload: dict) -> dict[str, float | None]:
+    """``path -> value`` rows on a throughput-marked path (higher is
+    better).  Null leaves are kept as ``None`` so the comparison can
+    skip them with a reason instead of silently dropping them."""
+    return {path: value
+            for path, value in _flat_leaves(payload).items()
+            if any(marker in path for marker in THROUGHPUT_MARKERS)}
+
+
+def latency_metrics(payload: dict) -> dict[str, float | None]:
+    """``path -> value`` rows on a latency-marked path (lower is
+    better).  Throughput-marked paths are excluded — ``per_second``
+    always gates as throughput, never as latency."""
+    return {path: value
+            for path, value in _flat_leaves(payload).items()
+            if any(marker in path for marker in LATENCY_MARKERS)
+            and not any(marker in path
+                        for marker in THROUGHPUT_MARKERS)}
+
+
 @dataclass(frozen=True)
 class Comparison:
-    """One baseline-vs-fresh throughput metric."""
+    """One baseline-vs-fresh gated metric.
+
+    ``direction`` is ``"higher"`` for throughput rows (a drop beyond
+    the threshold regresses) and ``"lower"`` for latency and memory
+    rows (growth beyond the threshold regresses).
+    """
 
     bench: str
     metric: str
     baseline: float
     fresh: float
+    direction: str = "higher"
 
     @property
     def ratio(self) -> float:
         return self.fresh / self.baseline if self.baseline else float("inf")
 
     def regressed(self, threshold: float) -> bool:
-        return self.baseline > 0 and self.ratio < 1.0 - threshold
+        if self.baseline <= 0:
+            return False
+        if self.direction == "lower":
+            return self.ratio > 1.0 + threshold
+        return self.ratio < 1.0 - threshold
 
 
 def load_result(path: Path) -> dict | None:
@@ -135,10 +170,10 @@ def load_result(path: Path) -> dict | None:
 
 def compare_dirs(baseline_dir: Path, fresh_dir: Path
                  ) -> tuple[list[Comparison], list[tuple[str, str]]]:
-    """All throughput comparisons between two results directories, plus
-    ``(name, reason)`` pairs for results skipped because one side is
-    missing/unreadable or the two sides were produced by different
-    token-loop backends."""
+    """All gated comparisons (throughput, then latency) between two
+    results directories, plus ``(name, reason)`` pairs for results
+    skipped because one side is missing/unreadable or the two sides
+    were produced by different token-loop backends."""
     comparisons: list[Comparison] = []
     skipped: list[tuple[str, str]] = []
     # Union of both sides: a result present only in one directory (a
@@ -167,24 +202,27 @@ def compare_dirs(baseline_dir: Path, fresh_dir: Path
                 (name, f"backend mismatch: baseline {base_backend!r} "
                        f"vs fresh {fresh_backend!r}"))
             continue
-        base_metrics = throughput_metrics(baseline)
-        fresh_metrics = throughput_metrics(fresh)
-        for metric, value in sorted(base_metrics.items()):
-            if metric not in fresh_metrics:
-                continue
-            fresh_value = fresh_metrics[metric]
-            null_sides = [side for side, leaf
-                          in (("baseline", value), ("fresh", fresh_value))
-                          if leaf is None]
-            if null_sides:
-                skipped.append(
-                    (f"{name}:{metric}",
-                     f"null on {' and '.join(null_sides)} side — not "
-                     "measured in that run's configuration"))
-                continue
-            comparisons.append(Comparison(
-                bench=name, metric=metric, baseline=value,
-                fresh=fresh_value))
+        for flatten, direction in ((throughput_metrics, "higher"),
+                                   (latency_metrics, "lower")):
+            base_metrics = flatten(baseline)
+            fresh_metrics = flatten(fresh)
+            for metric, value in sorted(base_metrics.items()):
+                if metric not in fresh_metrics:
+                    continue
+                fresh_value = fresh_metrics[metric]
+                null_sides = [side for side, leaf
+                              in (("baseline", value),
+                                  ("fresh", fresh_value))
+                              if leaf is None]
+                if null_sides:
+                    skipped.append(
+                        (f"{name}:{metric}",
+                         f"null on {' and '.join(null_sides)} side — "
+                         "not measured in that run's configuration"))
+                    continue
+                comparisons.append(Comparison(
+                    bench=name, metric=metric, baseline=value,
+                    fresh=fresh_value, direction=direction))
     return comparisons, skipped
 
 
@@ -192,8 +230,8 @@ def memory_comparisons(baseline_dir: Path, fresh_dir: Path
                        ) -> list[Comparison]:
     """``peak_rss_bytes`` pairs for results present (and stamped) on
     both sides.  Reuses :class:`Comparison` with the memory value in
-    the throughput slots; note memory regressions are ratios *above*
-    1, not below."""
+    the metric slots and the lower-is-better direction (memory
+    regressions are ratios above 1)."""
     rows: list[Comparison] = []
     for baseline_path in sorted(baseline_dir.glob("*.json")):
         fresh_path = fresh_dir / baseline_path.name
@@ -209,7 +247,8 @@ def memory_comparisons(baseline_dir: Path, fresh_dir: Path
                and v > 0 for v in (base_rss, fresh_rss)):
             rows.append(Comparison(
                 bench=baseline_path.stem, metric="peak_rss_bytes",
-                baseline=float(base_rss), fresh=float(fresh_rss)))
+                baseline=float(base_rss), fresh=float(fresh_rss),
+                direction="lower"))
     return rows
 
 
@@ -217,8 +256,10 @@ def memory_comparisons(baseline_dir: Path, fresh_dir: Path
 #: moved the rows onto the shared gate shape of
 #: :mod:`repro.analysis.report` (``bench`` key renamed to ``name``) so
 #: this gate and the invariant linter emit identically shaped verdicts.
+#: Version 3 added latency (lower-is-better) rows and stamps every row
+#: with its gating ``direction``.
 COMPARE_SCHEMA = "repro.benchmarks/compare"
-COMPARE_SCHEMA_VERSION = 2
+COMPARE_SCHEMA_VERSION = 3
 
 
 def _comparison_row(comparison: Comparison,
@@ -227,7 +268,7 @@ def _comparison_row(comparison: Comparison,
         name=comparison.bench, metric=comparison.metric,
         verdict="regressed" if comparison in regressions else "ok",
         baseline=comparison.baseline, fresh=comparison.fresh,
-        ratio=comparison.ratio)
+        ratio=comparison.ratio, direction=comparison.direction)
 
 
 def build_report(comparisons: list[Comparison],
@@ -254,8 +295,8 @@ def build_report(comparisons: list[Comparison],
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Fail when fresh bench throughput regresses vs the "
-                    "committed baseline.")
+        description="Fail when fresh bench throughput or latency "
+                    "regresses vs the committed baseline.")
     parser.add_argument("fresh", type=Path,
                         help="directory of freshly generated *.json "
                              "bench results")
@@ -265,7 +306,8 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: benchmarks/results)")
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD,
-                        help="tolerated fractional throughput drop "
+                        help="tolerated fractional regression — "
+                             "throughput drop or latency growth "
                              f"(default {DEFAULT_THRESHOLD})")
     parser.add_argument("--memory-threshold", type=float, default=None,
                         help="also fail when a bench's peak_rss_bytes "
@@ -293,7 +335,7 @@ def main(argv: list[str] | None = None) -> int:
         memory = memory_comparisons(args.baseline, args.fresh)
         memory_regressions = [
             c for c in memory
-            if c.ratio > 1.0 + args.memory_threshold]
+            if c.regressed(args.memory_threshold)]
     if not comparisons:
         exit_code = 2
     elif regressions or memory_regressions:
@@ -309,8 +351,8 @@ def main(argv: list[str] | None = None) -> int:
     if not comparisons:
         for name, reason in skipped:
             print(f"{name}: skipped ({reason})", file=sys.stderr)
-        print("no comparable throughput metrics found — check the "
-              "directories", file=sys.stderr)
+        print("no comparable throughput or latency metrics found — "
+              "check the directories", file=sys.stderr)
         return exit_code
     width = max(len(f"{c.bench}:{c.metric}") for c in comparisons)
     for comparison in comparisons:
@@ -329,14 +371,19 @@ def main(argv: list[str] | None = None) -> int:
               f"fresh {comparison.fresh / 2**20:>9.1f}M  "
               f"x{comparison.ratio:.3f}  {flag}")
     if regressions:
-        print(f"\n{len(regressions)} throughput metric(s) regressed "
-              f"more than {args.threshold:.0%}", file=sys.stderr)
+        slower = sum(1 for c in regressions if c.direction == "lower")
+        faster = len(regressions) - slower
+        kinds = ", ".join(part for part in (
+            f"{faster} throughput" if faster else "",
+            f"{slower} latency" if slower else "") if part)
+        print(f"\n{len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.0%} ({kinds})", file=sys.stderr)
         return exit_code
     if memory_regressions:
         print(f"\n{len(memory_regressions)} bench(es) grew peak RSS "
               f"more than {args.memory_threshold:.0%}", file=sys.stderr)
         return exit_code
-    print(f"\nall {len(comparisons)} throughput metrics within "
+    print(f"\nall {len(comparisons)} gated metrics within "
           f"{args.threshold:.0%} of baseline")
     return exit_code
 

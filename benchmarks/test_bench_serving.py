@@ -23,7 +23,10 @@ tentpole determinism contract); and on multi-core machines workers=4
 beats workers=1 (on a single-core machine real parallel speedup is
 physically impossible — the bench then only requires the sharded path
 to stay within IPC-overhead noise of serial, and records the core
-count so the gate is honest).
+count so the gate is honest).  Per-worker utilization
+(``busy_seconds / wall`` from the telemetry recorder) is stamped into
+the result so the flat-scaling-on-one-core caveat is machine-visible:
+there, the fractions sum to ~1 at every worker count.
 """
 
 from __future__ import annotations
@@ -89,6 +92,15 @@ def test_bench_parallel_serving(benchmark):
                                   for row in result.rows},
             "deterministic": result.deterministic,
             "phi_mmapped": result.phi_mmapped,
+            # Neither marker ("per_second" / "_seconds") matches these
+            # paths, so utilization never gates in compare.py — it is
+            # context for reading the throughput rows.
+            "worker_utilization": {
+                str(row.num_workers): row.worker_utilization
+                for row in result.rows},
+            "pool_utilization": {
+                str(row.num_workers): row.pool_utilization
+                for row in result.rows},
         },
         params={
             "worker_counts": WORKER_COUNTS,
@@ -118,3 +130,12 @@ def test_bench_parallel_serving(benchmark):
         # Single core: no speedup is physically possible; the sharded
         # path must merely stay within IPC overhead of serial.
         assert by_workers[4] >= by_workers[1] * 0.5
+    # Utilization sanity: every fraction is positive, and no worker
+    # claims (much) more busy time than the wall clock that contained
+    # it (small timer skew between parent and worker clocks allowed).
+    for row in result.rows:
+        assert row.worker_utilization, "recorder captured no workers"
+        assert len(row.worker_utilization) <= row.num_workers
+        for fraction in row.worker_utilization.values():
+            assert 0.0 < fraction < 1.25
+        assert 0.0 < row.pool_utilization <= 1.25

@@ -25,6 +25,7 @@ values run at all on this substrate.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -666,6 +667,13 @@ class ParallelServingRow:
     num_workers: int
     docs_per_second: float
     tokens_per_second: float
+    #: Per-worker ``busy_seconds / wall`` over the timed batch, keyed by
+    #: worker pid (the inline path reports the parent pid).  On a
+    #: single-core host these sum to ~1 at every worker count — the
+    #: machine-visible reason the docs/sec column is flat there.
+    worker_utilization: dict[str, float]
+    #: Mean of the per-worker fractions: busy / (wall * workers).
+    pool_utilization: float
 
 
 @dataclass
@@ -703,12 +711,16 @@ def run_parallel_serving(num_source_topics: int = 40,
     on a fixed seed at *every* worker count (per-document RNG streams
     make shard boundaries invisible).  Throughput rows time the v2/mmap
     path end to end, worker pool spin-up excluded (a warm-up batch
-    spawns it, as a long-lived server would).
+    spawns it, as a long-lived server would), and carry each worker's
+    ``busy_seconds / wall`` utilization from the telemetry recorder —
+    on a one-core host the fractions sum to ~1 however many workers
+    run, which is why the throughput column is flat there.
     """
     import tempfile
 
     from repro.serving import (InferenceSession, available_cpus,
                                load_model, save_model)
+    from repro.telemetry import InMemoryRecorder
 
     fitted, queries = _serving_workload(
         num_source_topics, vocab_size, num_train_documents,
@@ -725,19 +737,29 @@ def run_parallel_serving(num_source_topics: int = 40,
         loaded_v1 = load_model(f"{tmp}/v1")
         loaded_v2 = load_model(f"{tmp}/v2", mmap_phi=True)
         for workers in worker_counts:
+            recorder = InMemoryRecorder()
             with InferenceSession(loaded_v2,
                                   iterations=foldin_iterations,
                                   mode=mode, seed=seed,
-                                  num_workers=workers) as session:
+                                  num_workers=workers,
+                                  recorder=recorder) as session:
                 session.theta(queries[:4])  # warm-up: pool + buffers
+                recorder.reset()  # utilization covers the timed batch
                 start = perf_counter()
                 result = session.infer(queries)
                 elapsed = perf_counter() - start
+            busy = recorder.counter_series(
+                "serving.worker.busy_seconds")
             rows.append(ParallelServingRow(
                 num_workers=workers,
                 docs_per_second=num_query_documents / elapsed,
                 tokens_per_second=float(result.num_tokens.sum())
-                / elapsed))
+                / elapsed,
+                worker_utilization={
+                    str(dict(labels).get("worker")): value / elapsed
+                    for labels, value in sorted(busy.items())},
+                pool_utilization=sum(busy.values())
+                / (elapsed * workers)))
             # Determinism probe at this worker count: fixed seed 123,
             # both artifact flavors.
             for loaded in (loaded_v1, loaded_v2):
@@ -759,6 +781,178 @@ def run_parallel_serving(num_source_topics: int = 40,
                            query_document_length=query_document_length,
                            foldin_iterations=foldin_iterations,
                            mode=mode)
+
+
+@dataclass(frozen=True)
+class ElasticServingRow:
+    """Per-request latency percentiles for one hedging setting."""
+
+    hedging: bool
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+    mean_seconds: float
+    hedges_issued: int
+    hedges_won: int
+    wasted_tokens: int
+
+
+@dataclass
+class ElasticServing:
+    rows: list[ElasticServingRow]
+    """Exactly two rows: hedging off, then hedging on."""
+    deterministic: bool
+    """Hedged theta bit-identical to unhedged theta on every request."""
+    p99_ratio: float
+    """Hedged p99 / unhedged p99 — the tail-rescue factor."""
+    elastic_deterministic: bool
+    """Elastic-pool (min != max workers) theta bit-identical to the
+    inline single-worker reference across a resize-forcing sequence."""
+    pool_grown: int
+    pool_shrunk: int
+    straggler_sleep_seconds: float
+    num_requests: int
+    docs_per_request: int
+    num_workers: int
+    task_docs: int
+    num_topics: int
+    foldin_iterations: int
+    mode: str
+
+
+def _latency_percentile(latencies: list[float], q: float) -> float:
+    """Exact nearest-rank percentile (matches the telemetry
+    histograms' convention — no interpolation)."""
+    data = sorted(latencies)
+    return data[max(1, math.ceil(q * len(data))) - 1]
+
+
+def run_elastic_serving(num_topics: int = 32,
+                        vocab_size: int = 300,
+                        num_requests: int = 16,
+                        docs_per_request: int = 8,
+                        foldin_iterations: int = 20,
+                        num_workers: int = 4,
+                        task_docs: int = 1,
+                        straggler_sleep: float = 0.5,
+                        mode: str = "sparse",
+                        seed: int = 0) -> ElasticServing:
+    """Tail latency under a reproducible straggler: hedging off vs on.
+
+    One pool worker is made a deterministic straggler via the
+    :class:`~repro.serving.parallel.WorkerFault` hook (it sleeps
+    ``straggler_sleep`` seconds per task — a stall, not CPU work, so
+    the measurement holds even on a one-core host).  Every request is
+    a skewed batch (mostly short documents plus one heavy one), served
+    twice with identical per-request seeds: once with hedging
+    disabled, where each request's latency is pinned to the straggler,
+    and once under an aggressive :class:`HedgePolicy`, where the
+    dispatcher re-submits the stuck task to a healthy worker and the
+    first result wins.  Theta must be bit-identical between the two
+    runs (per-document RNG streams make the duplicate execution
+    invisible), and the hedge counters price the rescue in wasted
+    tokens.
+
+    A third, fault-free pass drives an elastic pool
+    (``min_workers=1 .. num_workers``) through a resize-forcing batch
+    sequence and checks it against the inline single-worker reference.
+    """
+    from repro.serving import (FoldInEngine, HedgePolicy,
+                               ParallelFoldIn, WorkerFault)
+    from repro.telemetry import InMemoryRecorder
+
+    rng = ensure_rng(seed)
+    phi = rng.dirichlet(np.ones(vocab_size), size=num_topics)
+    requests = []
+    for _ in range(num_requests):
+        lengths = rng.integers(8, 24, size=docs_per_request)
+        lengths[int(rng.integers(docs_per_request))] = 120  # heavy doc
+        requests.append([rng.integers(0, vocab_size, size=int(n))
+                         for n in lengths])
+    fault = WorkerFault(sleep_seconds=straggler_sleep, rank=0)
+    # Anchor the hedge threshold to the *median* healthy-task latency.
+    # Hedged wins are observed at threshold + rescue time; with one
+    # straggler in ``docs_per_request`` tasks those slow observations
+    # make up ~1/8 of the window, so a q90 nearest-rank cut can land on
+    # them and escalate the threshold run over run.  The median cannot.
+    policy = HedgePolicy(quantile=0.5, multiplier=3.0, min_wait=0.02,
+                         max_hedges=2)
+
+    def serve(hedge):
+        engine = FoldInEngine(phi, 0.5, iterations=foldin_iterations,
+                              mode=mode)
+        recorder = InMemoryRecorder()
+        thetas, latencies = [], []
+        with ParallelFoldIn(engine, num_workers=num_workers,
+                            recorder=recorder, task_docs=task_docs,
+                            hedge=hedge, fault=fault) as foldin:
+            foldin.warm_up()
+            for index, docs in enumerate(requests):
+                start = perf_counter()
+                thetas.append(foldin.theta(
+                    docs, seed=np.random.SeedSequence([seed, index])))
+                latencies.append(perf_counter() - start)
+        # Pool drained: the loser-side wasted_tokens counter is final.
+        return thetas, latencies, recorder
+
+    rows = []
+    all_thetas = []
+    for hedge in (None, policy):
+        thetas, latencies, recorder = serve(hedge)
+        all_thetas.append(thetas)
+        rows.append(ElasticServingRow(
+            hedging=hedge is not None,
+            p50_seconds=_latency_percentile(latencies, 0.50),
+            p95_seconds=_latency_percentile(latencies, 0.95),
+            p99_seconds=_latency_percentile(latencies, 0.99),
+            mean_seconds=sum(latencies) / len(latencies),
+            hedges_issued=int(recorder.counter_total(
+                "serving.hedge.issued")),
+            hedges_won=int(recorder.counter_total(
+                "serving.hedge.won")),
+            wasted_tokens=int(recorder.counter_total(
+                "serving.hedge.wasted_tokens"))))
+    deterministic = all(
+        np.array_equal(unhedged, hedged)
+        for unhedged, hedged in zip(*all_thetas))
+
+    # Elastic pool: no fault, batch sizes force a grow, a patient
+    # shrink, and a regrow; theta must match the inline reference.
+    engine = FoldInEngine(phi, 0.5, iterations=foldin_iterations,
+                          mode=mode)
+    reference = ParallelFoldIn(FoldInEngine(
+        phi, 0.5, iterations=foldin_iterations, mode=mode))
+    pattern = [requests[0], requests[1][:2], requests[2][:2],
+               requests[3][:2], requests[0]]
+    elastic_recorder = InMemoryRecorder()
+    elastic_deterministic = True
+    with ParallelFoldIn(engine, num_workers=1, min_workers=1,
+                        max_workers=num_workers,
+                        recorder=elastic_recorder,
+                        task_docs=task_docs) as foldin:
+        for index, docs in enumerate(pattern):
+            call_seed = [seed, 7, index]
+            got = foldin.theta(
+                docs, seed=np.random.SeedSequence(call_seed))
+            want = reference.theta(
+                docs, seed=np.random.SeedSequence(call_seed))
+            if not np.array_equal(got, want):
+                elastic_deterministic = False
+
+    return ElasticServing(
+        rows=rows, deterministic=deterministic,
+        p99_ratio=rows[1].p99_seconds / rows[0].p99_seconds,
+        elastic_deterministic=elastic_deterministic,
+        pool_grown=int(elastic_recorder.counter_total(
+            "serving.pool.grown")),
+        pool_shrunk=int(elastic_recorder.counter_total(
+            "serving.pool.shrunk")),
+        straggler_sleep_seconds=straggler_sleep,
+        num_requests=num_requests,
+        docs_per_request=docs_per_request,
+        num_workers=num_workers, task_docs=task_docs,
+        num_topics=num_topics,
+        foldin_iterations=foldin_iterations, mode=mode)
 
 
 @dataclass(frozen=True)
@@ -951,10 +1145,36 @@ def format_sharded_serving(result: ShardedServing) -> str:
             f"{result.deterministic}")
 
 
+def format_elastic_serving(result: ElasticServing) -> str:
+    table = format_table(
+        ["hedging", "p50 (s)", "p95 (s)", "p99 (s)", "mean (s)",
+         "hedges", "won", "wasted tokens"],
+        [[("on" if row.hedging else "off"), row.p50_seconds,
+          row.p95_seconds, row.p99_seconds, row.mean_seconds,
+          row.hedges_issued, row.hedges_won, row.wasted_tokens]
+         for row in result.rows],
+        title=(f"Elastic serving - {result.num_requests} requests x "
+               f"{result.docs_per_request} docs, "
+               f"{result.num_workers} workers, "
+               f"task_docs={result.task_docs}, straggler sleeps "
+               f"{result.straggler_sleep_seconds:.2f}s/task, "
+               f"T={result.num_topics}, "
+               f"{result.foldin_iterations} fold-in sweeps, "
+               f"mode={result.mode}"))
+    return (f"{table}\n"
+            f"hedged p99 / unhedged p99: {result.p99_ratio:.3f}\n"
+            f"theta bit-identical hedged vs unhedged: "
+            f"{result.deterministic}\n"
+            f"elastic pool: grew {result.pool_grown}x, shrank "
+            f"{result.pool_shrunk}x, bit-identical vs inline: "
+            f"{result.elastic_deterministic}")
+
+
 def format_parallel_serving(result: ParallelServing) -> str:
     table = format_table(
-        ["workers", "docs/sec", "tokens/sec"],
-        [[row.num_workers, row.docs_per_second, row.tokens_per_second]
+        ["workers", "docs/sec", "tokens/sec", "pool util"],
+        [[row.num_workers, row.docs_per_second, row.tokens_per_second,
+          row.pool_utilization]
          for row in result.rows],
         title=(f"Parallel serving - T={result.num_topics}, "
                f"{result.num_query_documents} query docs x "

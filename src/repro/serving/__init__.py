@@ -35,7 +35,8 @@ from repro.serving.artifacts import (ARTIFACT_FORMAT,
                                      save_model)
 from repro.serving.foldin import (FoldInEngine, FoldInScratch,
                                   validate_phi)
-from repro.serving.parallel import (EngineSpec, ParallelFoldIn,
+from repro.serving.parallel import (EngineSpec, HedgePolicy,
+                                    ParallelFoldIn, WorkerFault,
                                     available_cpus)
 from repro.serving.registry import ModelRecord, ModelRegistry
 from repro.serving.session import (InferenceResult, InferenceSession,
@@ -49,6 +50,7 @@ __all__ = [
     "EngineSpec",
     "FoldInEngine",
     "FoldInScratch",
+    "HedgePolicy",
     "InferenceResult",
     "InferenceSession",
     "LoadedModel",
@@ -61,6 +63,7 @@ __all__ = [
     "ShardedPhi",
     "TopicScore",
     "TransposedShardedPhi",
+    "WorkerFault",
     "available_cpus",
     "load_model",
     "plan_shard_starts",

@@ -172,6 +172,78 @@ class TestCompareDirs:
         assert comparisons[0].regressed(0.3)
 
 
+class TestLatencyGate:
+    def test_latency_leaves_gate_lower_is_better(self, compare,
+                                                 tmp_path):
+        _write_result(tmp_path / "base", "elastic", {
+            "latency_seconds": {"hedged": {"p50": 0.02, "p99": 0.10}}})
+        _write_result(tmp_path / "fresh", "elastic", {
+            "latency_seconds": {"hedged": {"p50": 0.02, "p99": 0.20}}})
+        comparisons, skipped = compare.compare_dirs(tmp_path / "base",
+                                                    tmp_path / "fresh")
+        assert skipped == []
+        by_metric = {c.metric: c for c in comparisons}
+        p99 = by_metric["latency_seconds.hedged.p99"]
+        assert p99.direction == "lower"
+        assert p99.regressed(0.3)           # doubled: above threshold
+        assert not p99.regressed(1.5)       # a looser gate tolerates it
+        assert not by_metric["latency_seconds.hedged.p50"].regressed(0.3)
+
+    def test_latency_improvement_never_regresses(self, compare,
+                                                 tmp_path):
+        _write_result(tmp_path / "base", "elastic",
+                      {"request_latency": {"p99": 0.50}})
+        _write_result(tmp_path / "fresh", "elastic",
+                      {"request_latency": {"p99": 0.05}})
+        comparisons, _ = compare.compare_dirs(tmp_path / "base",
+                                              tmp_path / "fresh")
+        (row,) = comparisons
+        # The bare "latency" marker gates too, and a 10x drop is an
+        # improvement in the lower-is-better direction, never a fail.
+        assert row.direction == "lower"
+        assert not row.regressed(0.3)
+
+    def test_per_second_paths_never_gate_as_latency(self, compare):
+        payload = {"metrics": {"docs_per_second": 100.0,
+                               "batch_seconds": 1.5,
+                               "accuracy": 0.9}}
+        assert compare.latency_metrics(payload) == {
+            "batch_seconds": 1.5}
+        assert compare.throughput_metrics(payload) == {
+            "docs_per_second": 100.0}
+
+    def test_synthetic_p99_regression_exits_nonzero(self, compare,
+                                                    tmp_path, capsys):
+        """The acceptance gate: a fresh run whose p99 latency grew past
+        the threshold must fail the CLI, with the verdict row carrying
+        the lower-is-better direction."""
+        _write_result(tmp_path / "base", "elastic_serving", {
+            "docs_per_second": 100.0,
+            "latency_seconds": {"unhedged": {"p99": 0.30},
+                                "hedged": {"p99": 0.05}}})
+        _write_result(tmp_path / "fresh", "elastic_serving", {
+            "docs_per_second": 100.0,
+            "latency_seconds": {"unhedged": {"p99": 0.30},
+                                "hedged": {"p99": 0.25}}})
+        report_path = tmp_path / "report.json"
+        code = compare.main([str(tmp_path / "fresh"), "--baseline",
+                             str(tmp_path / "base"), "--json",
+                             str(report_path)])
+        capsys.readouterr()
+        assert code == 1
+        report = json.loads(report_path.read_text())
+        by_metric = {row["metric"]: row for row in report["verdicts"]}
+        bad = by_metric["latency_seconds.hedged.p99"]
+        assert bad["verdict"] == "regressed"
+        assert bad["direction"] == "lower"
+        assert by_metric["docs_per_second"]["verdict"] == "ok"
+        assert by_metric["docs_per_second"]["direction"] == "higher"
+        # Same numbers within the threshold pass.
+        assert compare.main([str(tmp_path / "base"), "--baseline",
+                             str(tmp_path / "base")]) == 0
+        capsys.readouterr()
+
+
 class TestMemoryGate:
     def test_pairs_require_stamps_on_both_sides(self, compare, tmp_path):
         _write_result(tmp_path / "base", "stamped",
@@ -220,7 +292,7 @@ class TestJsonReport:
         capsys.readouterr()  # swallow table output
         report = json.loads(report_path.read_text())
         assert report["schema"] == "repro.benchmarks/compare"
-        assert report["schema_version"] == 2
+        assert report["schema_version"] == 3
         assert report["exit_code"] == code
         return code, report
 
